@@ -1,0 +1,35 @@
+// Command marketstudy reproduces the paper's Section III large-scale study:
+// it generates the synthetic 227,911-app market, runs the static analyzer
+// over every app, and prints the Type I/II/III statistics, the Fig. 2
+// category distribution, and the library-popularity inventory.
+//
+// Usage:
+//
+//	marketstudy            # full 227,911-app market
+//	marketstudy -scale 10  # 1/10th-size market, same proportions
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide the market size by this factor")
+	seed := flag.Int64("seed", 1, "market generator seed")
+	flag.Parse()
+
+	params := corpus.PaperParams()
+	if *scale > 1 {
+		params = corpus.Scaled(*scale)
+	}
+	params.Seed = *seed
+
+	fmt.Printf("Generating market (%d apps, seed %d)...\n\n", params.Total, params.Seed)
+	stats := corpus.Analyze(params)
+	fmt.Println(stats.Report())
+	fmt.Printf("Paper reference: 227,911 apps, 16.46%% Type I, 4,034 Type I without libs\n")
+	fmt.Printf("(48.1%% AdMob), 1,738 Type II (394 loader-capable), 16 Type III (11 game, 5 ent.)\n")
+}

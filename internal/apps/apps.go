@@ -1,0 +1,74 @@
+// Package apps contains the synthetic evaluation applications: one app per
+// information-flow topology of the paper's Table I (cases 1, 1', 2, 3, 4),
+// modeled on the real apps of §VI (QQPhoneBook, ePhone) and the two PoC apps,
+// plus a benign control. Each app has a Dalvik half (built with the dex
+// builder) and a native half (assembled ARM), wired through JNI.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/taint"
+)
+
+// App describes one runnable evaluation app.
+type App struct {
+	Name string
+	Desc string
+	// Case is the Table I scenario: "1", "1'", "2", "3", "4", or "benign".
+	Case string
+
+	// EntryClass/EntryMethod is the driver entry point (a static ()V method).
+	EntryClass  string
+	EntryMethod string
+
+	// ExpectTag is the taint that should reach a sink (0 for benign).
+	ExpectTag taint.Tag
+	// ExpectSink names the sink that should fire under NDroid.
+	ExpectSink string
+	// DetectedByTaintDroid records whether plain TaintDroid catches the leak
+	// (per §IV, only case 1).
+	DetectedByTaintDroid bool
+
+	install func(sys *core.System) error
+}
+
+// Install loads the app's classes and native library into a system.
+func (a *App) Install(sys *core.System) error { return a.install(sys) }
+
+// Run invokes the app's entry point.
+func (a *App) Run(sys *core.System) error {
+	_, _, thrown, err := sys.VM.InvokeByName(a.EntryClass, a.EntryMethod, nil, nil)
+	if err != nil {
+		return fmt.Errorf("apps: running %s: %w", a.Name, err)
+	}
+	if thrown != nil {
+		return fmt.Errorf("apps: %s threw an uncaught exception", a.Name)
+	}
+	return nil
+}
+
+// Registry returns all evaluation apps, in a stable order.
+func Registry() []*App {
+	return []*App{
+		Case1App(),
+		QQPhoneBookApp(),
+		EPhoneApp(),
+		PoCCase2App(),
+		PoCCase3App(),
+		Case3PullApp(),
+		Case4App(),
+		BenignApp(),
+	}
+}
+
+// ByName finds an app in the registry.
+func ByName(name string) (*App, bool) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

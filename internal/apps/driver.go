@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Driver is the monkeyrunner stand-in (§VI: "we first used one simple tool
+// (i.e., Monkeyrunner) to generate random input to drive those apps"): it
+// discovers an app's public zero-argument entry points and invokes a random
+// subset. Like the original, it is a coverage-limited random exerciser — the
+// §VII limitation that it "cannot enumerate all possible paths" holds here
+// too, and a test demonstrates it.
+type Driver struct {
+	Rng *rand.Rand
+	// Invocations per run.
+	Events int
+}
+
+// NewDriver seeds a driver.
+func NewDriver(seed int64, events int) *Driver {
+	return &Driver{Rng: rand.New(rand.NewSource(seed)), Events: events}
+}
+
+// entryPoints lists invokable static ()V methods of non-framework classes.
+func entryPoints(sys *core.System) []struct{ Class, Method string } {
+	var out []struct{ Class, Method string }
+	for _, name := range sys.VM.Classes() {
+		if strings.HasPrefix(name, "Landroid/") || strings.HasPrefix(name, "Ljava/") {
+			continue
+		}
+		cls, _ := sys.VM.Class(name)
+		for _, m := range cls.Methods {
+			if m.Shorty == "V" && m.IsStatic() && !m.IsNative() && m.Name != "<clinit>" {
+				out = append(out, struct{ Class, Method string }{name, m.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// Exercise drives random entry points; it returns the distinct methods hit.
+func (d *Driver) Exercise(sys *core.System) ([]string, error) {
+	eps := entryPoints(sys)
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("apps: no entry points to drive")
+	}
+	hit := map[string]bool{}
+	for i := 0; i < d.Events; i++ {
+		ep := eps[d.Rng.Intn(len(eps))]
+		if _, _, _, err := sys.VM.InvokeByName(ep.Class, ep.Method, nil, nil); err != nil {
+			return nil, fmt.Errorf("apps: driving %s.%s: %w", ep.Class, ep.Method, err)
+		}
+		hit[ep.Class+"."+ep.Method] = true
+	}
+	var out []string
+	for k := range hit {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}

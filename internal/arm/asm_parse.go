@@ -1,0 +1,480 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+var baseMnemonics = []string{
+	"ADD", "SUB", "RSB", "ADC", "SBC", "AND", "ORR", "EOR", "BIC",
+	"LSL", "LSR", "ASR", "ROR", "MUL", "SDIV", "UDIV",
+	"MOV", "MVN", "MOVW", "MOVT",
+	"CMP", "CMN", "TST", "TEQ",
+	"LDR", "LDRB", "LDRH", "STR", "STRB", "STRH", "LDM", "STM",
+	"B", "BL", "BX", "BLX", "SVC", "NOP", "HLT", "PUSH", "POP", "NEG",
+	"FADDS", "FSUBS", "FMULS", "FDIVS", "FADDD", "FSUBD", "FMULD", "FDIVD",
+	"SITOF", "FTOSI", "SITOD", "DTOSI",
+}
+
+var mnemonicOps = map[string]Op{
+	"ADD": OpADD, "SUB": OpSUB, "RSB": OpRSB, "ADC": OpADC, "SBC": OpSBC,
+	"AND": OpAND, "ORR": OpORR, "EOR": OpEOR, "BIC": OpBIC,
+	"LSL": OpLSL, "LSR": OpLSR, "ASR": OpASR, "ROR": OpROR,
+	"MUL": OpMUL, "SDIV": OpSDIV, "UDIV": OpUDIV,
+	"MOV": OpMOV, "MVN": OpMVN, "MOVW": OpMOVW, "MOVT": OpMOVT,
+	"CMP": OpCMP, "CMN": OpCMN, "TST": OpTST, "TEQ": OpTEQ,
+	"LDR": OpLDR, "LDRB": OpLDRB, "LDRH": OpLDRH,
+	"STR": OpSTR, "STRB": OpSTRB, "STRH": OpSTRH,
+	"LDM": OpLDM, "STM": OpSTM,
+	"B": OpB, "BL": OpBL, "BX": OpBX, "BLX": OpBLX,
+	"SVC": OpSVC, "NOP": OpNOP, "HLT": OpHLT,
+	"FADDS": OpFADDS, "FSUBS": OpFSUBS, "FMULS": OpFMULS, "FDIVS": OpFDIVS,
+	"FADDD": OpFADDD, "FSUBD": OpFSUBD, "FMULD": OpFMULD, "FDIVD": OpFDIVD,
+	"SITOF": OpSITOF, "FTOSI": OpFTOSI, "SITOD": OpSITOD, "DTOSI": OpDTOSI,
+}
+
+var condSuffixes = map[string]Cond{
+	"EQ": CondEQ, "NE": CondNE, "CS": CondCS, "CC": CondCC,
+	"MI": CondMI, "PL": CondPL, "VS": CondVS, "VC": CondVC,
+	"HI": CondHI, "LS": CondLS, "GE": CondGE, "LT": CondLT,
+	"GT": CondGT, "LE": CondLE, "AL": CondAL,
+	"HS": CondCS, "LO": CondCC,
+}
+
+func canSetFlags(base string) bool {
+	switch base {
+	case "ADD", "SUB", "RSB", "ADC", "SBC", "AND", "ORR", "EOR", "BIC",
+		"LSL", "LSR", "ASR", "ROR", "MUL", "MOV", "MVN":
+		return true
+	}
+	return false
+}
+
+// splitMnemonic resolves a token like "ADDEQS" into (base, cond, setFlags).
+// Ambiguities such as BLT (B+LT, not BL+T) are resolved by trying longer base
+// mnemonics first and backtracking when the suffix does not parse.
+func splitMnemonic(token string) (base string, cond Cond, setFlags bool, err error) {
+	// Exact match first (covers NOP, MOVT, BLX, ...).
+	if _, ok := mnemonicOps[token]; ok {
+		return token, CondAL, false, nil
+	}
+	switch token { // pseudo-instructions
+	case "PUSH", "POP", "NEG":
+		return token, CondAL, false, nil
+	}
+	var candidates []string
+	for _, b := range baseMnemonics {
+		if strings.HasPrefix(token, b) && len(token) > len(b) {
+			candidates = append(candidates, b)
+		}
+	}
+	// Longest first.
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if len(candidates[j]) > len(candidates[i]) {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			}
+		}
+	}
+	for _, b := range candidates {
+		rest := token[len(b):]
+		c := CondAL
+		s := false
+		ok := true
+		switch {
+		case rest == "S":
+			s = true
+		case len(rest) == 2:
+			if cc, found := condSuffixes[rest]; found {
+				c = cc
+			} else {
+				ok = false
+			}
+		case len(rest) == 3 && strings.HasSuffix(rest, "S"):
+			if cc, found := condSuffixes[rest[:2]]; found {
+				c, s = cc, true
+			} else {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+		if !ok {
+			continue
+		}
+		if s && !canSetFlags(b) {
+			continue
+		}
+		return b, c, s, nil
+	}
+	return "", CondAL, false, fmt.Errorf("unknown mnemonic %q", token)
+}
+
+var regNames = map[string]int8{
+	"R0": 0, "R1": 1, "R2": 2, "R3": 3, "R4": 4, "R5": 5, "R6": 6, "R7": 7,
+	"R8": 8, "R9": 9, "R10": 10, "R11": 11, "R12": 12, "R13": 13, "R14": 14, "R15": 15,
+	"FP": 11, "IP": 12, "SP": 13, "LR": 14, "PC": 15,
+}
+
+func parseReg(s string) (int8, error) {
+	r, ok := regNames[strings.ToUpper(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	return r, nil
+}
+
+func (a *assembler) parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	v, err := a.eval(s)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}
+
+func isImmOperand(s string) bool {
+	s = strings.TrimSpace(s)
+	return strings.HasPrefix(s, "#")
+}
+
+func parseRegList(s string) (uint16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, fmt.Errorf("register list must be in braces: %q", s)
+	}
+	var list uint16
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if dash := strings.Index(part, "-"); dash > 0 {
+			lo, err := parseReg(part[:dash])
+			if err != nil {
+				return 0, err
+			}
+			hi, err := parseReg(part[dash+1:])
+			if err != nil {
+				return 0, err
+			}
+			if hi < lo {
+				return 0, fmt.Errorf("bad register range %q", part)
+			}
+			for r := lo; r <= hi; r++ {
+				list |= 1 << r
+			}
+			continue
+		}
+		r, err := parseReg(part)
+		if err != nil {
+			return 0, err
+		}
+		list |= 1 << r
+	}
+	if list == 0 {
+		return 0, fmt.Errorf("empty register list")
+	}
+	return list, nil
+}
+
+// parseMem parses "[Rn]", "[Rn, #imm]", "[Rn, Rm]".
+func (a *assembler) parseMem(s string) (rn int8, rm int8, imm int32, regOff bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("memory operand must be bracketed: %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	rn, err = parseReg(parts[0])
+	if err != nil {
+		return
+	}
+	rm = RegNone
+	switch len(parts) {
+	case 1:
+	case 2:
+		arg := strings.TrimSpace(parts[1])
+		if strings.HasPrefix(arg, "#") {
+			imm, err = a.parseImm(arg)
+		} else {
+			rm, err = parseReg(arg)
+			regOff = true
+		}
+	default:
+		err = fmt.Errorf("too many memory operand parts: %q", s)
+	}
+	return
+}
+
+func (a *assembler) parseInsn(st stmt) ([]Insn, error) {
+	base, cond, setFlags, err := splitMnemonic(st.mnem)
+	if err != nil {
+		return nil, err
+	}
+	ops := splitOperands(st.ops)
+	mk := func(op Op) Insn {
+		size := uint32(4)
+		if st.thumb {
+			size = 2
+		}
+		return Insn{Op: op, Cond: cond, SetFlags: setFlags, Rd: RegNone, Rn: RegNone, Rm: RegNone, Size: size}
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", base, n, len(ops))
+		}
+		return nil
+	}
+
+	switch base {
+	case "NOP":
+		return []Insn{mk(OpNOP)}, nil
+	case "HLT":
+		return []Insn{mk(OpHLT)}, nil
+	case "SVC":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		insn := mk(OpSVC)
+		imm, err := a.parseImm(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		insn.Imm, insn.HasImm = imm, true
+		return []Insn{insn}, nil
+	case "PUSH", "POP":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		list, err := parseRegList(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		op := OpSTM
+		if base == "POP" {
+			op = OpLDM
+		}
+		insn := mk(op)
+		insn.Rn = SP
+		insn.Writeback = true
+		insn.RegList = list
+		return []Insn{insn}, nil
+	case "LDM", "STM":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rnTok := strings.TrimSpace(ops[0])
+		wb := strings.HasSuffix(rnTok, "!")
+		rn, err := parseReg(strings.TrimSuffix(rnTok, "!"))
+		if err != nil {
+			return nil, err
+		}
+		list, err := parseRegList(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rn = rn
+		insn.Writeback = wb
+		insn.RegList = list
+		return []Insn{insn}, nil
+	case "B", "BL":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.eval(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if !st.thumb && a.isExtern(ops[0]) {
+			// Veneer for out-of-module targets: load the absolute address
+			// (with its interworking bit) into IP and branch through it.
+			if cond != CondAL {
+				return nil, fmt.Errorf("conditional %s to external symbol unsupported", base)
+			}
+			lo := mk(OpMOVW)
+			lo.Rd, lo.Imm, lo.HasImm = 12, int32(target&0xffff), true
+			hi := mk(OpMOVT)
+			hi.Rd, hi.Imm, hi.HasImm = 12, int32(target>>16), true
+			br := mk(OpBX)
+			if base == "BL" {
+				br = mk(OpBLX)
+			}
+			br.Rm = 12
+			return []Insn{lo, hi, br}, nil
+		}
+		insn := mk(mnemonicOps[base])
+		if st.thumb && base == "BL" {
+			insn.Size = 4
+		}
+		insn.Imm = int32((target &^ 1) - (st.addr + insn.Size))
+		insn.HasImm = true
+		return []Insn{insn}, nil
+	case "BX", "BLX":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rm, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rm = rm
+		return []Insn{insn}, nil
+	case "NEG":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		insn := mk(OpRSB)
+		insn.Rd, insn.Rn = rd, rm
+		insn.Imm, insn.HasImm = 0, true
+		return []Insn{insn}, nil
+	case "MOV", "MVN":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rd, err = parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImmOperand(ops[1]) {
+			insn.Imm, err = a.parseImm(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			insn.HasImm = true
+		} else {
+			insn.Rm, err = parseReg(ops[1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []Insn{insn}, nil
+	case "MOVW", "MOVT":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rd, err = parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		insn.Imm, err = a.parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		insn.HasImm = true
+		return []Insn{insn}, nil
+	case "CMP", "CMN", "TST", "TEQ":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rn, err = parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImmOperand(ops[1]) {
+			insn.Imm, err = a.parseImm(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			insn.HasImm = true
+		} else {
+			insn.Rm, err = parseReg(ops[1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []Insn{insn}, nil
+	case "LDR", "LDRB", "LDRH", "STR", "STRB", "STRH":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		arg := strings.TrimSpace(ops[1])
+		if base == "LDR" && strings.HasPrefix(arg, "=") {
+			// LDR Rd, =expr → MOVW/MOVT pair.
+			v, err := a.eval(arg[1:])
+			if err != nil {
+				return nil, err
+			}
+			lo := mk(OpMOVW)
+			lo.Rd, lo.Imm, lo.HasImm = rd, int32(v&0xffff), true
+			hi := mk(OpMOVT)
+			hi.Rd, hi.Imm, hi.HasImm = rd, int32(v>>16), true
+			return []Insn{lo, hi}, nil
+		}
+		rn, rm, imm, regOff, err := a.parseMem(arg)
+		if err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rd, insn.Rn, insn.Rm, insn.Imm, insn.RegOffset = rd, rn, rm, imm, regOff
+		return []Insn{insn}, nil
+	case "SITOF", "FTOSI", "SITOD", "DTOSI":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		insn := mk(mnemonicOps[base])
+		insn.Rd, err = parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		insn.Rm, err = parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Insn{insn}, nil
+	default:
+		// Data-processing, MUL/DIV, FP: 3-operand (or 2-operand accumulate).
+		op, ok := mnemonicOps[base]
+		if !ok {
+			return nil, fmt.Errorf("unknown mnemonic %q", base)
+		}
+		if len(ops) != 2 && len(ops) != 3 {
+			return nil, fmt.Errorf("%s expects 2 or 3 operands, got %d", base, len(ops))
+		}
+		insn := mk(op)
+		insn.Rd, err = parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rest := ops[1:]
+		if len(rest) == 2 {
+			insn.Rn, err = parseReg(rest[0])
+			if err != nil {
+				return nil, err
+			}
+			rest = rest[1:]
+		} else {
+			// Two-operand accumulate form: Rd = Rd op X (Table V row 2).
+			insn.Rn = insn.Rd
+		}
+		if isImmOperand(rest[0]) {
+			insn.Imm, err = a.parseImm(rest[0])
+			if err != nil {
+				return nil, err
+			}
+			insn.HasImm = true
+		} else {
+			insn.Rm, err = parseReg(rest[0])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []Insn{insn}, nil
+	}
+}

@@ -1,0 +1,232 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleDirectives(t *testing.T) {
+	prog, err := Assemble(`
+	.equ MAGIC, 0x123
+start:
+	MOV R0, #MAGIC
+data:
+	.word 0xdeadbeef, start
+	.half 0xbeef
+	.byte 1, 2, 3
+	.align 4
+str:
+	.asciz "hi"
+buf:
+	.space 8
+end:
+	NOP
+`, 0x1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MustLabel("start") != 0x1000 {
+		t.Errorf("start = %#x", prog.MustLabel("start"))
+	}
+	data := prog.MustLabel("data")
+	w := wordAt(prog, data)
+	if w != 0xdeadbeef {
+		t.Errorf(".word = %#x", w)
+	}
+	if wordAt(prog, data+4) != 0x1000 {
+		t.Errorf(".word label = %#x", wordAt(prog, data+4))
+	}
+	strAddr := prog.MustLabel("str")
+	if strAddr%4 != 0 {
+		t.Errorf(".align failed: str at %#x", strAddr)
+	}
+	off := strAddr - prog.Base
+	if string(prog.Code[off:off+3]) != "hi\x00" {
+		t.Errorf(".asciz = %q", prog.Code[off:off+3])
+	}
+	if prog.MustLabel("end")-prog.MustLabel("buf") != 8 {
+		t.Error(".space size wrong")
+	}
+}
+
+func wordAt(p *Program, addr uint32) uint32 {
+	off := addr - p.Base
+	return uint32(p.Code[off]) | uint32(p.Code[off+1])<<8 |
+		uint32(p.Code[off+2])<<16 | uint32(p.Code[off+3])<<24
+}
+
+func TestAssembleExternVeneer(t *testing.T) {
+	extern := map[string]uint32{"far_func": 0x2000_0000}
+	prog, err := Assemble(`
+	BL far_func
+	B far_func
+`, 0x1000, extern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each far branch expands to MOVW/MOVT/BLX|BX (12 bytes).
+	if prog.Size() != 24 {
+		t.Fatalf("veneer size = %d, want 24", prog.Size())
+	}
+	i0 := Decode(wordAt(prog, 0x1000))
+	i1 := Decode(wordAt(prog, 0x1004))
+	i2 := Decode(wordAt(prog, 0x1008))
+	if i0.Op != OpMOVW || i0.Rd != 12 || uint32(i0.Imm) != 0x0000 {
+		t.Errorf("veneer[0] = %+v", i0)
+	}
+	if i1.Op != OpMOVT || uint32(i1.Imm) != 0x2000 {
+		t.Errorf("veneer[1] = %+v", i1)
+	}
+	if i2.Op != OpBLX || i2.Rm != 12 {
+		t.Errorf("veneer[2] = %+v", i2)
+	}
+	i5 := Decode(wordAt(prog, 0x1014))
+	if i5.Op != OpBX {
+		t.Errorf("B veneer tail = %+v", i5)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"BOGUS R0", "unknown mnemonic"},
+		{"MOV R0", "expects 2 operands"},
+		{"MOV R99, #1", "not a register"},
+		{"ADD R0, R1, #99999", "out of range"},
+		{"B undefined_label", "undefined symbol"},
+		{"label:\nlabel:\nNOP", "duplicate label"},
+		{".bogus 4", "unknown directive"},
+		{".asciz nope", "bad string literal"},
+		{"LDR R0, R1", "must be bracketed"},
+		{"PUSH {}", "empty register list"},
+		{".thumb\nLDR R0, =0x1234", "ARM-mode only"},
+		{".thumb\nMOV R0, #999", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, 0x1000, nil)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleConditionSuffixes(t *testing.T) {
+	prog, err := Assemble(`
+	MOVEQ R0, #1
+	ADDNE R1, R2, R3
+	ADDS R1, R2, R3
+	BLT somewhere
+	BLE somewhere
+	BLS somewhere
+	BLEQ somewhere
+somewhere:
+	NOP
+`, 0x1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		off  uint32
+		op   Op
+		cond Cond
+		s    bool
+	}{
+		{0, OpMOV, CondEQ, false},
+		{4, OpADD, CondNE, false},
+		{8, OpADD, CondAL, true},
+		{12, OpB, CondLT, false},
+		{16, OpB, CondLE, false},
+		{20, OpB, CondLS, false},
+		{24, OpBL, CondEQ, false},
+	}
+	for _, c := range checks {
+		i := Decode(wordAt(prog, 0x1000+c.off))
+		if i.Op != c.op || i.Cond != c.cond || i.SetFlags != c.s {
+			t.Errorf("at +%d: %+v, want op=%v cond=%v s=%v", c.off, i, c.op, c.cond, c.s)
+		}
+	}
+}
+
+func TestDisasmRoundTripReadable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"ADD R0, R1, R2", "ADD R0, R1, R2"},
+		{"ADD R0, R1, #7", "ADD R0, R1, #7"},
+		{"MOV R3, #42", "MOV R3, #42"},
+		{"MVN R3, R4", "MVN R3, R4"},
+		{"LDR R0, [R1, #8]", "LDR R0, [R1, #8]"},
+		{"LDR R0, [R1]", "LDR R0, [R1]"},
+		{"STRB R0, [R1, R2]", "STRB R0, [R1, R2]"},
+		{"PUSH {R4, R5, LR}", "PUSH {R4-R5, LR}"},
+		{"POP {R4, PC}", "POP {R4, PC}"},
+		{"CMP R1, #0", "CMP R1, #0"},
+		{"BX LR", "BX LR"},
+		{"SVC #5", "SVC #5"},
+		{"FADDS R1, R2, R3", "FADDS R1, R2, R3"},
+		{"SITOF R0, R1", "SITOF R0, R1"},
+		{"MOVW R2, #0xbeef", "MOVW R2, #0xbeef"},
+	}
+	for _, c := range cases {
+		prog, err := Assemble(c.src, 0x1000, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		insn := Decode(wordAt(prog, 0x1000))
+		got := Disasm(insn, 0x1000)
+		if got != c.want {
+			t.Errorf("Disasm(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDisasmBranchTarget(t *testing.T) {
+	prog, _ := Assemble(`
+	B target
+	NOP
+target:
+	NOP
+`, 0x1000, nil)
+	insn := Decode(wordAt(prog, 0x1000))
+	if got := Disasm(insn, 0x1000); got != "B 0x00001008" {
+		t.Errorf("branch disasm = %q", got)
+	}
+}
+
+// TestAssemblerDeterminism: same input, same bytes.
+func TestAssemblerDeterminism(t *testing.T) {
+	src := `
+f:
+	PUSH {R4, LR}
+	LDR R4, =f
+	BL g
+	POP {R4, PC}
+g:
+	BX LR
+`
+	a := MustAssemble(src, 0x4000, nil)
+	b := MustAssemble(src, 0x4000, nil)
+	if string(a.Code) != string(b.Code) {
+		t.Fatal("nondeterministic assembly")
+	}
+}
+
+// TestMultipleLabelsSameAddress: adjacent labels alias one location (used by
+// libc's canonical/.insn pairs).
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	prog := MustAssemble(`
+alpha:
+beta:
+	NOP
+`, 0x1000, nil)
+	if prog.MustLabel("alpha") != prog.MustLabel("beta") {
+		t.Error("adjacent labels must share the address")
+	}
+}

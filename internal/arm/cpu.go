@@ -1,0 +1,609 @@
+package arm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// HookAction tells the CPU what to do after an address hook ran.
+type HookAction int
+
+const (
+	// ActionContinue executes the instruction at the hooked address normally
+	// (analysis-only hooks).
+	ActionContinue HookAction = iota + 1
+	// ActionReturn means the hook performed the entire call itself (a modeled
+	// function or a trampoline into host code); the CPU simulates `BX LR`.
+	ActionReturn
+)
+
+// AddrHook runs when the PC reaches a registered address — the reproduction
+// of NDroid inserting TCG analysis code at function boundaries (§V-G).
+type AddrHook func(c *CPU) HookAction
+
+// Tracer observes every instruction right before it executes, exactly where
+// NDroid's instruction tracer propagates taint ("before the instruction is
+// executed", §V-G).
+type Tracer interface {
+	TraceInsn(c *CPU, addr uint32, insn Insn)
+}
+
+// BranchFunc observes every taken control transfer (from, to); multilevel
+// hooking (Fig. 5) is built on this event stream.
+type BranchFunc func(c *CPU, from, to uint32)
+
+// CPU is the emulated guest processor.
+type CPU struct {
+	R     [16]uint32 // R13=SP, R14=LR, R15=PC
+	N     bool
+	Z     bool
+	C     bool
+	V     bool
+	Thumb bool
+
+	Mem *mem.Memory
+
+	// RegTaint is the shadow register file maintained by the taint engine
+	// (§V-E, "NDroid maintains shadow registers").
+	RegTaint [16]taint.Tag
+
+	// Tracer, when non-nil, is invoked before every executed instruction.
+	Tracer Tracer
+	// BranchFn, when non-nil, is invoked on every taken control transfer.
+	BranchFn BranchFunc
+	// SVC handles supervisor calls (the kernel syscall interface).
+	SVC func(c *CPU, num uint32) error
+
+	addrHooks map[uint32]AddrHook
+	// checkHook gates the hook-table lookup: hooks sit at function entries,
+	// which are only reached through control transfers, so the lookup runs
+	// after branches rather than on every instruction (the analog of QEMU
+	// checking for instrumentation at translation-block entry).
+	checkHook bool
+
+	// UseDecodeCache enables the hot-instruction cache (§V-C: "NDroid caches
+	// hot instructions and the corresponding handlers"). The cache is paged
+	// with a one-entry page memo, exploiting code locality.
+	UseDecodeCache bool
+	decodeCache    map[uint32]*decodePage
+	lastPageKey    uint32
+	lastPage       *decodePage
+	// CacheHits/CacheMisses feed the decode-cache ablation benchmark.
+	CacheHits   uint64
+	CacheMisses uint64
+
+	Halted    bool
+	ExitCode  int32
+	InsnCount uint64
+}
+
+// decodePage caches decoded instructions for one 4 KiB page (indexed by
+// halfword offset; Size == 0 marks an empty slot).
+type decodePage [2048]Insn
+
+// New returns a CPU attached to m with an empty hook table.
+func New(m *mem.Memory) *CPU {
+	return &CPU{
+		Mem:         m,
+		addrHooks:   make(map[uint32]AddrHook),
+		decodeCache: make(map[uint32]*decodePage),
+		checkHook:   true,
+		lastPageKey: ^uint32(0),
+	}
+}
+
+// Hook registers fn at addr (bit 0 ignored). A second registration at the
+// same address replaces the first; composition is the caller's concern.
+func (c *CPU) Hook(addr uint32, fn AddrHook) { c.addrHooks[addr&^1] = fn }
+
+// Unhook removes any hook at addr.
+func (c *CPU) Unhook(addr uint32) { delete(c.addrHooks, addr&^1) }
+
+// HookedAddrs reports how many addresses currently carry hooks.
+func (c *CPU) HookedAddrs() int { return len(c.addrHooks) }
+
+// EmitBranch publishes a synthetic control-transfer event. The DVM layer uses
+// this so that calls flowing through host-implemented libdvm functions still
+// appear on the branch stream that multilevel hooking watches.
+func (c *CPU) EmitBranch(from, to uint32) {
+	if c.BranchFn != nil {
+		c.BranchFn(c, from, to)
+	}
+}
+
+// Arg returns the i-th AAPCS argument (R0–R3, then the stack).
+func (c *CPU) Arg(i int) uint32 {
+	if i < 4 {
+		return c.R[i]
+	}
+	return c.Mem.Read32(c.R[SP] + uint32(i-4)*4)
+}
+
+// ArgTaint returns the shadow taint of the i-th AAPCS argument. Stack
+// arguments are resolved through the provided memory-taint map.
+func (c *CPU) ArgTaint(i int, mt *taint.MemTaint) taint.Tag {
+	if i < 4 {
+		return c.RegTaint[i]
+	}
+	if mt == nil {
+		return taint.Clear
+	}
+	return mt.Get32(c.R[SP] + uint32(i-4)*4)
+}
+
+// SetThumbPC sets PC (and the Thumb state) from an interworking address.
+// Landing via an explicit PC change re-arms the hook check.
+func (c *CPU) SetThumbPC(addr uint32) {
+	c.Thumb = addr&1 != 0
+	c.R[PC] = addr &^ 1
+	c.checkHook = true
+}
+
+func (c *CPU) fetch(pc uint32) Insn {
+	if c.UseDecodeCache {
+		pageKey := pc >> 12 << 1
+		if c.Thumb {
+			pageKey |= 1
+		}
+		page := c.lastPage
+		if pageKey != c.lastPageKey {
+			var ok bool
+			page, ok = c.decodeCache[pageKey]
+			if !ok {
+				page = new(decodePage)
+				c.decodeCache[pageKey] = page
+			}
+			c.lastPageKey = pageKey
+			c.lastPage = page
+		}
+		slot := &page[(pc&0xfff)>>1]
+		if slot.Size != 0 {
+			c.CacheHits++
+			return *slot
+		}
+		c.CacheMisses++
+		insn := c.decodeAt(pc)
+		*slot = insn
+		return insn
+	}
+	return c.decodeAt(pc)
+}
+
+func (c *CPU) decodeAt(pc uint32) Insn {
+	if c.Thumb {
+		return DecodeThumb(c.Mem.Read16(pc), c.Mem.Read16(pc+2))
+	}
+	return Decode(c.Mem.Read32(pc))
+}
+
+func (c *CPU) condHolds(cond Cond) bool {
+	switch cond {
+	case CondEQ:
+		return c.Z
+	case CondNE:
+		return !c.Z
+	case CondCS:
+		return c.C
+	case CondCC:
+		return !c.C
+	case CondMI:
+		return c.N
+	case CondPL:
+		return !c.N
+	case CondVS:
+		return c.V
+	case CondVC:
+		return !c.V
+	case CondHI:
+		return c.C && !c.Z
+	case CondLS:
+		return !c.C || c.Z
+	case CondGE:
+		return c.N == c.V
+	case CondLT:
+		return c.N != c.V
+	case CondGT:
+		return !c.Z && c.N == c.V
+	case CondLE:
+		return c.Z || c.N != c.V
+	default:
+		return true
+	}
+}
+
+// Step executes a single instruction (running any hook at the current PC
+// first). It returns an error for invalid encodings or failed SVCs.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	pc := c.R[PC]
+	if c.checkHook {
+		c.checkHook = false
+		if hook, ok := c.addrHooks[pc]; ok {
+			switch hook(c) {
+			case ActionReturn:
+				ret := c.R[LR]
+				c.SetThumbPC(ret)
+				c.EmitBranch(pc, ret&^1)
+				return nil
+			}
+			if c.Halted || c.R[PC] != pc {
+				// The hook halted the CPU or redirected control itself.
+				return nil
+			}
+		}
+	}
+	insn := c.fetch(pc)
+	if insn.Op == OpInvalid {
+		return fmt.Errorf("arm: invalid instruction at 0x%08x (thumb=%v)", pc, c.Thumb)
+	}
+	c.InsnCount++
+	if !c.condHolds(insn.Cond) {
+		c.R[PC] = pc + insn.Size
+		return nil
+	}
+	if c.Tracer != nil {
+		c.Tracer.TraceInsn(c, pc, insn)
+	}
+	return c.exec(pc, insn)
+}
+
+func (c *CPU) setNZ(v uint32) {
+	c.N = v&0x80000000 != 0
+	c.Z = v == 0
+}
+
+func (c *CPU) addWithCarry(a, b uint32, carry uint32, setFlags bool) uint32 {
+	r64 := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(r64)
+	if setFlags {
+		c.setNZ(r)
+		c.C = r64 > 0xffffffff
+		c.V = (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0
+	}
+	return r
+}
+
+func (c *CPU) operand2(insn Insn) uint32 {
+	if insn.HasImm {
+		return uint32(insn.Imm)
+	}
+	return c.R[insn.Rm]
+}
+
+func (c *CPU) exec(pc uint32, insn Insn) error {
+	next := pc + insn.Size
+	branchTo := uint32(0)
+	branched := false
+
+	switch insn.Op {
+	case OpADD:
+		c.R[insn.Rd] = c.addWithCarry(c.R[insn.Rn], c.operand2(insn), 0, insn.SetFlags)
+	case OpSUB:
+		c.R[insn.Rd] = c.addWithCarry(c.R[insn.Rn], ^c.operand2(insn), 1, insn.SetFlags)
+	case OpRSB:
+		c.R[insn.Rd] = c.addWithCarry(c.operand2(insn), ^c.R[insn.Rn], 1, insn.SetFlags)
+	case OpADC:
+		carry := uint32(0)
+		if c.C {
+			carry = 1
+		}
+		c.R[insn.Rd] = c.addWithCarry(c.R[insn.Rn], c.operand2(insn), carry, insn.SetFlags)
+	case OpSBC:
+		carry := uint32(0)
+		if c.C {
+			carry = 1
+		}
+		c.R[insn.Rd] = c.addWithCarry(c.R[insn.Rn], ^c.operand2(insn), carry, insn.SetFlags)
+	case OpAND:
+		c.R[insn.Rd] = c.R[insn.Rn] & c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpORR:
+		c.R[insn.Rd] = c.R[insn.Rn] | c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpEOR:
+		c.R[insn.Rd] = c.R[insn.Rn] ^ c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpBIC:
+		c.R[insn.Rd] = c.R[insn.Rn] &^ c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpLSL:
+		sh := c.operand2(insn) & 0xff
+		v := c.R[insn.Rn]
+		if sh >= 32 {
+			v = 0
+		} else {
+			v <<= sh
+		}
+		c.R[insn.Rd] = v
+		if insn.SetFlags {
+			c.setNZ(v)
+		}
+	case OpLSR:
+		sh := c.operand2(insn) & 0xff
+		v := c.R[insn.Rn]
+		if sh >= 32 {
+			v = 0
+		} else {
+			v >>= sh
+		}
+		c.R[insn.Rd] = v
+		if insn.SetFlags {
+			c.setNZ(v)
+		}
+	case OpASR:
+		sh := c.operand2(insn) & 0xff
+		if sh >= 32 {
+			sh = 31
+		}
+		v := uint32(int32(c.R[insn.Rn]) >> sh)
+		c.R[insn.Rd] = v
+		if insn.SetFlags {
+			c.setNZ(v)
+		}
+	case OpROR:
+		sh := c.operand2(insn) & 31
+		v := c.R[insn.Rn]
+		v = v>>sh | v<<(32-sh)
+		c.R[insn.Rd] = v
+		if insn.SetFlags {
+			c.setNZ(v)
+		}
+	case OpMUL:
+		c.R[insn.Rd] = c.R[insn.Rn] * c.R[insn.Rm]
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpSDIV:
+		d := int32(c.R[insn.Rm])
+		if d == 0 {
+			c.R[insn.Rd] = 0
+		} else {
+			c.R[insn.Rd] = uint32(int32(c.R[insn.Rn]) / d)
+		}
+	case OpUDIV:
+		d := c.R[insn.Rm]
+		if d == 0 {
+			c.R[insn.Rd] = 0
+		} else {
+			c.R[insn.Rd] = c.R[insn.Rn] / d
+		}
+	case OpMOV:
+		c.R[insn.Rd] = c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpMVN:
+		c.R[insn.Rd] = ^c.operand2(insn)
+		if insn.SetFlags {
+			c.setNZ(c.R[insn.Rd])
+		}
+	case OpMOVW:
+		c.R[insn.Rd] = uint32(insn.Imm) & 0xffff
+	case OpMOVT:
+		c.R[insn.Rd] = c.R[insn.Rd]&0xffff | uint32(insn.Imm)<<16
+	case OpCMP:
+		c.addWithCarry(c.R[insn.Rn], ^c.operand2(insn), 1, true)
+	case OpCMN:
+		c.addWithCarry(c.R[insn.Rn], c.operand2(insn), 0, true)
+	case OpTST:
+		c.setNZ(c.R[insn.Rn] & c.operand2(insn))
+	case OpTEQ:
+		c.setNZ(c.R[insn.Rn] ^ c.operand2(insn))
+	case OpLDR, OpLDRB, OpLDRH:
+		addr := c.memAddr(insn)
+		switch insn.Op {
+		case OpLDR:
+			c.R[insn.Rd] = c.Mem.Read32(addr)
+		case OpLDRB:
+			c.R[insn.Rd] = uint32(c.Mem.Read8(addr))
+		case OpLDRH:
+			c.R[insn.Rd] = uint32(c.Mem.Read16(addr))
+		}
+	case OpSTR, OpSTRB, OpSTRH:
+		addr := c.memAddr(insn)
+		switch insn.Op {
+		case OpSTR:
+			c.Mem.Write32(addr, c.R[insn.Rd])
+		case OpSTRB:
+			c.Mem.Write8(addr, uint8(c.R[insn.Rd]))
+		case OpSTRH:
+			c.Mem.Write16(addr, uint16(c.R[insn.Rd]))
+		}
+	case OpSTM:
+		count := popCount(insn.RegList)
+		base := c.R[insn.Rn]
+		if insn.Writeback { // push semantics: descending
+			base -= 4 * count
+			c.R[insn.Rn] = base
+		}
+		addr := base
+		for r := 0; r < 16; r++ {
+			if insn.RegList&(1<<r) != 0 {
+				c.Mem.Write32(addr, c.R[r])
+				addr += 4
+			}
+		}
+	case OpLDM:
+		addr := c.R[insn.Rn]
+		for r := 0; r < 16; r++ {
+			if insn.RegList&(1<<r) == 0 {
+				continue
+			}
+			v := c.Mem.Read32(addr)
+			addr += 4
+			if r == PC {
+				branched = true
+				branchTo = v
+			} else {
+				c.R[r] = v
+			}
+		}
+		if insn.Writeback {
+			c.R[insn.Rn] = addr
+		}
+	case OpB:
+		branched = true
+		branchTo = next + uint32(insn.Imm)
+		if c.Thumb {
+			branchTo |= 1
+		}
+	case OpBL:
+		lr := next
+		if c.Thumb {
+			lr |= 1
+		}
+		c.R[LR] = lr
+		branched = true
+		branchTo = next + uint32(insn.Imm)
+		if c.Thumb {
+			branchTo |= 1
+		}
+	case OpBX:
+		branched = true
+		branchTo = c.R[insn.Rm]
+	case OpBLX:
+		lr := next
+		if c.Thumb {
+			lr |= 1
+		}
+		c.R[LR] = lr
+		branched = true
+		branchTo = c.R[insn.Rm]
+	case OpSVC:
+		if c.SVC == nil {
+			return fmt.Errorf("arm: SVC #%d at 0x%08x with no handler", insn.Imm, pc)
+		}
+		if err := c.SVC(c, uint32(insn.Imm)); err != nil {
+			return fmt.Errorf("arm: SVC #%d at 0x%08x: %w", insn.Imm, pc, err)
+		}
+	case OpNOP:
+		// nothing
+	case OpHLT:
+		c.Halted = true
+		return nil
+	case OpFADDS, OpFSUBS, OpFMULS, OpFDIVS:
+		a := math.Float32frombits(c.R[insn.Rn])
+		b := math.Float32frombits(c.R[insn.Rm])
+		var r float32
+		switch insn.Op {
+		case OpFADDS:
+			r = a + b
+		case OpFSUBS:
+			r = a - b
+		case OpFMULS:
+			r = a * b
+		case OpFDIVS:
+			r = a / b
+		}
+		c.R[insn.Rd] = math.Float32bits(r)
+	case OpFADDD, OpFSUBD, OpFMULD, OpFDIVD:
+		a := c.readF64(insn.Rn)
+		b := c.readF64(insn.Rm)
+		var r float64
+		switch insn.Op {
+		case OpFADDD:
+			r = a + b
+		case OpFSUBD:
+			r = a - b
+		case OpFMULD:
+			r = a * b
+		case OpFDIVD:
+			r = a / b
+		}
+		c.writeF64(insn.Rd, r)
+	case OpSITOF:
+		c.R[insn.Rd] = math.Float32bits(float32(int32(c.R[insn.Rm])))
+	case OpFTOSI:
+		c.R[insn.Rd] = uint32(int32(math.Float32frombits(c.R[insn.Rm])))
+	case OpSITOD:
+		c.writeF64(insn.Rd, float64(int32(c.R[insn.Rm])))
+	case OpDTOSI:
+		c.R[insn.Rd] = uint32(int32(c.readF64(insn.Rm)))
+	default:
+		return fmt.Errorf("arm: unimplemented op %s at 0x%08x", insn.Op, pc)
+	}
+
+	if branched {
+		c.SetThumbPC(branchTo)
+		c.EmitBranch(pc, branchTo&^1)
+	} else {
+		c.R[PC] = next
+	}
+	return nil
+}
+
+func (c *CPU) memAddr(insn Insn) uint32 {
+	if insn.RegOffset {
+		return c.R[insn.Rn] + c.R[insn.Rm]
+	}
+	return c.R[insn.Rn] + uint32(insn.Imm)
+}
+
+func (c *CPU) readF64(r int8) float64 {
+	lo := uint64(c.R[r])
+	hi := uint64(c.R[r+1])
+	return math.Float64frombits(hi<<32 | lo)
+}
+
+func (c *CPU) writeF64(r int8, v float64) {
+	bits := math.Float64bits(v)
+	c.R[r] = uint32(bits)
+	c.R[r+1] = uint32(bits >> 32)
+}
+
+func popCount(v uint16) uint32 {
+	var n uint32
+	for v != 0 {
+		n += uint32(v & 1)
+		v >>= 1
+	}
+	return n
+}
+
+// Run executes until the CPU halts, an error occurs, or maxInsns are
+// executed (0 means a generous default of 256M).
+func (c *CPU) Run(maxInsns uint64) error {
+	return c.RunUntil(0xffffffff, maxInsns)
+}
+
+// RunUntil executes until PC reaches stop, the CPU halts, an error occurs,
+// or maxInsns instructions have been executed. It is the primitive that the
+// JNI call bridge uses to run a native method to completion: the bridge sets
+// LR to a return pad and runs until the pad is reached.
+func (c *CPU) RunUntil(stop uint32, maxInsns uint64) error {
+	if maxInsns == 0 {
+		maxInsns = 256 << 20
+	}
+	start := c.InsnCount
+	for !c.Halted && c.R[PC] != stop {
+		if err := c.Step(); err != nil {
+			return err
+		}
+		if c.InsnCount-start > maxInsns {
+			return fmt.Errorf("arm: instruction budget %d exhausted at 0x%08x", maxInsns, c.R[PC])
+		}
+	}
+	return nil
+}
+
+// ResetDecodeCache clears the hot-instruction cache and its statistics.
+func (c *CPU) ResetDecodeCache() {
+	c.decodeCache = make(map[uint32]*decodePage)
+	c.lastPageKey = ^uint32(0)
+	c.lastPage = nil
+	c.CacheHits = 0
+	c.CacheMisses = 0
+}

@@ -1,0 +1,116 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a decoded instruction as assembler text, used by flow logs
+// and error messages. addr is the instruction's own address (branch targets
+// are rendered absolute).
+func Disasm(insn Insn, addr uint32) string {
+	suffix := insn.Cond.String()
+	if insn.SetFlags {
+		suffix += "S"
+	}
+	reg := func(r int8) string {
+		switch r {
+		case SP:
+			return "SP"
+		case LR:
+			return "LR"
+		case PC:
+			return "PC"
+		case RegNone:
+			return "R?"
+		default:
+			return fmt.Sprintf("R%d", r)
+		}
+	}
+	op2 := func() string {
+		if insn.HasImm {
+			return fmt.Sprintf("#%d", insn.Imm)
+		}
+		return reg(insn.Rm)
+	}
+	switch insn.Op {
+	case OpADD, OpSUB, OpRSB, OpADC, OpSBC, OpAND, OpORR, OpEOR, OpBIC,
+		OpLSL, OpLSR, OpASR, OpROR:
+		return fmt.Sprintf("%s%s %s, %s, %s", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn), op2())
+	case OpMUL, OpSDIV, OpUDIV, OpFADDS, OpFSUBS, OpFMULS, OpFDIVS,
+		OpFADDD, OpFSUBD, OpFMULD, OpFDIVD:
+		return fmt.Sprintf("%s%s %s, %s, %s", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn), reg(insn.Rm))
+	case OpMOV, OpMVN:
+		return fmt.Sprintf("%s%s %s, %s", insn.Op, suffix, reg(insn.Rd), op2())
+	case OpMOVW, OpMOVT:
+		return fmt.Sprintf("%s%s %s, #0x%x", insn.Op, suffix, reg(insn.Rd), uint32(insn.Imm))
+	case OpCMP, OpCMN, OpTST, OpTEQ:
+		return fmt.Sprintf("%s%s %s, %s", insn.Op, suffix, reg(insn.Rn), op2())
+	case OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH:
+		if insn.RegOffset {
+			return fmt.Sprintf("%s%s %s, [%s, %s]", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn), reg(insn.Rm))
+		}
+		if insn.Imm == 0 {
+			return fmt.Sprintf("%s%s %s, [%s]", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn))
+		}
+		return fmt.Sprintf("%s%s %s, [%s, #%d]", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn), insn.Imm)
+	case OpLDM, OpSTM:
+		name := insn.Op.String()
+		if insn.Rn == SP && insn.Writeback {
+			if insn.Op == OpLDM {
+				name = "POP"
+			} else {
+				name = "PUSH"
+			}
+			return fmt.Sprintf("%s%s %s", name, suffix, regListString(insn.RegList))
+		}
+		wb := ""
+		if insn.Writeback {
+			wb = "!"
+		}
+		return fmt.Sprintf("%s%s %s%s, %s", name, suffix, reg(insn.Rn), wb, regListString(insn.RegList))
+	case OpB, OpBL:
+		return fmt.Sprintf("%s%s 0x%08x", insn.Op, suffix, addr+insn.Size+uint32(insn.Imm))
+	case OpBX, OpBLX:
+		return fmt.Sprintf("%s%s %s", insn.Op, suffix, reg(insn.Rm))
+	case OpSVC:
+		return fmt.Sprintf("SVC%s #%d", suffix, insn.Imm)
+	case OpNOP, OpHLT:
+		return insn.Op.String()
+	case OpSITOF, OpFTOSI, OpSITOD, OpDTOSI:
+		return fmt.Sprintf("%s%s %s, %s", insn.Op, suffix, reg(insn.Rd), reg(insn.Rm))
+	default:
+		return fmt.Sprintf("<%s>", insn.Op)
+	}
+}
+
+func regListString(list uint16) string {
+	var parts []string
+	for r := 0; r < 16; r++ {
+		if list&(1<<r) == 0 {
+			continue
+		}
+		// Collapse runs.
+		start := r
+		for r+1 < 16 && list&(1<<(r+1)) != 0 {
+			r++
+		}
+		name := func(i int) string {
+			switch i {
+			case SP:
+				return "SP"
+			case LR:
+				return "LR"
+			case PC:
+				return "PC"
+			}
+			return fmt.Sprintf("R%d", i)
+		}
+		if start == r {
+			parts = append(parts, name(start))
+		} else {
+			parts = append(parts, name(start)+"-"+name(r))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,267 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Insn{
+		{Op: OpADD, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpADD, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2, SetFlags: true},
+		{Op: OpSUB, Cond: CondNE, Rd: 3, Rn: 3, Imm: 17, HasImm: true},
+		{Op: OpRSB, Cond: CondAL, Rd: 5, Rn: 6, Imm: 0, HasImm: true},
+		{Op: OpAND, Cond: CondAL, Rd: 7, Rn: 8, Rm: 9},
+		{Op: OpORR, Cond: CondAL, Rd: 1, Rn: 1, Imm: 0xff, HasImm: true},
+		{Op: OpEOR, Cond: CondAL, Rd: 2, Rn: 2, Rm: 3},
+		{Op: OpBIC, Cond: CondAL, Rd: 4, Rn: 4, Imm: 1, HasImm: true},
+		{Op: OpLSL, Cond: CondAL, Rd: 0, Rn: 0, Imm: 4, HasImm: true},
+		{Op: OpLSR, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpASR, Cond: CondAL, Rd: 0, Rn: 1, Imm: 31, HasImm: true},
+		{Op: OpROR, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpMUL, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpSDIV, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpUDIV, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpMOV, Cond: CondAL, Rd: 0, Rm: 1},
+		{Op: OpMOV, Cond: CondEQ, Rd: 0, Imm: 42, HasImm: true},
+		{Op: OpMVN, Cond: CondAL, Rd: 0, Rm: 1},
+		{Op: OpMVN, Cond: CondAL, Rd: 0, Imm: 7, HasImm: true},
+		{Op: OpMOVW, Cond: CondAL, Rd: 12, Imm: 0xbeef, HasImm: true},
+		{Op: OpMOVT, Cond: CondAL, Rd: 12, Imm: 0xdead, HasImm: true},
+		{Op: OpCMP, Cond: CondAL, Rn: 4, Rm: 5},
+		{Op: OpCMP, Cond: CondAL, Rn: 4, Imm: 100, HasImm: true},
+		{Op: OpCMN, Cond: CondAL, Rn: 4, Rm: 5},
+		{Op: OpTST, Cond: CondAL, Rn: 4, Imm: 8, HasImm: true},
+		{Op: OpTEQ, Cond: CondAL, Rn: 4, Rm: 5},
+		{Op: OpLDR, Cond: CondAL, Rd: 0, Rn: 1, Imm: 4},
+		{Op: OpLDR, Cond: CondAL, Rd: 0, Rn: 1, Imm: -8},
+		{Op: OpLDR, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2, RegOffset: true},
+		{Op: OpLDRB, Cond: CondAL, Rd: 0, Rn: 1, Imm: 1},
+		{Op: OpLDRH, Cond: CondAL, Rd: 0, Rn: 1, Imm: 2},
+		{Op: OpSTR, Cond: CondAL, Rd: 0, Rn: SP, Imm: -4},
+		{Op: OpSTRB, Cond: CondAL, Rd: 0, Rn: 1, Rm: 3, RegOffset: true},
+		{Op: OpSTRH, Cond: CondAL, Rd: 0, Rn: 1, Imm: 6},
+		{Op: OpLDM, Cond: CondAL, Rn: SP, RegList: 0x800f, Writeback: true},
+		{Op: OpSTM, Cond: CondAL, Rn: SP, RegList: 0x40f0, Writeback: true},
+		{Op: OpLDM, Cond: CondAL, Rn: 2, RegList: 0x00ff},
+		{Op: OpB, Cond: CondAL, Imm: 64, HasImm: true},
+		{Op: OpB, Cond: CondLT, Imm: -128, HasImm: true},
+		{Op: OpBL, Cond: CondAL, Imm: 0x1000, HasImm: true},
+		{Op: OpBX, Cond: CondAL, Rm: LR},
+		{Op: OpBLX, Cond: CondAL, Rm: 12},
+		{Op: OpSVC, Cond: CondAL, Imm: 17, HasImm: true},
+		{Op: OpNOP, Cond: CondAL},
+		{Op: OpHLT, Cond: CondAL},
+		{Op: OpFADDS, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpFSUBS, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpFMULS, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpFDIVS, Cond: CondAL, Rd: 0, Rn: 1, Rm: 2},
+		{Op: OpFADDD, Cond: CondAL, Rd: 0, Rn: 2, Rm: 4},
+		{Op: OpSITOF, Cond: CondAL, Rd: 0, Rm: 1},
+		{Op: OpFTOSI, Cond: CondAL, Rd: 0, Rm: 1},
+		{Op: OpSITOD, Cond: CondAL, Rd: 0, Rm: 2},
+		{Op: OpDTOSI, Cond: CondAL, Rd: 0, Rm: 2},
+	}
+	for _, want := range cases {
+		want := want
+		want.Size = 4
+		normalizeRegs(&want)
+		w, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		got := Decode(w)
+		if got != want {
+			t.Errorf("round trip mismatch:\n enc %+v\n dec %+v (word 0x%08x)", want, got, w)
+		}
+	}
+}
+
+// normalizeRegs sets unused register fields the way Decode reports them.
+func normalizeRegs(i *Insn) {
+	switch i.Op {
+	case OpADD, OpSUB, OpRSB, OpADC, OpSBC, OpAND, OpORR, OpEOR, OpBIC,
+		OpLSL, OpLSR, OpASR, OpROR:
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpMOV, OpMVN:
+		i.Rn = RegNone
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpMOVW, OpMOVT:
+		i.Rn, i.Rm = RegNone, RegNone
+	case OpCMP, OpCMN, OpTST, OpTEQ:
+		i.Rd = RegNone
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH:
+		if !i.RegOffset {
+			i.Rm = RegNone
+		}
+	case OpLDM, OpSTM:
+		i.Rd, i.Rm = RegNone, RegNone
+	case OpB, OpBL, OpSVC:
+		i.Rd, i.Rn, i.Rm = RegNone, RegNone, RegNone
+	case OpBX, OpBLX:
+		i.Rd, i.Rn = RegNone, RegNone
+	case OpNOP, OpHLT:
+		i.Rd, i.Rn, i.Rm = RegNone, RegNone, RegNone
+	case OpSITOF, OpFTOSI, OpSITOD, OpDTOSI:
+		i.Rn = RegNone
+	}
+}
+
+// TestDecodeNeverPanics feeds random words through the ARM decoder.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		insn := Decode(w)
+		return insn.Size == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThumbDecodeNeverPanics feeds random halfwords through the Thumb decoder.
+func TestThumbDecodeNeverPanics(t *testing.T) {
+	f := func(hw, hw2 uint16) bool {
+		insn := DecodeThumb(hw, hw2)
+		return insn.Size == 2 || insn.Size == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeRandomDP is a property test: any data-processing
+// instruction with in-range fields round-trips through the ARM encoding.
+func TestEncodeDecodeRandomDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []Op{OpADD, OpSUB, OpRSB, OpADC, OpSBC, OpAND, OpORR, OpEOR, OpBIC, OpLSL, OpLSR, OpASR, OpROR}
+	for i := 0; i < 5000; i++ {
+		insn := Insn{
+			Op:   ops[rng.Intn(len(ops))],
+			Cond: Cond(rng.Intn(15)),
+			Rd:   int8(rng.Intn(16)),
+			Rn:   int8(rng.Intn(16)),
+			Size: 4,
+		}
+		if rng.Intn(2) == 0 {
+			insn.Imm = int32(rng.Intn(4096))
+			insn.HasImm = true
+			insn.Rm = RegNone
+		} else {
+			insn.Rm = int8(rng.Intn(16))
+			insn.SetFlags = rng.Intn(2) == 0
+		}
+		w, err := Encode(insn)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", insn, err)
+		}
+		if got := Decode(w); got != insn {
+			t.Fatalf("mismatch: enc %+v dec %+v", insn, got)
+		}
+	}
+}
+
+func TestThumbRoundTrip(t *testing.T) {
+	cases := []Insn{
+		{Op: OpLSL, Rd: 0, Rn: 1, Imm: 4, HasImm: true, SetFlags: true},
+		{Op: OpLSR, Rd: 2, Rn: 3, Imm: 1, HasImm: true, SetFlags: true},
+		{Op: OpASR, Rd: 4, Rn: 5, Imm: 31, HasImm: true, SetFlags: true},
+		{Op: OpADD, Rd: 0, Rn: 1, Rm: 2, SetFlags: true},
+		{Op: OpSUB, Rd: 0, Rn: 1, Imm: 3, HasImm: true, SetFlags: true},
+		{Op: OpMOV, Rd: 5, Imm: 200, HasImm: true, SetFlags: true},
+		{Op: OpCMP, Rn: 3, Imm: 9, HasImm: true, SetFlags: true},
+		{Op: OpADD, Rd: 2, Rn: 2, Imm: 100, HasImm: true, SetFlags: true},
+		{Op: OpSUB, Rd: 2, Rn: 2, Imm: 50, HasImm: true, SetFlags: true},
+		{Op: OpAND, Rd: 1, Rn: 1, Rm: 2, SetFlags: true},
+		{Op: OpEOR, Rd: 1, Rn: 1, Rm: 2, SetFlags: true},
+		{Op: OpMUL, Rd: 3, Rn: 3, Rm: 4, SetFlags: true},
+		{Op: OpMVN, Rd: 3, Rm: 4, SetFlags: true},
+		{Op: OpCMP, Rn: 1, Rm: 2, SetFlags: true},
+		{Op: OpBX, Rm: LR},
+		{Op: OpBLX, Rm: 4},
+		{Op: OpMOV, Rd: 8, Rm: 0},
+		{Op: OpLDR, Rd: 1, Rn: 2, Imm: 16},
+		{Op: OpSTR, Rd: 1, Rn: 2, Imm: 0},
+		{Op: OpLDRB, Rd: 1, Rn: 2, Imm: 5},
+		{Op: OpSTRB, Rd: 1, Rn: 2, Imm: 31},
+		{Op: OpLDRH, Rd: 1, Rn: 2, Imm: 8},
+		{Op: OpSTRH, Rd: 1, Rn: 2, Imm: 2},
+		{Op: OpLDR, Rd: 1, Rn: 2, Rm: 3, RegOffset: true},
+		{Op: OpSTR, Rd: 1, Rn: 2, Rm: 3, RegOffset: true},
+		{Op: OpLDR, Rd: 1, Rn: SP, Imm: 8},
+		{Op: OpSTR, Rd: 1, Rn: SP, Imm: 1020},
+		{Op: OpADD, Rd: 1, Rn: SP, Imm: 16, HasImm: true},
+		{Op: OpADD, Rd: SP, Rn: SP, Imm: 24, HasImm: true},
+		{Op: OpSUB, Rd: SP, Rn: SP, Imm: 8, HasImm: true},
+		{Op: OpSTM, Rn: SP, Writeback: true, RegList: 1<<4 | 1<<LR},
+		{Op: OpLDM, Rn: SP, Writeback: true, RegList: 1<<4 | 1<<PC},
+		{Op: OpB, Cond: CondEQ, Imm: -10, HasImm: true},
+		{Op: OpB, Imm: 100, HasImm: true},
+		{Op: OpBL, Imm: -400, HasImm: true},
+		{Op: OpSVC, Imm: 42, HasImm: true},
+	}
+	for i, want := range cases {
+		want := want
+		// All cases execute unconditionally except the one explicit B<cond>;
+		// CondEQ is the zero value, so patch the default in.
+		if !(want.Op == OpB && i == len(cases)-4) {
+			want.Cond = CondAL
+		}
+		hws, err := EncodeThumb(want)
+		if err != nil {
+			t.Fatalf("EncodeThumb(%+v): %v", want, err)
+		}
+		var hw2 uint16
+		if len(hws) == 2 {
+			hw2 = hws[1]
+		}
+		got := DecodeThumb(hws[0], hw2)
+		want.Size = uint32(2 * len(hws))
+		// Decode reports absent registers as RegNone; normalize the
+		// expectation accordingly.
+		normalizeThumb(&want)
+		if got != want {
+			t.Errorf("thumb round trip mismatch:\n enc %+v\n dec %+v (hws %04x)", want, got, hws)
+		}
+	}
+}
+
+func normalizeThumb(i *Insn) {
+	switch i.Op {
+	case OpCMP, OpTST, OpCMN:
+		i.Rd = RegNone
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpMOV, OpMVN:
+		i.Rn = RegNone
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpLSL, OpLSR, OpASR:
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpADD, OpSUB:
+		if i.HasImm {
+			i.Rm = RegNone
+		}
+	case OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH:
+		if !i.RegOffset {
+			i.Rm = RegNone
+		}
+	case OpLDM, OpSTM:
+		i.Rd, i.Rm = RegNone, RegNone
+	case OpB, OpBL, OpSVC:
+		i.Rd, i.Rn, i.Rm = RegNone, RegNone, RegNone
+	case OpBX, OpBLX:
+		i.Rd, i.Rn = RegNone, RegNone
+	}
+}

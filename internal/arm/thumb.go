@@ -1,0 +1,492 @@
+package arm
+
+import "fmt"
+
+// 16-bit ("Thumb") encoding — a faithful subset of classic Thumb-1:
+//
+//	000 op2 imm5 Rm Rd            LSL/LSR/ASR Rd, Rm, #imm5
+//	00011 I op1 x3 Rn Rd          ADD/SUB Rd, Rn, Rm|#imm3
+//	001 op2 Rd8 imm8              MOV/CMP/ADD/SUB Rd, #imm8
+//	010000 op4 Rm Rd              ALU register ops (two-operand)
+//	010001 op2 H1 H2 Rm Rd        hi-register ADD/CMP/MOV, BX/BLX
+//	0101 L00 Rm Rn Rd             STR/LDR Rd, [Rn, Rm]
+//	0110/0111/1000 L imm5 Rn Rd   STR/LDR (word ×4), STRB/LDRB, STRH/LDRH (×2)
+//	1001 L Rd8 imm8               STR/LDR Rd, [SP, #imm8*4]
+//	10101 Rd8 imm8                ADD Rd, SP, #imm8*4
+//	10110000 S imm7               ADD/SUB SP, #imm7*4
+//	1011 x10 M rlist8             PUSH {rlist[,LR]} / POP {rlist[,PC]}
+//	1101 cond simm8               B<cond> (×2); cond=1111 → SVC #imm8
+//	11100 simm11                  B (×2)
+//	11110 hi11 + 11111 lo11       BL pair (22-bit offset ×2)
+//
+// Branch displacements are relative to the next instruction (addr+size),
+// consistent with the ARM-mode encoding in this package.
+
+var thumbALUOps = []Op{OpAND, OpEOR, OpLSL, OpLSR, OpASR, OpADC, OpSBC, OpROR, OpTST, OpRSB, OpCMP, OpCMN, OpORR, OpMUL, OpBIC, OpMVN}
+
+// EncodeThumb produces the Thumb encoding of insn as one or two halfwords.
+func EncodeThumb(insn Insn) ([]uint16, error) {
+	low := func(r int8) (uint16, error) {
+		if r < 0 || r > 7 {
+			return 0, fmt.Errorf("arm: thumb requires low register, got R%d", r)
+		}
+		return uint16(r), nil
+	}
+	switch insn.Op {
+	case OpLSL, OpLSR, OpASR:
+		if insn.HasImm {
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			// Shift-immediate uses Rn as the source to keep the three-operand
+			// "binary-op Rd, Rm, #imm" Table V format; Thumb calls it Rm.
+			rm, err := low(insn.Rn)
+			if err != nil {
+				return nil, err
+			}
+			if insn.Imm < 0 || insn.Imm > 31 {
+				return nil, fmt.Errorf("arm: thumb shift immediate %d out of range", insn.Imm)
+			}
+			var op2 uint16
+			switch insn.Op {
+			case OpLSL:
+				op2 = 0
+			case OpLSR:
+				op2 = 1
+			case OpASR:
+				op2 = 2
+			}
+			return []uint16{op2<<11 | uint16(insn.Imm)<<6 | rm<<3 | rd}, nil
+		}
+		return encodeThumbALU(insn)
+	case OpADD, OpSUB:
+		// ADD/SUB Rd, SP adjustments.
+		if insn.Rd == SP && insn.Rn == SP && insn.HasImm {
+			if insn.Imm < 0 || insn.Imm > 127*4 || insn.Imm%4 != 0 {
+				return nil, fmt.Errorf("arm: thumb SP adjust %d out of range/alignment", insn.Imm)
+			}
+			s := uint16(0)
+			if insn.Op == OpSUB {
+				s = 1
+			}
+			return []uint16{0b10110000<<8 | s<<7 | uint16(insn.Imm/4)}, nil
+		}
+		if insn.Op == OpADD && insn.Rn == SP && insn.HasImm {
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			if insn.Imm < 0 || insn.Imm > 255*4 || insn.Imm%4 != 0 {
+				return nil, fmt.Errorf("arm: thumb ADD Rd,SP,#%d out of range/alignment", insn.Imm)
+			}
+			return []uint16{0b10101<<11 | rd<<8 | uint16(insn.Imm/4)}, nil
+		}
+		// Two-operand immediate form: ADD/SUB Rd, #imm8 (Rn == Rd).
+		if insn.HasImm && (insn.Rn == insn.Rd || insn.Rn == RegNone) && insn.Imm >= 0 && insn.Imm <= 255 {
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			op2 := uint16(2)
+			if insn.Op == OpSUB {
+				op2 = 3
+			}
+			return []uint16{0b001<<13 | op2<<11 | rd<<8 | uint16(insn.Imm)}, nil
+		}
+		// Three-operand form with register or #imm3.
+		rd, err := low(insn.Rd)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := low(insn.Rn)
+		if err != nil {
+			return nil, err
+		}
+		op1 := uint16(0)
+		if insn.Op == OpSUB {
+			op1 = 1
+		}
+		if insn.HasImm {
+			if insn.Imm < 0 || insn.Imm > 7 {
+				return nil, fmt.Errorf("arm: thumb ADD/SUB #imm3 %d out of range", insn.Imm)
+			}
+			return []uint16{0b00011<<11 | 1<<10 | op1<<9 | uint16(insn.Imm)<<6 | rn<<3 | rd}, nil
+		}
+		rm, err := low(insn.Rm)
+		if err != nil {
+			return nil, err
+		}
+		return []uint16{0b00011<<11 | op1<<9 | rm<<6 | rn<<3 | rd}, nil
+	case OpMOV:
+		if insn.HasImm {
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			if insn.Imm < 0 || insn.Imm > 255 {
+				return nil, fmt.Errorf("arm: thumb MOV immediate %d out of range [0,255]", insn.Imm)
+			}
+			return []uint16{0b001<<13 | rd<<8 | uint16(insn.Imm)}, nil
+		}
+		// Hi-register MOV covers all 16 registers.
+		h1 := uint16(insn.Rd>>3) & 1
+		return []uint16{0b010001<<10 | 2<<8 | h1<<7 | uint16(insn.Rm&0xf)<<3 | uint16(insn.Rd&7)}, nil
+	case OpCMP:
+		if insn.HasImm {
+			rn, err := low(insn.Rn)
+			if err != nil {
+				return nil, err
+			}
+			if insn.Imm < 0 || insn.Imm > 255 {
+				return nil, fmt.Errorf("arm: thumb CMP immediate %d out of range [0,255]", insn.Imm)
+			}
+			return []uint16{0b001<<13 | 1<<11 | rn<<8 | uint16(insn.Imm)}, nil
+		}
+		return encodeThumbALU(insn)
+	case OpAND, OpEOR, OpADC, OpSBC, OpROR, OpTST, OpRSB, OpCMN, OpORR, OpMUL, OpBIC, OpMVN:
+		return encodeThumbALU(insn)
+	case OpBX, OpBLX:
+		l := uint16(0)
+		if insn.Op == OpBLX {
+			l = 1
+		}
+		return []uint16{0b010001<<10 | 3<<8 | l<<7 | uint16(insn.Rm&0xf)<<3}, nil
+	case OpSTR, OpLDR, OpSTRB, OpLDRB, OpSTRH, OpLDRH:
+		if insn.RegOffset {
+			if insn.Op != OpSTR && insn.Op != OpLDR {
+				return nil, fmt.Errorf("arm: thumb register-offset only for word LDR/STR")
+			}
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			rn, err := low(insn.Rn)
+			if err != nil {
+				return nil, err
+			}
+			rm, err := low(insn.Rm)
+			if err != nil {
+				return nil, err
+			}
+			l := uint16(0)
+			if insn.Op == OpLDR {
+				l = 1
+			}
+			return []uint16{0b0101<<12 | l<<11 | rm<<6 | rn<<3 | rd}, nil
+		}
+		if insn.Rn == SP && (insn.Op == OpSTR || insn.Op == OpLDR) {
+			rd, err := low(insn.Rd)
+			if err != nil {
+				return nil, err
+			}
+			if insn.Imm < 0 || insn.Imm > 255*4 || insn.Imm%4 != 0 {
+				return nil, fmt.Errorf("arm: thumb SP-relative offset %d out of range/alignment", insn.Imm)
+			}
+			l := uint16(0)
+			if insn.Op == OpLDR {
+				l = 1
+			}
+			return []uint16{0b1001<<12 | l<<11 | rd<<8 | uint16(insn.Imm/4)}, nil
+		}
+		rd, err := low(insn.Rd)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := low(insn.Rn)
+		if err != nil {
+			return nil, err
+		}
+		var group, l, scale uint16
+		switch insn.Op {
+		case OpSTR:
+			group, l, scale = 0b0110, 0, 4
+		case OpLDR:
+			group, l, scale = 0b0110, 1, 4
+		case OpSTRB:
+			group, l, scale = 0b0111, 0, 1
+		case OpLDRB:
+			group, l, scale = 0b0111, 1, 1
+		case OpSTRH:
+			group, l, scale = 0b1000, 0, 2
+		case OpLDRH:
+			group, l, scale = 0b1000, 1, 2
+		}
+		if insn.Imm < 0 || insn.Imm > 31*int32(scale) || insn.Imm%int32(scale) != 0 {
+			return nil, fmt.Errorf("arm: thumb %s offset %d out of range/alignment", insn.Op, insn.Imm)
+		}
+		return []uint16{group<<12 | l<<11 | uint16(insn.Imm/int32(scale))<<6 | rn<<3 | rd}, nil
+	case OpSTM: // PUSH
+		if insn.Rn != SP || !insn.Writeback {
+			return nil, fmt.Errorf("arm: thumb block transfer only as PUSH/POP")
+		}
+		m := uint16(0)
+		if insn.RegList&(1<<LR) != 0 {
+			m = 1
+		}
+		if insn.RegList&^uint16(1<<LR|0xff) != 0 {
+			return nil, fmt.Errorf("arm: thumb PUSH register list %04x unsupported", insn.RegList)
+		}
+		return []uint16{0b1011010<<9 | m<<8 | insn.RegList&0xff}, nil
+	case OpLDM: // POP
+		if insn.Rn != SP || !insn.Writeback {
+			return nil, fmt.Errorf("arm: thumb block transfer only as PUSH/POP")
+		}
+		p := uint16(0)
+		if insn.RegList&(1<<PC) != 0 {
+			p = 1
+		}
+		if insn.RegList&^uint16(1<<PC|0xff) != 0 {
+			return nil, fmt.Errorf("arm: thumb POP register list %04x unsupported", insn.RegList)
+		}
+		return []uint16{0b1011110<<9 | p<<8 | insn.RegList&0xff}, nil
+	case OpB:
+		if insn.Cond == CondAL {
+			if insn.Imm%2 != 0 || insn.Imm < -2048 || insn.Imm > 2046 {
+				return nil, fmt.Errorf("arm: thumb B offset %d out of range", insn.Imm)
+			}
+			return []uint16{0b11100<<11 | uint16(insn.Imm/2)&0x7ff}, nil
+		}
+		if insn.Imm%2 != 0 || insn.Imm < -256 || insn.Imm > 254 {
+			return nil, fmt.Errorf("arm: thumb B<cond> offset %d out of range", insn.Imm)
+		}
+		return []uint16{0b1101<<12 | uint16(insn.Cond)<<8 | uint16(insn.Imm/2)&0xff}, nil
+	case OpBL:
+		if insn.Imm%2 != 0 {
+			return nil, fmt.Errorf("arm: thumb BL offset %d not halfword aligned", insn.Imm)
+		}
+		off := insn.Imm / 2
+		if off < -(1<<21) || off >= 1<<21 {
+			return nil, fmt.Errorf("arm: thumb BL offset %d out of range", insn.Imm)
+		}
+		hi := uint16(0b11110<<11) | uint16((off>>11)&0x7ff)
+		lo := uint16(0b11111<<11) | uint16(off&0x7ff)
+		return []uint16{hi, lo}, nil
+	case OpSVC:
+		if insn.Imm < 0 || insn.Imm > 255 {
+			return nil, fmt.Errorf("arm: thumb SVC number %d out of range [0,255]", insn.Imm)
+		}
+		return []uint16{0b11011111<<8 | uint16(insn.Imm)}, nil
+	case OpNOP:
+		// Encoded as MOV R8, R8 per Thumb tradition.
+		return []uint16{0b010001<<10 | 2<<8 | 1<<7 | 8<<3}, nil
+	default:
+		return nil, fmt.Errorf("arm: op %s has no thumb encoding", insn.Op)
+	}
+}
+
+func encodeThumbALU(insn Insn) ([]uint16, error) {
+	var idx = -1
+	for i, o := range thumbALUOps {
+		if o == insn.Op {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("arm: op %s is not a thumb ALU op", insn.Op)
+	}
+	var rd, rm int8
+	switch insn.Op {
+	case OpCMP, OpTST, OpCMN:
+		rd, rm = insn.Rn, insn.Rm
+	default:
+		rd, rm = insn.Rd, insn.Rm
+	}
+	if rd < 0 || rd > 7 || rm < 0 || rm > 7 {
+		return nil, fmt.Errorf("arm: thumb ALU op %s requires low registers", insn.Op)
+	}
+	return []uint16{0b010000<<10 | uint16(idx)<<6 | uint16(rm)<<3 | uint16(rd)}, nil
+}
+
+// DecodeThumb interprets hw (and hw2 for the BL pair) as a Thumb instruction.
+func DecodeThumb(hw, hw2 uint16) Insn {
+	insn := Insn{Cond: CondAL, Rd: RegNone, Rn: RegNone, Rm: RegNone, Size: 2}
+	switch {
+	case hw>>13 == 0b000 && hw>>11 != 0b00011:
+		op2 := (hw >> 11) & 3
+		insn.Op = []Op{OpLSL, OpLSR, OpASR}[op2]
+		insn.Imm = int32((hw >> 6) & 0x1f)
+		insn.HasImm = true
+		insn.Rn = int8((hw >> 3) & 7)
+		insn.Rd = int8(hw & 7)
+		insn.SetFlags = true
+	case hw>>11 == 0b00011:
+		if hw&(1<<9) != 0 {
+			insn.Op = OpSUB
+		} else {
+			insn.Op = OpADD
+		}
+		insn.Rd = int8(hw & 7)
+		insn.Rn = int8((hw >> 3) & 7)
+		if hw&(1<<10) != 0 {
+			insn.Imm = int32((hw >> 6) & 7)
+			insn.HasImm = true
+		} else {
+			insn.Rm = int8((hw >> 6) & 7)
+		}
+		insn.SetFlags = true
+	case hw>>13 == 0b001:
+		op2 := (hw >> 11) & 3
+		rd := int8((hw >> 8) & 7)
+		imm := int32(hw & 0xff)
+		switch op2 {
+		case 0:
+			insn.Op, insn.Rd = OpMOV, rd
+		case 1:
+			insn.Op, insn.Rn = OpCMP, rd
+		case 2:
+			insn.Op, insn.Rd, insn.Rn = OpADD, rd, rd
+		case 3:
+			insn.Op, insn.Rd, insn.Rn = OpSUB, rd, rd
+		}
+		insn.Imm = imm
+		insn.HasImm = true
+		insn.SetFlags = true
+	case hw>>10 == 0b010000:
+		op4 := (hw >> 6) & 0xf
+		insn.Op = thumbALUOps[op4]
+		rd := int8(hw & 7)
+		rm := int8((hw >> 3) & 7)
+		switch insn.Op {
+		case OpCMP, OpTST, OpCMN:
+			insn.Rn, insn.Rm = rd, rm
+		case OpRSB: // NEG Rd, Rm == RSB Rd, Rm, #0
+			insn.Rd, insn.Rn = rd, rm
+			insn.Imm, insn.HasImm = 0, true
+		case OpMVN:
+			insn.Rd, insn.Rm = rd, rm
+		default:
+			// Two-operand: Rd = Rd op Rm (Table V row 2).
+			insn.Rd, insn.Rn, insn.Rm = rd, rd, rm
+		}
+		insn.SetFlags = true
+	case hw>>10 == 0b010001:
+		op2 := (hw >> 8) & 3
+		h1 := (hw >> 7) & 1
+		rm := int8((hw >> 3) & 0xf)
+		rd := int8(hw&7) | int8(h1<<3)
+		switch op2 {
+		case 0:
+			insn.Op, insn.Rd, insn.Rn, insn.Rm = OpADD, rd, rd, rm
+		case 1:
+			insn.Op, insn.Rn, insn.Rm = OpCMP, rd, rm
+			insn.SetFlags = true
+		case 2:
+			if rd == 8 && rm == 8 {
+				insn.Op = OpNOP
+				return insn
+			}
+			insn.Op, insn.Rd, insn.Rm = OpMOV, rd, rm
+		case 3:
+			if h1 == 1 {
+				insn.Op = OpBLX
+			} else {
+				insn.Op = OpBX
+			}
+			insn.Rm = rm
+		}
+	case hw>>12 == 0b0101 && (hw>>9)&3 == 0:
+		if hw&(1<<11) != 0 {
+			insn.Op = OpLDR
+		} else {
+			insn.Op = OpSTR
+		}
+		insn.RegOffset = true
+		insn.Rm = int8((hw >> 6) & 7)
+		insn.Rn = int8((hw >> 3) & 7)
+		insn.Rd = int8(hw & 7)
+	case hw>>12 == 0b0110 || hw>>12 == 0b0111 || hw>>12 == 0b1000:
+		l := hw&(1<<11) != 0
+		var scale int32
+		switch hw >> 12 {
+		case 0b0110:
+			insn.Op, scale = OpSTR, 4
+			if l {
+				insn.Op = OpLDR
+			}
+		case 0b0111:
+			insn.Op, scale = OpSTRB, 1
+			if l {
+				insn.Op = OpLDRB
+			}
+		case 0b1000:
+			insn.Op, scale = OpSTRH, 2
+			if l {
+				insn.Op = OpLDRH
+			}
+		}
+		insn.Imm = int32((hw>>6)&0x1f) * scale
+		insn.Rn = int8((hw >> 3) & 7)
+		insn.Rd = int8(hw & 7)
+	case hw>>12 == 0b1001:
+		if hw&(1<<11) != 0 {
+			insn.Op = OpLDR
+		} else {
+			insn.Op = OpSTR
+		}
+		insn.Rd = int8((hw >> 8) & 7)
+		insn.Rn = SP
+		insn.Imm = int32(hw&0xff) * 4
+	case hw>>11 == 0b10101:
+		insn.Op = OpADD
+		insn.Rd = int8((hw >> 8) & 7)
+		insn.Rn = SP
+		insn.Imm = int32(hw&0xff) * 4
+		insn.HasImm = true
+	case hw>>8 == 0b10110000:
+		if hw&(1<<7) != 0 {
+			insn.Op = OpSUB
+		} else {
+			insn.Op = OpADD
+		}
+		insn.Rd, insn.Rn = SP, SP
+		insn.Imm = int32(hw&0x7f) * 4
+		insn.HasImm = true
+	case hw>>9 == 0b1011010:
+		insn.Op = OpSTM
+		insn.Rn = SP
+		insn.Writeback = true
+		insn.RegList = hw & 0xff
+		if hw&(1<<8) != 0 {
+			insn.RegList |= 1 << LR
+		}
+	case hw>>9 == 0b1011110:
+		insn.Op = OpLDM
+		insn.Rn = SP
+		insn.Writeback = true
+		insn.RegList = hw & 0xff
+		if hw&(1<<8) != 0 {
+			insn.RegList |= 1 << PC
+		}
+	case hw>>12 == 0b1101:
+		cond := Cond((hw >> 8) & 0xf)
+		if cond == 15 {
+			insn.Op = OpSVC
+			insn.Imm = int32(hw & 0xff)
+			insn.HasImm = true
+			return insn
+		}
+		insn.Op = OpB
+		insn.Cond = cond
+		insn.Imm = int32(int8(hw&0xff)) * 2
+		insn.HasImm = true
+	case hw>>11 == 0b11100:
+		insn.Op = OpB
+		insn.Imm = int32(signExtend(uint32(hw&0x7ff), 11)) * 2
+		insn.HasImm = true
+	case hw>>11 == 0b11110:
+		// BL pair.
+		if hw2>>11 != 0b11111 {
+			return Insn{Op: OpInvalid, Size: 2}
+		}
+		off := (int32(signExtend(uint32(hw&0x7ff), 11)) << 11) | int32(hw2&0x7ff)
+		insn.Op = OpBL
+		insn.Imm = off * 2
+		insn.HasImm = true
+		insn.Size = 4
+	default:
+		return Insn{Op: OpInvalid, Size: 2}
+	}
+	return insn
+}

@@ -1,0 +1,119 @@
+package cfbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWorkloadsRunInAllModes smoke-tests every workload under every mode at
+// a heavy scale factor.
+func TestWorkloadsRunInAllModes(t *testing.T) {
+	modes := []core.Mode{core.ModeVanilla, core.ModeTaintDroid, core.ModeNDroid, core.ModeDroidScope}
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, mode := range modes {
+				score, err := Measure(w, mode, 100)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", w.Name, mode, err)
+				}
+				if score <= 0 {
+					t.Errorf("%s under %s: nonpositive score", w.Name, mode)
+				}
+			}
+		})
+	}
+}
+
+// TestFig10Shape runs a reduced Fig. 10 and checks the qualitative shape the
+// paper reports: native compute loops suffer far more than Java-side rows
+// and modeled rows (MALLOCS, disk), and NDroid stays well below DroidScope
+// overall.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	modes := []core.Mode{core.ModeVanilla, core.ModeNDroid, core.ModeDroidScope}
+	res, err := Run(modes, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Report())
+
+	get := func(name string, m core.Mode) float64 {
+		row, ok := res.RowByName(name)
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		return row.Overhead[m]
+	}
+
+	nd := core.ModeNDroid
+	ds := core.ModeDroidScope
+	// Native instruction-heavy rows must show clear tracer cost. (Absolute
+	// magnitudes are compressed versus the paper — our baseline interpreter
+	// is far slower than QEMU-translated code — see DESIGN.md §5; the
+	// assertions below check the orderings the paper's Fig. 10 exhibits.)
+	nativeMIPS := get("Native MIPS", nd)
+	mallocs := get("Native MALLOCS", nd)
+	javaMIPS := get("Java MIPS", nd)
+	if nativeMIPS < 1.2 {
+		t.Errorf("Native MIPS overhead = %.2f, want clearly > 1 (tracer cost)", nativeMIPS)
+	}
+	// Modeled allocator stays near 1x (paper: 1.03x) and well below the
+	// traced compute rows.
+	if mallocs > 1.35 {
+		t.Errorf("modeled MALLOCS overhead = %.2f, want near 1x", mallocs)
+	}
+	if !(nativeMIPS > mallocs) {
+		t.Errorf("Native MIPS (%.2f) should exceed modeled MALLOCS (%.2f)", nativeMIPS, mallocs)
+	}
+	// The Java side pays TaintDroid's factor (paper: 1.0-2.2x).
+	if javaMIPS > 3.0 {
+		t.Errorf("Java MIPS overhead = %.2f, want small", javaMIPS)
+	}
+	// DroidScope pays where NDroid does not: on the modeled allocator (it
+	// traces the allocator body NDroid models away)...
+	if !(get("Native MALLOCS", ds) > mallocs) {
+		t.Errorf("DroidScope MALLOCS (%.2f) should exceed NDroid's (%.2f)",
+			get("Native MALLOCS", ds), mallocs)
+	}
+	// ...and on the Java side (per-instruction semantic reconstruction).
+	if !(get("Java Score", ds) > get("Java Score", nd)) {
+		t.Error("DroidScope Java-side overhead should exceed NDroid's")
+	}
+	// NDroid overall must undercut DroidScope overall (paper: 5.45x vs 11x+).
+	ndOverall := get("Overall Score", nd)
+	dsOverall := get("Overall Score", ds)
+	if !(ndOverall < dsOverall) {
+		t.Errorf("NDroid overall (%.2f) should be below DroidScope overall (%.2f)", ndOverall, dsOverall)
+	}
+}
+
+// TestWorkloadCorrectness: results must be mode-independent (instrumentation
+// must not change behaviour). The disk workload leaves a verifiable file.
+func TestWorkloadCorrectness(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeVanilla, core.ModeNDroid} {
+		sys, err := core.NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := Workloads()[12] // Native Disk Write
+		if w.Name != "Native Disk Write" {
+			t.Fatal("workload order changed")
+		}
+		if err := w.install(sys, 100); err != nil {
+			t.Fatal(err)
+		}
+		sys.Kern.FS.WriteFile("/data/cfbench.dat", make([]byte, 8192))
+		core.NewAnalyzer(sys, mode)
+		if _, _, _, err := sys.VM.InvokeByName(w.entryClass, "run", nil, nil); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		content, ok := sys.Kern.FS.ReadFile("/data/cfbench.dat")
+		if !ok || len(content) != 1024*(opsDisk/100) {
+			t.Errorf("mode %s: file size %d, want %d", mode, len(content), 1024*(opsDisk/100))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/dex"
+	"repro/internal/dvm"
+	"repro/internal/taint"
+)
+
+// Mode selects which analysis stack runs on top of the emulated system.
+type Mode int
+
+// Analysis modes.
+const (
+	// ModeVanilla runs the app with no taint tracking (stock Android).
+	ModeVanilla Mode = iota + 1
+	// ModeTaintDroid enables only TaintDroid's in-DVM tracking with the
+	// naive JNI return policy — the paper's baseline, which misses the
+	// Table I cases 1', 2, 3, and 4.
+	ModeTaintDroid
+	// ModeNDroid enables TaintDroid plus all five NDroid engines.
+	ModeNDroid
+	// ModeDroidScope approximates the DroidScope baseline: whole-system
+	// instruction tracing with no JNI-semantic shortcuts and VMI-style
+	// per-instruction semantic reconstruction on the Java side.
+	ModeDroidScope
+)
+
+var modeNames = map[Mode]string{
+	ModeVanilla:    "vanilla",
+	ModeTaintDroid: "taintdroid",
+	ModeNDroid:     "ndroid",
+	ModeDroidScope: "droidscope",
+}
+
+// String names the mode.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Leak is one detected information leak: tainted data reaching a sink.
+type Leak struct {
+	Sink    string // function name: "sendto", "fprintf", "Network.send", ...
+	Dest    string // host, file path, or descriptor description
+	Tag     taint.Tag
+	Data    []byte
+	Context string // where the sink fired: "java" or "native"
+}
+
+// String renders a one-line description.
+func (l Leak) String() string {
+	data := string(l.Data)
+	if len(data) > 60 {
+		data = data[:57] + "..."
+	}
+	return fmt.Sprintf("[%s] %s -> %s %v %q", l.Context, l.Sink, l.Dest, l.Tag, data)
+}
+
+// FlowLog accumulates the human-readable trace shown in the paper's Figs 6-9.
+type FlowLog struct {
+	Enabled bool
+	Lines   []string
+}
+
+// Addf appends a formatted line when logging is enabled.
+func (fl *FlowLog) Addf(format string, args ...interface{}) {
+	if !fl.Enabled {
+		return
+	}
+	fl.Lines = append(fl.Lines, fmt.Sprintf(format, args...))
+}
+
+// String joins the log.
+func (fl *FlowLog) String() string { return strings.Join(fl.Lines, "\n") }
+
+// Contains reports whether any line contains the substring.
+func (fl *FlowLog) Contains(sub string) bool {
+	for _, l := range fl.Lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer drives one app execution under a chosen analysis mode. It owns the
+// NDroid engines and collects leaks and the flow log.
+type Analyzer struct {
+	Sys  *System
+	Mode Mode
+
+	Engine   *TaintEngine
+	Policies *PolicyMap
+	Tracer   *Tracer
+	ML       *Multilevel
+	Recon    *Reconstructor
+
+	Leaks []Leak
+	Log   FlowLog
+
+	// InstrumentationCalls counts DVM-hook instrumentation bodies that
+	// actually ran (the quantity multilevel hooking reduces).
+	InstrumentationCalls uint64
+
+	// javaVMIWalks counts DroidScope-mode per-instruction reconstructions.
+	javaVMIWalks uint64
+}
+
+// NewAnalyzer attaches an analysis mode to a system. Call after the app's
+// classes and native libraries are loaded (hook placement consults the
+// OS-level view reconstructor for module ranges).
+func NewAnalyzer(sys *System, mode Mode) *Analyzer {
+	a := &Analyzer{
+		Sys:      sys,
+		Mode:     mode,
+		Engine:   NewTaintEngine(sys.CPU),
+		Policies: NewPolicyMap(),
+		Recon:    &Reconstructor{Mem: sys.Mem, InitTaskAddr: sys.Kern.InitTaskAddr},
+	}
+	switch mode {
+	case ModeVanilla:
+		sys.VM.TaintJava = false
+	case ModeTaintDroid:
+		sys.VM.TaintJava = true
+		a.hookJavaSink()
+	case ModeNDroid:
+		sys.VM.TaintJava = true
+		a.hookJavaSink()
+		a.installNDroid()
+	case ModeDroidScope:
+		sys.VM.TaintJava = true
+		a.hookJavaSink()
+		a.installDroidScope()
+	}
+	return a
+}
+
+// hookJavaSink collects TaintDroid's Java-context sink reports.
+func (a *Analyzer) hookJavaSink() {
+	a.Sys.VM.JavaLeakFn = func(l dvm.JavaLeak) {
+		a.Leaks = append(a.Leaks, Leak{
+			Sink: l.Sink, Dest: l.Dest, Tag: l.Tag,
+			Data: []byte(l.Data), Context: "java",
+		})
+		a.Log.Addf("JavaSink[%s] dest=%s taint=%v", l.Sink, l.Dest, l.Tag)
+	}
+}
+
+// installNDroid wires all five engines.
+func (a *Analyzer) installNDroid() {
+	vm := a.Sys.VM
+	cpu := a.Sys.CPU
+
+	// Cache the native-code range once; the VMI walk is the authoritative
+	// source but too slow to run per branch event.
+	lo, hi := a.nativeRangeFromVMI()
+	inNative := func(addr uint32) bool { return addr >= lo && addr < hi }
+
+	// Taint engine follows GC moves.
+	vm.OnGCMove = a.Engine.OnGCMove
+
+	// Multilevel hooking over the branch stream; the instruction tracer over
+	// the instruction stream.
+	a.ML = NewMultilevel(vm, inNative)
+	cpu.BranchFn = func(_ *arm.CPU, from, to uint32) { a.ML.OnBranch(from, to) }
+
+	a.Tracer = NewTracer(a.Engine)
+	a.Tracer.InRange = inNative
+	cpu.Tracer = a.Tracer
+	cpu.UseDecodeCache = true
+
+	a.installDVMHooks()
+	a.installSysLib()
+}
+
+// nativeRangeFromVMI finds the third-party native code range by parsing the
+// guest task list, as NDroid's reconstructor does (§V-F, §V-G).
+func (a *Analyzer) nativeRangeFromVMI() (uint32, uint32) {
+	task, ok := a.Recon.FindTask(a.Sys.Task.Comm)
+	if !ok {
+		return 0, 0
+	}
+	lo, hi := ^uint32(0), uint32(0)
+	for _, v := range task.VMAs {
+		if strings.HasPrefix(v.Name, "/data/app-lib/") {
+			if v.Start < lo {
+				lo = v.Start
+			}
+			if v.End > hi {
+				hi = v.End
+			}
+		}
+	}
+	if hi == 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// installDroidScope configures the DroidScope-style baseline: trace every
+// instruction everywhere (no selective range, no modeled libc), and pay a
+// VMI reconstruction walk on every interpreted Dalvik instruction.
+func (a *Analyzer) installDroidScope() {
+	cpu := a.Sys.CPU
+	a.Tracer = NewTracer(a.Engine)
+	a.Tracer.InRange = nil // whole system
+	cpu.Tracer = a.Tracer
+	cpu.UseDecodeCache = true
+
+	vm := a.Sys.VM
+	vm.JavaStepFn = func(th *dvm.Thread, m *dex.Method, pc int, insn *dex.Insn) {
+		// Reconstruct the Dalvik-level view from raw guest memory: walk the
+		// task list to find the process, then read the current frame's save
+		// area — the work DroidScope re-derives from machine state (§II, §V-F).
+		a.javaVMIWalks++
+		if f := th.CurrentFrame(); f != nil {
+			_ = a.Sys.Mem.Read32(f.FP + uint32(8*m.NumRegs)) // prev frame ptr
+			_ = a.Sys.Mem.Read32(a.Recon.InitTaskAddr)       // task list head
+		}
+	}
+}
+
+// report records a native-context leak.
+func (a *Analyzer) report(sink, dest string, tag taint.Tag, data []byte) {
+	if tag == 0 {
+		return
+	}
+	a.Leaks = append(a.Leaks, Leak{
+		Sink: sink, Dest: dest, Tag: tag,
+		Data: append([]byte(nil), data...), Context: "native",
+	})
+	a.Log.Addf("SinkHandler[%s] dest=%s taint=%v data=%q", sink, dest, tag, truncate(data))
+}
+
+func truncate(b []byte) string {
+	s := string(b)
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}
+
+// VMIWalks reports how many per-instruction semantic reconstructions the
+// DroidScope mode performed.
+func (a *Analyzer) VMIWalks() uint64 { return a.javaVMIWalks }
+
+// LeaksAt returns leaks that reached the given sink.
+func (a *Analyzer) LeaksAt(sink string) []Leak {
+	var out []Leak
+	for _, l := range a.Leaks {
+		if l.Sink == sink {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Detected reports whether any leak carrying the tag was found.
+func (a *Analyzer) Detected(tag taint.Tag) bool {
+	for _, l := range a.Leaks {
+		if l.Tag&tag != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// fdDesc describes a descriptor for sink reports.
+func (a *Analyzer) fdDesc(fd int32) string {
+	return a.Sys.Kern.FDDesc(a.Sys.Task, fd)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/arm"
+	"repro/internal/dvm"
+	"repro/internal/taint"
+)
+
+// TaintEngine is NDroid's native-context taint state (§V-E): the CPU's shadow
+// registers (held on the CPU itself), a byte-granular memory taint map, and a
+// shadow map keyed by indirect reference — the paper's answer to the moving
+// garbage collector ("the shadow memory uses the indirect reference as key to
+// locate the taint information", §V-B).
+type TaintEngine struct {
+	CPU *arm.CPU
+	Mem *taint.MemTaint
+	Ref map[uint32]taint.Tag
+}
+
+// NewTaintEngine creates an empty engine bound to the CPU's shadow registers.
+func NewTaintEngine(c *arm.CPU) *TaintEngine {
+	return &TaintEngine{
+		CPU: c,
+		Mem: taint.NewMemTaint(),
+		Ref: make(map[uint32]taint.Tag),
+	}
+}
+
+// Reset drops all native-context taint.
+func (e *TaintEngine) Reset() {
+	e.Mem.Reset()
+	e.Ref = make(map[uint32]taint.Tag)
+	for i := range e.CPU.RegTaint {
+		e.CPU.RegTaint[i] = 0
+	}
+}
+
+// RefTaint returns the shadow taint of an indirect reference.
+func (e *TaintEngine) RefTaint(ref uint32) taint.Tag { return e.Ref[ref] }
+
+// AddRefTaint ORs tag into an indirect reference's shadow entry.
+func (e *TaintEngine) AddRefTaint(ref uint32, tag taint.Tag) {
+	if tag == 0 || ref == 0 {
+		return
+	}
+	e.Ref[ref] |= tag
+}
+
+// ObjectTaint unifies everything NDroid knows about a Java object reachable
+// from native code: the TaintDroid tag stored on the object, the shadow entry
+// for the reference the native code holds, and the taint-map bytes at the
+// object's direct address (Fig. 6 taints "memory address 0x4127deb8").
+func (e *TaintEngine) ObjectTaint(o *dvm.Object, ref uint32) taint.Tag {
+	var t taint.Tag
+	if o != nil {
+		t |= o.Taint
+		t |= e.Mem.Get32(o.Addr)
+	}
+	if ref != 0 {
+		t |= e.Ref[ref]
+	}
+	return t
+}
+
+// OnGCMove migrates direct-address taint-map entries when the collector
+// relocates an object. Reference-keyed shadow entries need no migration —
+// that is the point of keying by indirect reference.
+func (e *TaintEngine) OnGCMove(oldAddr, newAddr uint32, o *dvm.Object) {
+	t := e.Mem.Get32(oldAddr)
+	if t != 0 {
+		e.Mem.Set32(oldAddr, 0)
+		e.Mem.Set32(newAddr, t)
+	}
+}

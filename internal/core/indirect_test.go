@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taint"
+)
+
+// TestRefShadowSurvivesGC is E16: taint keyed by an indirect reference keeps
+// resolving after the collector moves the object, while taint keyed only by
+// the direct address would be left behind at the stale location (the §II-A
+// hazard indirect references exist to solve).
+func TestRefShadowSurvivesGC(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(sys, ModeNDroid)
+	vm := sys.VM
+
+	// Garbage to force compaction movement.
+	for i := 0; i < 16; i++ {
+		vm.NewString("garbage")
+	}
+	obj := vm.NewString("sensitive")
+	ref := vm.AddGlobalRef(obj)
+	oldAddr := obj.Addr
+
+	// NDroid records the taint under both keys, as the DVM Hook Engine does.
+	a.Engine.Mem.Set32(obj.Addr, taint.IMEI)
+	a.Engine.AddRefTaint(ref, taint.IMEI)
+
+	if moved := vm.RunGC(); moved == 0 {
+		t.Fatal("GC moved nothing")
+	}
+	if obj.Addr == oldAddr {
+		t.Fatal("object did not move")
+	}
+
+	// The ref-keyed shadow still answers.
+	if got := a.Engine.RefTaint(ref); got != taint.IMEI {
+		t.Errorf("ref shadow lost: %v", got)
+	}
+	// The engine's GC subscription migrated the direct-address entry too.
+	if got := a.Engine.Mem.Get32(obj.Addr); got != taint.IMEI {
+		t.Errorf("direct-address taint not migrated: %v", got)
+	}
+	if got := a.Engine.Mem.Get32(oldAddr); got != 0 {
+		t.Errorf("stale taint left at old address: %v", got)
+	}
+	// ObjectTaint unifies all views.
+	if got := a.Engine.ObjectTaint(obj, ref); !got.Has(taint.IMEI) {
+		t.Errorf("ObjectTaint = %v", got)
+	}
+}
+
+// TestDecodeRefHandlesDirectPointers: §II-A requires handling both indirect
+// references and (pre-ICS) direct pointers.
+func TestDecodeRefHandlesDirectPointers(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := sys.VM
+	o := vm.NewString("x")
+	if vm.DecodeRef(o.Addr) != o {
+		t.Error("direct pointer must decode")
+	}
+	ref := vm.AddLocalRef(o)
+	if vm.DecodeRef(ref) != o {
+		t.Error("indirect reference must decode")
+	}
+	if !vm.IsIndirectRef(ref) || vm.IsIndirectRef(o.Addr) {
+		t.Error("IsIndirectRef misclassifies")
+	}
+}
+
+// TestEngineResetClearsState: analyzer reuse between runs starts clean.
+func TestEngineResetClearsState(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(sys, ModeNDroid)
+	a.Engine.Mem.Set32(0x1000, taint.IMEI)
+	a.Engine.AddRefTaint(0xa0000001, taint.SMS)
+	sys.CPU.RegTaint[3] = taint.Contacts
+	a.Engine.Reset()
+	if a.Engine.Mem.TaintedBytes() != 0 {
+		t.Error("memory taint not cleared")
+	}
+	if a.Engine.RefTaint(0xa0000001) != 0 {
+		t.Error("ref taint not cleared")
+	}
+	if sys.CPU.RegTaint[3] != 0 {
+		t.Error("shadow registers not cleared")
+	}
+}
+
+// TestSourcePolicyFields: the SourcePolicy structure captures the Listing 1
+// fields from a JNI-entry context.
+func TestSourcePolicyFields(t *testing.T) {
+	p := &SourcePolicy{
+		MethodAddress:   0x4a2c7d88,
+		TR0:             0,
+		TR1:             0,
+		TR2:             taint.Contacts,
+		TR3:             taint.Contacts,
+		StackArgsNum:    1,
+		StackArgsTaints: []taint.Tag{taint.Contacts},
+		MethodShorty:    "ZLLL",
+		AccessFlags:     0x9,
+	}
+	pm := NewPolicyMap()
+	pm.Put(p)
+	if pm.Len() != 1 {
+		t.Fatal("policy not stored")
+	}
+	got, ok := pm.Take(0x4a2c7d88)
+	if !ok || got != p {
+		t.Fatal("policy not retrievable by method address")
+	}
+	if pm.Len() != 0 || pm.Applied != 1 {
+		t.Error("policy not consumed")
+	}
+	if _, ok := pm.Take(0x4a2c7d88); ok {
+		t.Error("double-take must fail")
+	}
+}

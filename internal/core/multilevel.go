@@ -1,0 +1,122 @@
+package core
+
+import "repro/internal/dvm"
+
+// Multilevel implements the multilevel hooking technique of §V-B / Fig. 5:
+// a chain of preconditions T1..T6 evaluated over the branch-event stream so
+// that the dvmCallMethod* and dvmInterpret instrumentation only fires when
+// the call chain actually originated in third-party native code.
+//
+//	T1: from ∈ native code  ∧ to == a JNI-exit function entry
+//	T2: T1 ∧ to == dvmCallMethod* entry
+//	T3: T2 ∧ to == dvmInterpret entry
+//	T4: T3 ∧ to == C+4 (return past the dvmInterpret call site)
+//	T5: T2 ∧ to == B+4 (return past the dvmCallMethod* call site)
+//	T6: T1 ∧ to == A+4 (return into the native caller)
+type Multilevel struct {
+	vm *dvm.VM
+
+	// Enabled gates the whole mechanism; when false, Level reports
+	// maxLevel so hooks always instrument (the ablation baseline).
+	Enabled bool
+
+	// inNative answers the T1 membership test.
+	inNative func(addr uint32) bool
+
+	// jniExitEntries marks the entry addresses of the JNI-exit functions
+	// (Table II's Call* family plus ThrowNew).
+	jniExitEntries map[uint32]bool
+	callMethodAddr map[uint32]bool // dvmCallMethod{,V,A} entries
+	interpAddr     uint32
+
+	level      int    // 0 none, 1 after T1, 2 after T2, 3 after T3
+	aSite      uint32 // the native call-site address (A of Fig. 5)
+	bSite      uint32
+	cSite      uint32
+	depthGuard int
+
+	// Transitions counts level changes (observability for tests/benches).
+	Transitions uint64
+}
+
+// NewMultilevel wires the state machine to a VM's address space.
+func NewMultilevel(vm *dvm.VM, inNative func(addr uint32) bool) *Multilevel {
+	ml := &Multilevel{
+		vm:             vm,
+		Enabled:        true,
+		inNative:       inNative,
+		jniExitEntries: make(map[uint32]bool),
+		callMethodAddr: make(map[uint32]bool),
+		interpAddr:     vm.InternalAddr("dvmInterpret"),
+	}
+	for _, t := range []string{"Void", "Object", "Boolean", "Byte", "Char", "Short", "Int", "Long", "Float", "Double"} {
+		for _, variant := range []string{"", "V", "A"} {
+			for _, family := range []string{"Call", "CallStatic", "CallNonvirtual"} {
+				name := family + t + "Method" + variant
+				if a := vm.InternalAddr(name); a != 0 {
+					ml.jniExitEntries[a] = true
+				}
+			}
+		}
+	}
+	ml.jniExitEntries[vm.InternalAddr("ThrowNew")] = true
+	ml.jniExitEntries[vm.InternalAddr("NewObject")] = true
+	ml.jniExitEntries[vm.InternalAddr("NewObjectV")] = true
+	ml.jniExitEntries[vm.InternalAddr("NewObjectA")] = true
+	for _, n := range []string{"dvmCallMethod", "dvmCallMethodV", "dvmCallMethodA", "initException"} {
+		ml.callMethodAddr[vm.InternalAddr(n)] = true
+	}
+	return ml
+}
+
+// OnBranch consumes one control-transfer event.
+func (ml *Multilevel) OnBranch(from, to uint32) {
+	if !ml.Enabled {
+		return
+	}
+	switch {
+	case ml.level == 0:
+		if ml.jniExitEntries[to] && ml.inNative != nil && ml.inNative(from) {
+			ml.level = 1
+			ml.aSite = from
+			ml.Transitions++
+		}
+	case ml.level == 1:
+		switch {
+		case ml.callMethodAddr[to]:
+			ml.level = 2
+			ml.bSite = from
+			ml.Transitions++
+		case to == ml.aSite+4: // T6: returned to native code
+			ml.level = 0
+			ml.Transitions++
+		}
+	case ml.level == 2:
+		switch {
+		case to == ml.interpAddr:
+			ml.level = 3
+			ml.cSite = from
+			ml.Transitions++
+		case to == ml.bSite+4: // T5
+			ml.level = 1
+			ml.Transitions++
+		}
+	case ml.level == 3:
+		if to == ml.cSite+4 { // T4
+			ml.level = 2
+			ml.Transitions++
+		}
+	}
+}
+
+// T2 reports whether the dvmCallMethod* instrumentation should fire.
+func (ml *Multilevel) T2() bool { return !ml.Enabled || ml.level >= 2 }
+
+// T3 reports whether the dvmInterpret instrumentation should fire.
+func (ml *Multilevel) T3() bool { return !ml.Enabled || ml.level >= 3 }
+
+// Level exposes the current chain depth.
+func (ml *Multilevel) Level() int { return ml.level }
+
+// Reset clears the chain state.
+func (ml *Multilevel) Reset() { ml.level = 0 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dex"
+	"repro/internal/dvm"
+)
+
+func mlEnv(t *testing.T) (*Analyzer, *dvm.VM) {
+	t.Helper()
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(sys, ModeNDroid)
+	return a, sys.VM
+}
+
+// TestMultilevelChainTransitions drives the Fig. 5 T1..T6 sequence by hand
+// through branch events.
+func TestMultilevelChainTransitions(t *testing.T) {
+	a, vm := mlEnv(t)
+	ml := NewMultilevel(vm, func(addr uint32) bool { return addr >= 0x8000 && addr < 0x10000 })
+
+	jni := vm.InternalAddr("CallVoidMethodA")
+	dcm := vm.InternalAddr("dvmCallMethodA")
+	di := vm.InternalAddr("dvmInterpret")
+	aSite := uint32(0x8100) // native call site
+
+	if ml.T2() || ml.T3() {
+		t.Fatal("conditions must not hold initially")
+	}
+	ml.OnBranch(aSite, jni) // T1
+	if ml.Level() != 1 {
+		t.Fatalf("after T1 level=%d", ml.Level())
+	}
+	ml.OnBranch(jni+8, dcm) // T2
+	if !ml.T2() || ml.T3() {
+		t.Fatalf("after T2: T2=%v T3=%v", ml.T2(), ml.T3())
+	}
+	ml.OnBranch(dcm+8, di) // T3
+	if !ml.T3() {
+		t.Fatal("T3 must hold")
+	}
+	ml.OnBranch(di+4, dcm+8+4) // T4: return past the dvmInterpret call site
+	if ml.Level() != 2 {
+		t.Fatalf("after T4 level=%d", ml.Level())
+	}
+	ml.OnBranch(dcm+4, jni+8+4) // T5
+	if ml.Level() != 1 {
+		t.Fatalf("after T5 level=%d", ml.Level())
+	}
+	ml.OnBranch(jni+4, aSite+4) // T6
+	if ml.Level() != 0 {
+		t.Fatalf("after T6 level=%d", ml.Level())
+	}
+	_ = a
+}
+
+// TestMultilevelIgnoresFrameworkCalls: a dvmCallMethod entered without a
+// native-originated T1 must not enable instrumentation.
+func TestMultilevelIgnoresFrameworkCalls(t *testing.T) {
+	_, vm := mlEnv(t)
+	ml := NewMultilevel(vm, func(addr uint32) bool { return addr >= 0x8000 && addr < 0x10000 })
+	// Framework code (outside native range) calls dvmCallMethodV directly.
+	ml.OnBranch(0x1800_0000, vm.InternalAddr("dvmCallMethodV"))
+	if ml.T2() && ml.Level() > 0 {
+		t.Error("framework-originated call must not arm T2")
+	}
+	if ml.Level() != 0 {
+		t.Errorf("level = %d, want 0", ml.Level())
+	}
+}
+
+// TestMultilevelDisabledAlwaysFires: with the mechanism disabled (the E15
+// ablation baseline), T2/T3 always report true.
+func TestMultilevelDisabledAlwaysFires(t *testing.T) {
+	_, vm := mlEnv(t)
+	ml := NewMultilevel(vm, nil)
+	ml.Enabled = false
+	if !ml.T2() || !ml.T3() {
+		t.Error("disabled multilevel must always instrument")
+	}
+}
+
+// TestMultilevelReducesInstrumentation is the E15 ablation: a
+// framework-originated CallStaticVoidMethod (no native T1 chain on the
+// branch stream) must skip the dvmCallMethod/dvmInterpret instrumentation
+// when multilevel hooking is enabled, and run it when disabled.
+func TestMultilevelReducesInstrumentation(t *testing.T) {
+	run := func(enabled bool) uint64 {
+		sys, err := NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAnalyzer(sys, ModeNDroid)
+		a.ML.Enabled = enabled
+
+		// A trivial app class with a static callback.
+		installCallbackClass(t, sys)
+
+		// Drive the JNI-exit trampolines the way framework code (outside the
+		// app's native libraries) would: jump straight to them with no
+		// native-originated branch chain.
+		const strCls, strName, strSig = scratch, scratch + 0x40, scratch + 0x80
+		sys.Mem.WriteCString(strCls, "com/mltest/App")
+		sys.Mem.WriteCString(strName, "cb")
+		sys.Mem.WriteCString(strSig, "()V")
+
+		clsRef := jniCall(t, a, "FindClass", 0, strCls)
+		mid := jniCall(t, a, "GetStaticMethodID", 0, clsRef, strName, strSig)
+		before := a.InstrumentationCalls
+		for i := 0; i < 5; i++ {
+			jniCall(t, a, "CallStaticVoidMethod", 0, clsRef, mid)
+		}
+		return a.InstrumentationCalls - before
+	}
+	gated := run(true)
+	ungated := run(false)
+	if !(gated < ungated) {
+		t.Errorf("multilevel gating did not reduce instrumentation: gated=%d ungated=%d", gated, ungated)
+	}
+	if gated != 0 {
+		t.Errorf("gated instrumentation = %d, want 0 for framework-originated calls", gated)
+	}
+}
+
+// jniCall drives a JNI trampoline directly (framework context: no BL from
+// app native code, hence no branch event arming T1).
+func jniCall(t *testing.T, a *Analyzer, name string, args ...uint32) uint32 {
+	t.Helper()
+	addr := a.Sys.VM.InternalAddr(name)
+	if addr == 0 {
+		t.Fatalf("no JNI function %q", name)
+	}
+	c := a.Sys.CPU
+	for i, v := range args {
+		c.R[i] = v
+	}
+	pad := uint32(0x7f10_0000)
+	c.R[14] = pad
+	c.SetThumbPC(addr)
+	if err := c.RunUntil(pad, 1<<20); err != nil {
+		t.Fatalf("jniCall %s: %v", name, err)
+	}
+	return c.R[0]
+}
+
+func installCallbackClass(t *testing.T, sys *System) {
+	t.Helper()
+	cb := dex.NewClass("Lcom/mltest/App;")
+	cb.Method("cb", "V", dex.AccStatic, 1).
+		Const(0, 1).
+		ReturnVoid().
+		Done()
+	sys.VM.RegisterClass(cb.Build())
+}

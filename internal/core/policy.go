@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/arm"
+	"repro/internal/taint"
+)
+
+// SourcePolicy records the taints to be propagated from the Java context to
+// the native context when a native method starts executing — a direct
+// transliteration of the paper's Listing 1. One is created per
+// dvmCallJNIMethod invocation and consumed at the method's first instruction.
+type SourcePolicy struct {
+	MethodAddress uint32
+
+	// TR0..TR3 are the taints of the first four AAPCS parameters.
+	TR0, TR1, TR2, TR3 taint.Tag
+
+	// StackArgsNum and StackArgsTaints describe parameters passed on the
+	// stack (the fifth parameter onward).
+	StackArgsNum    int
+	StackArgsTaints []taint.Tag
+
+	MethodShorty string
+	AccessFlags  uint32
+
+	// Handler completes the taint initialization with the live CPU state,
+	// "right before the native method executes" (§V-B).
+	Handler func(*SourcePolicy, *arm.CPU)
+}
+
+// Apply runs the policy's handler.
+func (p *SourcePolicy) Apply(c *arm.CPU) {
+	if p.Handler != nil {
+		p.Handler(p, c)
+	}
+}
+
+// PolicyMap is the hash map of <method address, SourcePolicy> pairs (§V-B).
+type PolicyMap struct {
+	m map[uint32]*SourcePolicy
+	// Applied counts consumed policies (for tests and stats).
+	Applied int
+}
+
+// NewPolicyMap returns an empty map.
+func NewPolicyMap() *PolicyMap {
+	return &PolicyMap{m: make(map[uint32]*SourcePolicy)}
+}
+
+// Put stores (replacing) the policy for a method address.
+func (pm *PolicyMap) Put(p *SourcePolicy) { pm.m[p.MethodAddress&^1] = p }
+
+// Take retrieves and removes the policy for addr.
+func (pm *PolicyMap) Take(addr uint32) (*SourcePolicy, bool) {
+	p, ok := pm.m[addr&^1]
+	if ok {
+		delete(pm.m, addr&^1)
+		pm.Applied++
+	}
+	return p, ok
+}
+
+// Len reports how many policies are pending.
+func (pm *PolicyMap) Len() int { return len(pm.m) }
+
+// defaultHandler initializes shadow registers and stack-argument taint
+// according to the policy, and is the standard handler installed by the DVM
+// Hook Engine.
+func defaultHandler(e *TaintEngine) func(*SourcePolicy, *arm.CPU) {
+	return func(p *SourcePolicy, c *arm.CPU) {
+		c.RegTaint[0] = p.TR0
+		c.RegTaint[1] = p.TR1
+		c.RegTaint[2] = p.TR2
+		c.RegTaint[3] = p.TR3
+		for i := 0; i < p.StackArgsNum && i < len(p.StackArgsTaints); i++ {
+			e.Mem.SetRange(c.R[arm.SP]+uint32(4*i), 4, p.StackArgsTaints[i])
+		}
+	}
+}

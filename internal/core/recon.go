@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Reconstructor is the OS-level view reconstructor (§V-F): it recovers the
+// process list and per-process memory maps by parsing raw guest memory,
+// starting only from the address of the initial task structure — the same
+// virtual-machine-introspection posture DroidScope takes. NDroid uses the
+// result to locate library base addresses for hook placement (§V-G) and to
+// answer the multilevel-hooking "is this address third-party native code?"
+// membership test.
+type Reconstructor struct {
+	Mem          *mem.Memory
+	InitTaskAddr uint32
+}
+
+// VMITask is one process recovered from guest memory.
+type VMITask struct {
+	PID  uint32
+	Comm string
+	VMAs []VMIMapping
+}
+
+// VMIMapping is one memory mapping recovered from guest memory.
+type VMIMapping struct {
+	Start uint32
+	End   uint32
+	Perms string
+	Name  string
+}
+
+// Contains reports whether addr falls inside the mapping.
+func (v VMIMapping) Contains(addr uint32) bool {
+	return addr >= v.Start && addr < v.End
+}
+
+// Tasks walks the guest task list. Layout (see internal/kernel):
+//
+//	task: +0 pid  +4 next  +8 mm  +12 comm[16]
+//	mm:   +0 first_vma
+//	vma:  +0 start +4 end +8 flags +12 next +16 name_ptr
+func (r *Reconstructor) Tasks() ([]VMITask, error) {
+	var out []VMITask
+	addr := r.InitTaskAddr
+	for i := 0; addr != 0; i++ {
+		if i > 4096 {
+			return nil, fmt.Errorf("core: task list does not terminate")
+		}
+		t := VMITask{
+			PID:  r.Mem.Read32(addr),
+			Comm: r.Mem.ReadCString(addr+12, 16),
+		}
+		mm := r.Mem.Read32(addr + 8)
+		if mm != 0 {
+			vma := r.Mem.Read32(mm)
+			for j := 0; vma != 0; j++ {
+				if j > 65536 {
+					return nil, fmt.Errorf("core: vma list does not terminate")
+				}
+				flags := r.Mem.Read32(vma + 8)
+				t.VMAs = append(t.VMAs, VMIMapping{
+					Start: r.Mem.Read32(vma),
+					End:   r.Mem.Read32(vma + 4),
+					Perms: decodePerms(flags),
+					Name:  r.Mem.ReadCString(r.Mem.Read32(vma+16), 64),
+				})
+				vma = r.Mem.Read32(vma + 12)
+			}
+		}
+		out = append(out, t)
+		addr = r.Mem.Read32(addr + 4)
+	}
+	return out, nil
+}
+
+func decodePerms(flags uint32) string {
+	perms := []byte{'-', '-', '-'}
+	if flags&1 != 0 {
+		perms[0] = 'r'
+	}
+	if flags&2 != 0 {
+		perms[1] = 'w'
+	}
+	if flags&4 != 0 {
+		perms[2] = 'x'
+	}
+	return string(perms)
+}
+
+// FindTask locates a process by name.
+func (r *Reconstructor) FindTask(comm string) (VMITask, bool) {
+	tasks, err := r.Tasks()
+	if err != nil {
+		return VMITask{}, false
+	}
+	for _, t := range tasks {
+		if t.Comm == comm {
+			return t, true
+		}
+	}
+	return VMITask{}, false
+}
+
+// ModuleAt resolves an address to the mapping containing it within a task.
+func (t VMITask) ModuleAt(addr uint32) (VMIMapping, bool) {
+	for _, v := range t.VMAs {
+		if v.Contains(addr) {
+			return v, true
+		}
+	}
+	return VMIMapping{}, false
+}
+
+// ModuleBase returns the base address of the first mapping whose name
+// contains the given substring (how NDroid finds libdvm.so, libc.so, and the
+// app's own libraries, §V-G).
+func (t VMITask) ModuleBase(nameContains string) (uint32, bool) {
+	for _, v := range t.VMAs {
+		if strings.Contains(v.Name, nameContains) {
+			return v.Start, true
+		}
+	}
+	return 0, false
+}

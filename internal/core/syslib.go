@@ -1,0 +1,493 @@
+package core
+
+import (
+	"repro/internal/arm"
+	"repro/internal/libc"
+	"repro/internal/taint"
+)
+
+// installSysLib wires the System Lib Hook Engine (§V-D): for every modeled
+// standard function (Table VI) the default libc hook is replaced by a wrapper
+// that applies the function's taint-propagation model around the real
+// behaviour, and the starred calls of Table VII become sinks.
+func (a *Analyzer) installSysLib() {
+	install := func(name string, model modelFunc) {
+		addr, ok := a.Sys.Libc.Sym(name)
+		if !ok {
+			return
+		}
+		a.Sys.CPU.Hook(addr, func(c *arm.CPU) arm.HookAction {
+			model(a, c, name)
+			return arm.ActionReturn
+		})
+	}
+	for name, model := range sysModels {
+		install(name, model)
+	}
+	for name, sig := range libmSigs {
+		install(name, libmModel(sig.argRegs, sig.wideRet))
+	}
+}
+
+// libmSigs describes the soft-float signatures of the Table VI libm rows:
+// how many argument registers carry data and whether the result is wide.
+var libmSigs = map[string]struct {
+	argRegs int
+	wideRet bool
+}{
+	"sin": {2, true}, "cos": {2, true}, "tan": {2, true},
+	"asin": {2, true}, "acos": {2, true}, "atan": {2, true},
+	"sqrt": {2, true}, "floor": {2, true}, "ceil": {2, true},
+	"log": {2, true}, "log10": {2, true}, "exp": {2, true},
+	"sinh": {2, true}, "cosh": {2, true},
+	"pow": {4, true}, "atan2": {4, true}, "fmod": {4, true},
+	"ldexp": {3, true},
+	"sinf":  {1, false}, "cosf": {1, false}, "sqrtf": {1, false},
+	"expf": {1, false}, "powf": {2, false}, "atan2f": {2, false},
+}
+
+// modelFunc wraps one libc call: it must invoke the real implementation via
+// callImpl exactly once and apply the Table VI taint model around it.
+type modelFunc func(a *Analyzer, c *arm.CPU, name string)
+
+func (a *Analyzer) callImpl(name string, c *arm.CPU) {
+	if err := a.Sys.Libc.CallImpl(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// cstrLen returns strlen(s)+1 for a guest string.
+func (a *Analyzer) cstrLen(addr uint32) uint32 {
+	return uint32(len(a.Sys.Mem.ReadCString(addr, 0))) + 1
+}
+
+// sysModels covers every libc row of Table VI plus the Table VII calls.
+// Functions not listed keep their plain implementation hooks.
+var sysModels = map[string]modelFunc{
+	// ---- memory/string models (Listing 3 shape) ----
+	"memcpy":      modelCopy,
+	"memmove":     modelCopy,
+	"strcpy":      modelStrcpy,
+	"strncpy":     modelStrncpy,
+	"strcat":      modelStrcat,
+	"strdup":      modelStrdup,
+	"memset":      modelMemset,
+	"memcmp":      modelCmpN,
+	"strcmp":      modelCmpStr,
+	"strncmp":     modelCmpStrN,
+	"strcasecmp":  modelCmpStr,
+	"strncasecmp": modelCmpStrN,
+	"strlen":      modelRetFromString(0),
+	"atoi":        modelRetFromString(0),
+	"atol":        modelRetFromString(0),
+	"strtoul":     modelRetFromString(0),
+	"strtol":      modelRetFromString(0),
+	"strtod":      modelRetFromString(0),
+	"strchr":      modelPtrIntoString,
+	"strrchr":     modelPtrIntoString,
+	"strstr":      modelPtrIntoString,
+	"memchr":      modelMemchr,
+	"sysconf":     modelClearRet,
+
+	// ---- allocator models ----
+	"malloc":  modelMalloc,
+	"calloc":  modelCalloc,
+	"free":    modelFree,
+	"realloc": modelRealloc,
+
+	// ---- formatted output ----
+	"sprintf":   modelSprintf,
+	"snprintf":  modelSnprintf,
+	"vsprintf":  modelVsprintf,
+	"vsnprintf": modelVsnprintf,
+	"sscanf":    modelSscanf,
+
+	// ---- sinks (Table VII starred + fprintf family) ----
+	"write":    modelSinkWrite,
+	"send":     modelSinkSend,
+	"sendto":   modelSinkSendto,
+	"fwrite":   modelSinkFwrite,
+	"fputs":    modelSinkFputs,
+	"fputc":    modelSinkFputc,
+	"fprintf":  modelSinkFprintf,
+	"vfprintf": modelSinkVfprintf,
+
+	// ---- trust calls logged for flow traces ----
+	"fopen":    modelTrustCall,
+	"fclose":   modelTrustCall,
+	"fread":    modelTrustCall,
+	"read":     modelTrustCall,
+	"open":     modelTrustCall,
+	"close":    modelTrustCall,
+	"recv":     modelTrustCall,
+	"socket":   modelTrustCall,
+	"connect":  modelTrustCall,
+	"dlopen":   modelTrustCall,
+	"dlsym":    modelTrustCall,
+	"dlclose":  modelTrustCall,
+	"mmap":     modelTrustCall,
+	"munmap":   modelTrustCall,
+	"stat":     modelTrustCall,
+	"fstat":    modelTrustCall,
+	"fcntl":    modelTrustCall,
+	"ioctl":    modelTrustCall,
+	"mkdir":    modelTrustCall,
+	"rename":   modelTrustCall,
+	"remove":   modelTrustCall,
+	"fgets":    modelTrustCall,
+	"getc":     modelTrustCall,
+	"fdopen":   modelTrustCall,
+	"bind":     modelTrustCall,
+	"listen":   modelTrustCall,
+	"accept":   modelTrustCall,
+	"select":   modelTrustCall,
+	"recvfrom": modelTrustCall,
+	"mprotect": modelTrustCall,
+	"kill":     modelTrustCall,
+	"fork":     modelTrustCall,
+	"execve":   modelTrustCall,
+	"chown":    modelTrustCall,
+	"ptrace":   modelTrustCall,
+}
+
+// libmModel propagates argument taints to the return registers; installed
+// for every libm function at engine setup.
+func libmModel(arity int, wide bool) modelFunc {
+	return func(a *Analyzer, c *arm.CPU, name string) {
+		var t taint.Tag
+		for i := 0; i < arity; i++ {
+			t |= c.RegTaint[i]
+		}
+		a.callImpl(name, c)
+		c.RegTaint[0] = t
+		if wide {
+			c.RegTaint[1] = t
+		}
+	}
+}
+
+func modelCopy(a *Analyzer, c *arm.CPU, name string) {
+	dst, src, n := c.R[0], c.R[1], c.R[2]
+	a.callImpl(name, c)
+	// Listing 3: per-byte propagation from src to dst.
+	a.Engine.Mem.Copy(dst, src, n)
+}
+
+func modelStrcpy(a *Analyzer, c *arm.CPU, name string) {
+	dst, src := c.R[0], c.R[1]
+	n := a.cstrLen(src)
+	a.callImpl(name, c)
+	a.Engine.Mem.Copy(dst, src, n)
+}
+
+func modelStrncpy(a *Analyzer, c *arm.CPU, name string) {
+	dst, src, n := c.R[0], c.R[1], c.R[2]
+	if sl := a.cstrLen(src); sl < n {
+		n = sl
+	}
+	a.callImpl(name, c)
+	a.Engine.Mem.Copy(dst, src, n)
+}
+
+func modelStrcat(a *Analyzer, c *arm.CPU, name string) {
+	dst, src := c.R[0], c.R[1]
+	dstLen := a.cstrLen(dst) - 1
+	srcLen := a.cstrLen(src)
+	a.callImpl(name, c)
+	a.Engine.Mem.Copy(dst+dstLen, src, srcLen)
+}
+
+func modelStrdup(a *Analyzer, c *arm.CPU, name string) {
+	src := c.R[0]
+	n := a.cstrLen(src)
+	a.callImpl(name, c)
+	if c.R[0] != 0 {
+		a.Engine.Mem.Copy(c.R[0], src, n)
+	}
+	c.RegTaint[0] = 0
+}
+
+func modelMemset(a *Analyzer, c *arm.CPU, name string) {
+	dst, n := c.R[0], c.R[2]
+	t := c.RegTaint[1]
+	a.callImpl(name, c)
+	a.Engine.Mem.SetRange(dst, n, t)
+}
+
+func modelCmpN(a *Analyzer, c *arm.CPU, name string) {
+	t := a.Engine.Mem.GetRange(c.R[0], c.R[2]) | a.Engine.Mem.GetRange(c.R[1], c.R[2])
+	a.callImpl(name, c)
+	c.RegTaint[0] = t
+}
+
+func modelCmpStr(a *Analyzer, c *arm.CPU, name string) {
+	t := a.Engine.Mem.GetRange(c.R[0], a.cstrLen(c.R[0])) |
+		a.Engine.Mem.GetRange(c.R[1], a.cstrLen(c.R[1]))
+	a.callImpl(name, c)
+	c.RegTaint[0] = t
+}
+
+func modelCmpStrN(a *Analyzer, c *arm.CPU, name string) {
+	n := c.R[2]
+	t := a.Engine.Mem.GetRange(c.R[0], n) | a.Engine.Mem.GetRange(c.R[1], n)
+	a.callImpl(name, c)
+	c.RegTaint[0] = t
+}
+
+// modelRetFromString taints the return value from the bytes of the string
+// argument at position arg.
+func modelRetFromString(arg int) modelFunc {
+	return func(a *Analyzer, c *arm.CPU, name string) {
+		t := a.Engine.Mem.GetRange(c.R[arg], a.cstrLen(c.R[arg]))
+		a.callImpl(name, c)
+		c.RegTaint[0] = t
+		c.RegTaint[1] = t // wide returns (strtod)
+	}
+}
+
+func modelPtrIntoString(a *Analyzer, c *arm.CPU, name string) {
+	t := a.Engine.Mem.GetRange(c.R[0], a.cstrLen(c.R[0]))
+	a.callImpl(name, c)
+	// The returned pointer indexes into the (possibly tainted) buffer.
+	c.RegTaint[0] = t
+}
+
+func modelMemchr(a *Analyzer, c *arm.CPU, name string) {
+	t := a.Engine.Mem.GetRange(c.R[0], c.R[2])
+	a.callImpl(name, c)
+	c.RegTaint[0] = t
+}
+
+func modelClearRet(a *Analyzer, c *arm.CPU, name string) {
+	a.callImpl(name, c)
+	c.RegTaint[0] = 0
+}
+
+func modelMalloc(a *Analyzer, c *arm.CPU, name string) {
+	n := c.R[0]
+	a.callImpl(name, c)
+	if c.R[0] != 0 {
+		a.Engine.Mem.ClearRange(c.R[0], n)
+	}
+	c.RegTaint[0] = 0
+}
+
+func modelCalloc(a *Analyzer, c *arm.CPU, name string) {
+	n := c.R[0] * c.R[1]
+	a.callImpl(name, c)
+	if c.R[0] != 0 {
+		a.Engine.Mem.ClearRange(c.R[0], n)
+	}
+	c.RegTaint[0] = 0
+}
+
+func modelFree(a *Analyzer, c *arm.CPU, name string) {
+	addr := c.R[0]
+	if size, ok := a.Sys.Libc.AllocSize(addr); ok {
+		a.Engine.Mem.ClearRange(addr, size)
+	}
+	a.callImpl(name, c)
+}
+
+func modelRealloc(a *Analyzer, c *arm.CPU, name string) {
+	old, n := c.R[0], c.R[1]
+	oldSize, _ := a.Sys.Libc.AllocSize(old)
+	if oldSize > n {
+		oldSize = n
+	}
+	// Capture taints before the implementation frees the old block.
+	taints := make([]taint.Tag, oldSize)
+	for i := uint32(0); i < oldSize; i++ {
+		taints[i] = a.Engine.Mem.Get(old + i)
+	}
+	a.callImpl(name, c)
+	if c.R[0] != 0 {
+		for i := uint32(0); i < oldSize; i++ {
+			a.Engine.Mem.Set(c.R[0]+i, taints[i])
+		}
+	}
+	c.RegTaint[0] = 0
+}
+
+// formatTaint unions the taints of a format invocation: the format string's
+// bytes plus each consumed argument's shadow state.
+func (a *Analyzer) formatTaint(c *arm.CPU, fmtAddr uint32, args []libc.FormatArg) taint.Tag {
+	t := a.Engine.Mem.GetRange(fmtAddr, a.cstrLen(fmtAddr))
+	for _, fa := range args {
+		if fa.StrAddr != 0 {
+			t |= a.Engine.Mem.GetRange(fa.StrAddr, fa.StrLen+1)
+		}
+		if fa.ArgPos >= 0 && fa.ArgPos < 4 {
+			t |= c.RegTaint[fa.ArgPos]
+		}
+		if fa.SrcAddr != 0 {
+			t |= a.Engine.Mem.Get32(fa.SrcAddr)
+		}
+	}
+	return t
+}
+
+func modelSprintf(a *Analyzer, c *arm.CPU, name string) {
+	dst := c.R[0]
+	out, args := a.Sys.Libc.FormatAAPCS(c, c.R[1], 2)
+	t := a.formatTaint(c, c.R[1], args)
+	a.callImpl(name, c)
+	a.Engine.Mem.SetRange(dst, uint32(len(out))+1, t)
+}
+
+func modelSnprintf(a *Analyzer, c *arm.CPU, name string) {
+	dst, n := c.R[0], c.R[1]
+	out, args := a.Sys.Libc.FormatAAPCS(c, c.R[2], 3)
+	t := a.formatTaint(c, c.R[2], args)
+	a.callImpl(name, c)
+	size := uint32(len(out)) + 1
+	if size > n {
+		size = n
+	}
+	a.Engine.Mem.SetRange(dst, size, t)
+}
+
+func modelVsprintf(a *Analyzer, c *arm.CPU, name string) {
+	dst := c.R[0]
+	out, args := a.Sys.Libc.FormatVA(c.R[1], c.R[2])
+	t := a.formatTaint(c, c.R[1], args)
+	a.callImpl(name, c)
+	a.Engine.Mem.SetRange(dst, uint32(len(out))+1, t)
+}
+
+func modelVsnprintf(a *Analyzer, c *arm.CPU, name string) {
+	dst, n := c.R[0], c.R[1]
+	out, args := a.Sys.Libc.FormatVA(c.R[2], c.R[3])
+	t := a.formatTaint(c, c.R[2], args)
+	a.callImpl(name, c)
+	size := uint32(len(out)) + 1
+	if size > n {
+		size = n
+	}
+	a.Engine.Mem.SetRange(dst, size, t)
+}
+
+func modelSscanf(a *Analyzer, c *arm.CPU, name string) {
+	src := c.R[0]
+	t := a.Engine.Mem.GetRange(src, a.cstrLen(src))
+	a.callImpl(name, c)
+	if t == 0 {
+		return
+	}
+	// Conservative: the output argument targets receive the input's taint.
+	// Output pointers are args 2..2+matched-1.
+	matched := c.R[0]
+	for i := uint32(0); i < matched; i++ {
+		ptr := c.Arg(int(2 + i))
+		a.Engine.Mem.AddRange(ptr, 4, t)
+	}
+	c.RegTaint[0] = 0
+}
+
+// --- sinks -------------------------------------------------------------------
+
+// sinkData captures the leaked bytes only when the buffer is tainted; clean
+// traffic costs one taint-map scan, which is what keeps the paper's disk and
+// network rows near 1x.
+func (a *Analyzer) sinkData(buf, n uint32, t taint.Tag) []byte {
+	if t == 0 {
+		return nil
+	}
+	return a.Sys.Mem.ReadBytes(buf, n)
+}
+
+func modelSinkWrite(a *Analyzer, c *arm.CPU, name string) {
+	fd, buf, n := int32(c.R[0]), c.R[1], c.R[2]
+	t := a.Engine.Mem.GetRange(buf, n) | c.RegTaint[1]
+	data := a.sinkData(buf, n, t)
+	a.callImpl(name, c)
+	if t != 0 {
+		a.report(name, a.fdDesc(fd), t, data)
+	}
+}
+
+func modelSinkSend(a *Analyzer, c *arm.CPU, name string) {
+	fd, buf, n := int32(c.R[0]), c.R[1], c.R[2]
+	t := a.Engine.Mem.GetRange(buf, n) | c.RegTaint[1]
+	data := a.sinkData(buf, n, t)
+	a.callImpl(name, c)
+	if t != 0 {
+		a.report(name, a.fdDesc(fd), t, data)
+	}
+}
+
+func modelSinkSendto(a *Analyzer, c *arm.CPU, name string) {
+	buf, n := c.R[1], c.R[2]
+	t := a.Engine.Mem.GetRange(buf, n) | c.RegTaint[1]
+	data := a.sinkData(buf, n, t)
+	var dest string
+	if t != 0 {
+		dest = a.Sys.Mem.ReadCString(c.R[3], 0)
+	}
+	a.callImpl(name, c)
+	if t != 0 {
+		a.report(name, dest, t, data)
+	}
+}
+
+func modelSinkFwrite(a *Analyzer, c *arm.CPU, name string) {
+	buf, n := c.R[0], c.R[1]*c.R[2]
+	fp := c.R[3]
+	t := a.Engine.Mem.GetRange(buf, n) | c.RegTaint[0]
+	data := a.sinkData(buf, n, t)
+	a.callImpl(name, c)
+	if t != 0 {
+		dest, _ := a.Sys.Libc.FilePath(fp)
+		a.report(name, dest, t, data)
+	}
+}
+
+func modelSinkFputs(a *Analyzer, c *arm.CPU, name string) {
+	s := c.R[0]
+	n := a.cstrLen(s)
+	t := a.Engine.Mem.GetRange(s, n) | c.RegTaint[0]
+	data := a.Sys.Mem.ReadBytes(s, n-1)
+	dest, _ := a.Sys.Libc.FilePath(c.R[1])
+	a.callImpl(name, c)
+	a.report(name, dest, t, data)
+}
+
+func modelSinkFputc(a *Analyzer, c *arm.CPU, name string) {
+	t := c.RegTaint[0]
+	data := []byte{byte(c.R[0])}
+	dest, _ := a.Sys.Libc.FilePath(c.R[1])
+	a.callImpl(name, c)
+	a.report(name, dest, t, data)
+}
+
+func modelSinkFprintf(a *Analyzer, c *arm.CPU, name string) {
+	fp := c.R[0]
+	out, args := a.Sys.Libc.FormatAAPCS(c, c.R[1], 2)
+	t := a.formatTaint(c, c.R[1], args)
+	dest, _ := a.Sys.Libc.FilePath(fp)
+	a.Log.Addf("SinkHandler[fprintf] begin: fprintf(FILE@0x%x, ...)", fp)
+	for _, fa := range args {
+		if fa.StrAddr != 0 {
+			a.Log.Addf("t[%x] = %v write: %s", fa.StrAddr,
+				a.Engine.Mem.GetRange(fa.StrAddr, fa.StrLen+1), fa.Text)
+		}
+	}
+	a.callImpl(name, c)
+	a.report(name, dest, t, []byte(out))
+	a.Log.Addf("SinkHandler[fprintf] end")
+}
+
+func modelSinkVfprintf(a *Analyzer, c *arm.CPU, name string) {
+	fp := c.R[0]
+	out, args := a.Sys.Libc.FormatVA(c.R[1], c.R[2])
+	t := a.formatTaint(c, c.R[1], args)
+	dest, _ := a.Sys.Libc.FilePath(fp)
+	a.callImpl(name, c)
+	a.report(name, dest, t, []byte(out))
+}
+
+func modelTrustCall(a *Analyzer, c *arm.CPU, name string) {
+	a.Log.Addf("TrustCallHandler[%s] begin", name)
+	a.callImpl(name, c)
+	a.Log.Addf("TrustCallHandler[%s] end", name)
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/kernel"
+	"repro/internal/taint"
+)
+
+// sysEnv builds a full system with the NDroid engines installed (no app).
+func sysEnv(t *testing.T) *Analyzer {
+	t.Helper()
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnalyzer(sys, ModeNDroid)
+}
+
+// callLibc invokes a libc symbol from "native" context with up to 4 args.
+func callLibc(t *testing.T, a *Analyzer, name string, args ...uint32) uint32 {
+	t.Helper()
+	addr, ok := a.Sys.Libc.Sym(name)
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	c := a.Sys.CPU
+	for i, v := range args {
+		c.R[i] = v
+	}
+	pad := kernel.ReturnPadBase + 0x1000
+	c.R[arm.LR] = pad
+	c.SetThumbPC(addr)
+	if err := c.RunUntil(pad, 1<<22); err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	return c.R[0]
+}
+
+const scratch = 0x0070_0000 // app-data scratch area for tests
+
+func TestModelMemcpyPropagates(t *testing.T) {
+	a := sysEnv(t)
+	src, dst := uint32(scratch), uint32(scratch+0x100)
+	a.Sys.Mem.WriteBytes(src, []byte("secret!!"))
+	a.Engine.Mem.SetRange(src, 8, taint.IMEI)
+	for i := range a.Sys.CPU.RegTaint {
+		a.Sys.CPU.RegTaint[i] = 0
+	}
+	callLibc(t, a, "memcpy", dst, src, 8)
+	if got := a.Engine.Mem.GetRange(dst, 8); got != taint.IMEI {
+		t.Errorf("dst taint = %v", got)
+	}
+	if got := string(a.Sys.Mem.ReadBytes(dst, 8)); got != "secret!!" {
+		t.Errorf("dst data = %q", got)
+	}
+}
+
+// TestModeledVsTracedEquivalence is the E13 ablation's correctness half:
+// the memcpy *model* and the instruction-traced memcpy.insn *body* must
+// leave identical taint state.
+func TestModeledVsTracedEquivalence(t *testing.T) {
+	for _, fn := range []string{"memcpy", "memcpy.insn"} {
+		a := sysEnv(t)
+		// The tracer must cover libc for the .insn variant.
+		a.Tracer.InRange = nil
+		src, dst := uint32(scratch), uint32(scratch+0x100)
+		a.Sys.Mem.WriteBytes(src, []byte("abcdefgh"))
+		a.Engine.Mem.SetRange(src+2, 3, taint.SMS) // partial taint
+		callLibc(t, a, fn, dst, src, 8)
+		for i := uint32(0); i < 8; i++ {
+			want := taint.Clear
+			if i >= 2 && i < 5 {
+				want = taint.SMS
+			}
+			if got := a.Engine.Mem.Get(dst + i); got != want {
+				t.Errorf("%s: byte %d taint = %v, want %v", fn, i, got, want)
+			}
+		}
+	}
+}
+
+func TestModelStrcpyAndStrlen(t *testing.T) {
+	a := sysEnv(t)
+	src, dst := uint32(scratch), uint32(scratch+0x100)
+	a.Sys.Mem.WriteCString(src, "imei-data")
+	a.Engine.Mem.SetRange(src, 10, taint.IMEI)
+	callLibc(t, a, "strcpy", dst, src)
+	if got := a.Engine.Mem.GetRange(dst, 10); got != taint.IMEI {
+		t.Errorf("strcpy taint = %v", got)
+	}
+	callLibc(t, a, "strlen", dst)
+	if a.Sys.CPU.RegTaint[0] != taint.IMEI {
+		t.Errorf("strlen ret taint = %v", a.Sys.CPU.RegTaint[0])
+	}
+}
+
+func TestModelSprintfString(t *testing.T) {
+	a := sysEnv(t)
+	buf, format, arg := uint32(scratch), uint32(scratch+0x100), uint32(scratch+0x200)
+	a.Sys.Mem.WriteCString(format, "sid=%s")
+	a.Sys.Mem.WriteCString(arg, "SECRET")
+	a.Engine.Mem.SetRange(arg, 7, taint.SMS)
+	callLibc(t, a, "sprintf", buf, format, arg)
+	if got := a.Sys.Mem.ReadCString(buf, 0); got != "sid=SECRET" {
+		t.Errorf("sprintf = %q", got)
+	}
+	if got := a.Engine.Mem.GetRange(buf, 11); got != taint.SMS {
+		t.Errorf("sprintf taint = %v", got)
+	}
+}
+
+func TestModelSprintfIntFromShadowReg(t *testing.T) {
+	a := sysEnv(t)
+	buf, format := uint32(scratch), uint32(scratch+0x100)
+	a.Sys.Mem.WriteCString(format, "v=%d")
+	c := a.Sys.CPU
+	c.RegTaint[2] = taint.Contacts // the %d argument register
+	callLibc(t, a, "sprintf", buf, format, 12345)
+	if got := a.Engine.Mem.GetRange(buf, 8); got != taint.Contacts {
+		t.Errorf("sprintf %%d taint = %v", got)
+	}
+}
+
+func TestModelAtoiTaintsReturn(t *testing.T) {
+	a := sysEnv(t)
+	s := uint32(scratch)
+	a.Sys.Mem.WriteCString(s, "451")
+	a.Engine.Mem.SetRange(s, 4, taint.PhoneNumber)
+	if got := callLibc(t, a, "atoi", s); got != 451 {
+		t.Errorf("atoi = %d", got)
+	}
+	if a.Sys.CPU.RegTaint[0] != taint.PhoneNumber {
+		t.Errorf("atoi ret taint = %v", a.Sys.CPU.RegTaint[0])
+	}
+}
+
+func TestModelMallocClearsStaleTaint(t *testing.T) {
+	a := sysEnv(t)
+	p := callLibc(t, a, "malloc", 32)
+	if p == 0 {
+		t.Fatal("malloc NULL")
+	}
+	a.Engine.Mem.SetRange(p, 32, taint.IMEI)
+	callLibc(t, a, "free", p)
+	q := callLibc(t, a, "malloc", 32)
+	if q != p {
+		t.Fatalf("allocator should reuse: %#x vs %#x", p, q)
+	}
+	if got := a.Engine.Mem.GetRange(q, 32); got != 0 {
+		t.Errorf("recycled block carries stale taint %v", got)
+	}
+}
+
+func TestModelReallocCarriesTaint(t *testing.T) {
+	a := sysEnv(t)
+	p := callLibc(t, a, "malloc", 8)
+	a.Sys.Mem.WriteBytes(p, []byte("12345678"))
+	a.Engine.Mem.SetRange(p, 8, taint.SMS)
+	q := callLibc(t, a, "realloc", p, 64)
+	if q == 0 {
+		t.Fatal("realloc NULL")
+	}
+	if got := a.Engine.Mem.GetRange(q, 8); got != taint.SMS {
+		t.Errorf("realloc taint = %v", got)
+	}
+}
+
+func TestSinkWriteReports(t *testing.T) {
+	a := sysEnv(t)
+	buf := uint32(scratch)
+	a.Sys.Mem.WriteBytes(buf, []byte("leakme"))
+	a.Engine.Mem.SetRange(buf, 6, taint.IMEI)
+	// write(1, buf, 6) — fd 1 is the task stdout.
+	callLibc(t, a, "write", 1, buf, 6)
+	leaks := a.LeaksAt("write")
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %v", a.Leaks)
+	}
+	if string(leaks[0].Data) != "leakme" || !leaks[0].Tag.Has(taint.IMEI) {
+		t.Errorf("leak = %+v", leaks[0])
+	}
+}
+
+func TestSinkCleanTrafficSilent(t *testing.T) {
+	a := sysEnv(t)
+	buf := uint32(scratch)
+	a.Sys.Mem.WriteBytes(buf, []byte("benign"))
+	callLibc(t, a, "write", 1, buf, 6)
+	if len(a.Leaks) != 0 {
+		t.Errorf("clean write reported: %v", a.Leaks)
+	}
+}
+
+func TestSinkFputsFputc(t *testing.T) {
+	a := sysEnv(t)
+	path, mode, s := uint32(scratch), uint32(scratch+0x40), uint32(scratch+0x80)
+	a.Sys.Mem.WriteCString(path, "/sdcard/out")
+	a.Sys.Mem.WriteCString(mode, "w")
+	a.Sys.Mem.WriteCString(s, "tainted-line")
+	a.Engine.Mem.SetRange(s, 12, taint.Contacts)
+	fp := callLibc(t, a, "fopen", path, mode)
+	callLibc(t, a, "fputs", s, fp)
+	a.Sys.CPU.RegTaint[0] = taint.Contacts
+	callLibc(t, a, "fputc", 'X', fp)
+	callLibc(t, a, "fclose", fp)
+	if len(a.LeaksAt("fputs")) != 1 {
+		t.Errorf("fputs leaks = %v", a.Leaks)
+	}
+	if len(a.LeaksAt("fputc")) != 1 {
+		t.Errorf("fputc leaks = %v", a.Leaks)
+	}
+	if got, _ := a.Sys.Kern.FS.ReadFile("/sdcard/out"); string(got) != "tainted-lineX" {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestLibmModelPropagates(t *testing.T) {
+	a := sysEnv(t)
+	c := a.Sys.CPU
+	// sqrt(16.0): double in R0/R1 with tainted low word.
+	c.RegTaint[1] = taint.Location
+	callLibc(t, a, "sqrt", 0, 0x40300000)
+	if c.R[1] != 0x40100000 { // 4.0 high word
+		t.Errorf("sqrt result hi = %#x", c.R[1])
+	}
+	if c.RegTaint[0] != taint.Location || c.RegTaint[1] != taint.Location {
+		t.Errorf("sqrt ret taints = %v %v", c.RegTaint[0], c.RegTaint[1])
+	}
+}
+
+func TestStrchrPointerTaint(t *testing.T) {
+	a := sysEnv(t)
+	s := uint32(scratch)
+	a.Sys.Mem.WriteCString(s, "a=b")
+	a.Engine.Mem.SetRange(s, 4, taint.SMS)
+	p := callLibc(t, a, "strchr", s, '=')
+	if p != s+1 {
+		t.Fatalf("strchr = %#x, want %#x", p, s+1)
+	}
+	if a.Sys.CPU.RegTaint[0] != taint.SMS {
+		t.Errorf("strchr ret taint = %v", a.Sys.CPU.RegTaint[0])
+	}
+}
+
+// TestEveryTable6FunctionHasModel: each libc row of Table VI is either
+// modeled or libm-modeled under NDroid.
+func TestEveryTable6FunctionHasModel(t *testing.T) {
+	table6libc := []string{
+		"memcpy", "free", "malloc", "memset", "strlen", "strcmp", "realloc",
+		"strcpy", "memcmp", "strncmp", "memmove", "sprintf", "strncpy",
+		"fprintf", "strchr", "snprintf", "calloc", "strstr", "atoi",
+		"strrchr", "memchr", "strcat", "sscanf", "vsnprintf", "strcasecmp",
+		"strdup", "strncasecmp", "strtoul", "sysconf", "vsprintf", "vfprintf",
+		"atol",
+	}
+	for _, name := range table6libc {
+		if _, ok := sysModels[name]; !ok {
+			t.Errorf("Table VI libc function %q has no model", name)
+		}
+	}
+	table6libm := []string{
+		"sin", "pow", "cos", "sqrt", "floor", "log", "strtod", "strtol",
+		"exp", "atan2", "sinf", "ceil", "cosf", "sqrtf", "tan", "acos",
+		"log10", "atan", "asin", "ldexp", "sinh", "cosh", "fmod", "powf",
+		"atan2f", "expf",
+	}
+	for _, name := range table6libm {
+		_, inModels := sysModels[name]
+		_, inLibm := libmSigs[name]
+		if !inModels && !inLibm {
+			t.Errorf("Table VI libm function %q has no model", name)
+		}
+	}
+}
+
+// TestEveryTable7CallHooked: every Table VII standard call resolves to a
+// symbol and carries either a sink or trust-call hook.
+func TestEveryTable7CallHooked(t *testing.T) {
+	a := sysEnv(t)
+	table7 := []string{
+		"fwrite", "fclose", "fopen", "fread", "close", "write", "fputc",
+		"read", "fputs", "open", "fcntl", "fstat", "munmap", "mmap",
+		"dlopen", "stat", "fgets", "socket", "connect", "send", "dlsym",
+		"bind", "dlclose", "ioctl", "listen", "mkdir", "accept", "select",
+		"getc", "rename", "sendto", "recvfrom", "fdopen", "mprotect",
+		"remove", "kill", "fork", "execve", "chown", "ptrace", "sysconf",
+	}
+	for _, name := range table7 {
+		if _, ok := a.Sys.Libc.Sym(name); !ok {
+			t.Errorf("Table VII call %q has no symbol", name)
+		}
+		if _, ok := sysModels[name]; !ok {
+			t.Errorf("Table VII call %q has no hook", name)
+		}
+	}
+}

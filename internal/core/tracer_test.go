@@ -1,0 +1,326 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// traceEnv builds a CPU with the NDroid tracer attached (no DVM), for
+// exercising Table V rules directly on assembled code.
+type traceEnv struct {
+	cpu *arm.CPU
+	m   *mem.Memory
+	eng *TaintEngine
+	tr  *Tracer
+}
+
+func newTraceEnv(t *testing.T) *traceEnv {
+	t.Helper()
+	m := mem.New()
+	cpu := arm.New(m)
+	cpu.R[arm.SP] = 0x90000
+	cpu.UseDecodeCache = true
+	eng := NewTaintEngine(cpu)
+	tr := NewTracer(eng)
+	cpu.Tracer = tr
+	return &traceEnv{cpu: cpu, m: m, eng: eng, tr: tr}
+}
+
+// run assembles src at 0x8000 and executes until HLT.
+func (e *traceEnv) run(t *testing.T, src string, thumb bool) {
+	t.Helper()
+	prog, err := arm.Assemble(src, 0x8000, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	e.m.WriteBytes(prog.Base, prog.Code)
+	entry := prog.Base
+	if thumb {
+		entry |= 1
+	}
+	e.cpu.SetThumbPC(entry)
+	if err := e.cpu.Run(1 << 16); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !e.cpu.Halted && !thumb {
+		t.Fatal("did not halt")
+	}
+}
+
+// TestTable5BinaryOps: binary-op Rd, Rn, Rm → t(Rd) = t(Rn) OR t(Rm).
+func TestTable5BinaryOps(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[1] = taint.IMEI
+	e.cpu.RegTaint[2] = taint.SMS
+	e.run(t, `
+	ADD R0, R1, R2
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.IMEI|taint.SMS {
+		t.Errorf("t(Rd) = %v, want IMEI|SMS", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5TwoOperandForm: binary-op Rd, Rm → t(Rd) = t(Rd) OR t(Rm).
+func TestTable5TwoOperandForm(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[0] = taint.IMEI
+	e.cpu.RegTaint[1] = taint.SMS
+	e.run(t, `
+	ADD R0, R1      ; accumulate form: Rd = Rd + Rm
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.IMEI|taint.SMS {
+		t.Errorf("t(Rd) = %v, want IMEI|SMS (accumulate)", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5ImmForm: binary-op Rd, Rm, #imm → t(Rd) = t(Rm).
+func TestTable5ImmForm(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[1] = taint.Contacts
+	e.cpu.RegTaint[0] = taint.SMS // must be overwritten, not ORed
+	e.run(t, `
+	ADD R0, R1, #4
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.Contacts {
+		t.Errorf("t(Rd) = %v, want Contacts only", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5Unary: unary Rd, Rm → t(Rd) = t(Rm).
+func TestTable5Unary(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[3] = taint.IMSI
+	e.run(t, `
+	MVN R0, R3
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.IMSI {
+		t.Errorf("t(Rd) = %v, want IMSI", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5MovImmClears: mov Rd, #imm → TAINT_CLEAR.
+func TestTable5MovImmClears(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[0] = taint.IMEI
+	e.run(t, `
+	MOV R0, #5
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != 0 {
+		t.Errorf("t(Rd) = %v, want clear", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5MovReg: mov Rd, Rm → t(Rd) = t(Rm).
+func TestTable5MovReg(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[7] = taint.Location
+	e.run(t, `
+	MOV R0, R7
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.Location {
+		t.Errorf("t(Rd) = %v", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5LoadAddressTaint: LDR propagates both the memory taint and the
+// base-register taint ("if the tainted input is the address of an untainted
+// value, the taint will be propagated").
+func TestTable5LoadAddressTaint(t *testing.T) {
+	e := newTraceEnv(t)
+	e.m.Write32(0x20000, 42)
+	e.eng.Mem.Set32(0x20000, taint.SMS)
+	e.cpu.R[1] = 0x20000
+	e.cpu.RegTaint[1] = taint.IMEI // tainted pointer
+	e.run(t, `
+	LDR R0, [R1]
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.SMS|taint.IMEI {
+		t.Errorf("t(Rd) = %v, want SMS|IMEI (mem OR base)", e.cpu.RegTaint[0])
+	}
+}
+
+// TestTable5Store: STR → t(M[addr]) = t(Rd), overwriting.
+func TestTable5Store(t *testing.T) {
+	e := newTraceEnv(t)
+	e.eng.Mem.Set32(0x20000, taint.SMS) // stale taint to be overwritten
+	e.cpu.R[0] = 7
+	e.cpu.RegTaint[0] = taint.IMEI
+	e.cpu.R[1] = 0x20000
+	e.run(t, `
+	STR R0, [R1]
+	HLT
+`, false)
+	if got := e.eng.Mem.Get32(0x20000); got != taint.IMEI {
+		t.Errorf("t(M) = %v, want IMEI (set, not OR)", got)
+	}
+}
+
+// TestTable5StoreByteWidth: STRB taints exactly one byte.
+func TestTable5StoreByteWidth(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.R[0] = 0xff
+	e.cpu.RegTaint[0] = taint.IMEI
+	e.cpu.R[1] = 0x20000
+	e.run(t, `
+	STRB R0, [R1, #1]
+	HLT
+`, false)
+	if e.eng.Mem.Get(0x20001) != taint.IMEI {
+		t.Error("target byte untainted")
+	}
+	if e.eng.Mem.Get(0x20000) != 0 || e.eng.Mem.Get(0x20002) != 0 {
+		t.Error("neighbouring bytes must stay clean")
+	}
+}
+
+// TestTable5PushPop: STM(PUSH) writes per-register taints; LDM(POP) restores
+// them ORed with the base register taint.
+func TestTable5PushPop(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[4] = taint.IMEI
+	e.cpu.RegTaint[5] = taint.SMS
+	e.run(t, `
+	PUSH {R4, R5}
+	MOV R4, #0
+	MOV R5, #0
+	POP {R4, R5}
+	HLT
+`, false)
+	if e.cpu.RegTaint[4] != taint.IMEI || e.cpu.RegTaint[5] != taint.SMS {
+		t.Errorf("taints after pop: R4=%v R5=%v", e.cpu.RegTaint[4], e.cpu.RegTaint[5])
+	}
+}
+
+// TestTable5CompareNoEffect: CMP/TST have no taint effect.
+func TestTable5CompareNoEffect(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[0] = taint.IMEI
+	e.cpu.RegTaint[1] = taint.SMS
+	e.run(t, `
+	CMP R0, R1
+	TST R0, #1
+	HLT
+`, false)
+	if e.cpu.RegTaint[0] != taint.IMEI || e.cpu.RegTaint[1] != taint.SMS {
+		t.Error("compares must not move taint")
+	}
+}
+
+// TestTable5FloatOps: VFP-style ops follow the binary rule.
+func TestTable5FloatOps(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[1] = taint.Location
+	e.run(t, `
+	MOV R0, #2
+	SITOF R2, R0
+	FADDS R3, R2, R1
+	HLT
+`, false)
+	if e.cpu.RegTaint[3] != taint.Location {
+		t.Errorf("t(FADDS dst) = %v", e.cpu.RegTaint[3])
+	}
+}
+
+// TestTable5ThumbSharesRules: the same flow in Thumb code propagates
+// identically (the paper handles 55 Thumb instructions with the same logic).
+func TestTable5ThumbSharesRules(t *testing.T) {
+	e := newTraceEnv(t)
+	e.cpu.RegTaint[1] = taint.IMEI
+	e.cpu.RegTaint[2] = taint.SMS
+	prog := arm.MustAssemble(`
+	.thumb
+	ADD R0, R1, R2
+	MOV R3, R0
+	MOV R4, #9
+	BX LR
+`, 0x8000, nil)
+	e.m.WriteBytes(prog.Base, prog.Code)
+	e.cpu.R[arm.LR] = 0x9000
+	e.cpu.SetThumbPC(0x8001)
+	if err := e.cpu.RunUntil(0x9000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if e.cpu.RegTaint[0] != taint.IMEI|taint.SMS {
+		t.Errorf("thumb ADD taint = %v", e.cpu.RegTaint[0])
+	}
+	if e.cpu.RegTaint[3] != taint.IMEI|taint.SMS {
+		t.Errorf("thumb MOV taint = %v", e.cpu.RegTaint[3])
+	}
+	if e.cpu.RegTaint[4] != 0 {
+		t.Errorf("thumb MOV #imm taint = %v, want clear", e.cpu.RegTaint[4])
+	}
+}
+
+// TestTracerRangeGating: instructions outside InRange are skipped.
+func TestTracerRangeGating(t *testing.T) {
+	e := newTraceEnv(t)
+	e.tr.InRange = func(addr uint32) bool { return false }
+	e.cpu.RegTaint[1] = taint.IMEI
+	e.run(t, `
+	MOV R0, R1
+	HLT
+`, false)
+	if e.tr.Traced != 0 || e.tr.Skipped == 0 {
+		t.Errorf("traced=%d skipped=%d", e.tr.Traced, e.tr.Skipped)
+	}
+	if e.cpu.RegTaint[0] != 0 {
+		t.Error("skipped instruction must not propagate")
+	}
+}
+
+// TestTracerHandlerCacheEquivalence: cached and uncached dispatch produce
+// identical taint results (the E17 ablation's correctness side).
+func TestTracerHandlerCacheEquivalence(t *testing.T) {
+	src := `
+	MOV R3, #0
+loop:
+	ADD R0, R0, R1
+	EOR R0, R0, R2
+	ADD R3, R3, #1
+	CMP R3, #20
+	BNE loop
+	HLT
+`
+	results := make([]taint.Tag, 2)
+	for i, useCache := range []bool{true, false} {
+		e := newTraceEnv(t)
+		e.tr.UseHandlerCache = useCache
+		e.cpu.RegTaint[1] = taint.IMEI
+		e.cpu.RegTaint[2] = taint.SMS
+		e.run(t, src, false)
+		results[i] = e.cpu.RegTaint[0]
+	}
+	if results[0] != results[1] {
+		t.Errorf("cache changes semantics: %v vs %v", results[0], results[1])
+	}
+	if results[0] != taint.IMEI|taint.SMS {
+		t.Errorf("loop taint = %v", results[0])
+	}
+}
+
+// TestTracerPerOpStats: the Table V bench surface counts per operation.
+func TestTracerPerOpStats(t *testing.T) {
+	e := newTraceEnv(t)
+	e.run(t, `
+	MOV R0, #1
+	ADD R1, R0, R0
+	ADD R2, R1, R0
+	HLT
+`, false)
+	if e.tr.PerOp[arm.OpADD] != 2 {
+		t.Errorf("ADD count = %d, want 2", e.tr.PerOp[arm.OpADD])
+	}
+	if e.tr.PerOp[arm.OpMOV] != 1 {
+		t.Errorf("MOV count = %d, want 1", e.tr.PerOp[arm.OpMOV])
+	}
+}

@@ -1,0 +1,159 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dex"
+)
+
+func TestClassifyTypeI(t *testing.T) {
+	a := &APK{MainClasses: []*dex.Class{loaderClass("x", "libfoo.so")}}
+	if Classify(a) != KindI {
+		t.Error("loadLibrary invocation should classify as Type I")
+	}
+}
+
+func TestClassifyTypeII(t *testing.T) {
+	a := &APK{
+		LibFiles:    []string{"lib/x86/libbar.so"},
+		MainClasses: []*dex.Class{plainClass("y")},
+	}
+	if Classify(a) != KindII {
+		t.Error("packaged lib without load should classify as Type II")
+	}
+}
+
+func TestClassifyTypeIII(t *testing.T) {
+	a := &APK{NativeActivity: true, LibFiles: []string{"lib/armeabi/libmain.so"}}
+	if Classify(a) != KindIII {
+		t.Error("pure native app should classify as Type III")
+	}
+}
+
+func TestClassifyNone(t *testing.T) {
+	a := &APK{MainClasses: []*dex.Class{plainClass("z")}}
+	if Classify(a) != KindNone {
+		t.Error("plain Java app misclassified")
+	}
+}
+
+func TestLoaderDexDetection(t *testing.T) {
+	a := &APK{
+		LibFiles:    []string{"assets/lib/libx.so"},
+		MainClasses: []*dex.Class{plainClass("m")},
+		EmbeddedDex: []*dex.Class{loaderClass("hidden", "libx.so")},
+	}
+	if Classify(a) != KindII {
+		t.Fatal("should be Type II")
+	}
+	if !HasLoaderDex(a) {
+		t.Error("embedded loader dex not detected")
+	}
+}
+
+func TestScanIsBytecodeBased(t *testing.T) {
+	// A class that *mentions* System in a string but never invokes
+	// loadLibrary must not classify as Type I.
+	cb := dex.NewClass("Lcom/test/Fake;")
+	cb.Method("m", "V", dex.AccStatic, 1).
+		ConstString(0, "java/lang/System loadLibrary").
+		ReturnVoid().
+		Done()
+	a := &APK{MainClasses: []*dex.Class{cb.Build()}}
+	if Classify(a) == KindI {
+		t.Error("string mention should not classify as Type I")
+	}
+}
+
+// TestPaperMarginals regenerates the full market and checks every §III
+// number is recovered by the analyzer.
+func TestPaperMarginals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 227,911-app market")
+	}
+	s := Analyze(PaperParams())
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"total", s.Total, 227911},
+		{"type I", s.TypeI, 37506},
+		{"type I no libs", s.TypeINoLibs, 4034},
+		{"type I no libs AdMob", s.TypeINoLibsAdMob, 1940},
+		{"type II", s.TypeII, 1738},
+		{"type II with loader", s.TypeIIWithLoader, 394},
+		{"type III", s.TypeIII, 16},
+		{"type III game", s.TypeIIICategories["Game"], 11},
+		{"type III entertainment", s.TypeIIICategories["Entertainment"], 5},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if p := s.TypeIPercent(); math.Abs(p-16.46) > 0.05 {
+		t.Errorf("Type I share = %.2f%%, want ~16.46%%", p)
+	}
+	if p := s.AdMobPercent(); math.Abs(p-48.1) > 0.2 {
+		t.Errorf("AdMob share = %.1f%%, want ~48.1%%", p)
+	}
+	if p := s.GamePercent(); math.Abs(p-42) > 1.0 {
+		t.Errorf("Game share = %.1f%%, want ~42%%", p)
+	}
+}
+
+func TestScaledMarketShape(t *testing.T) {
+	s := Analyze(Scaled(100))
+	if s.TypeI == 0 || s.TypeII == 0 || s.TypeIII == 0 {
+		t.Fatalf("scaled market lost populations: %+v", s)
+	}
+	if p := s.TypeIPercent(); math.Abs(p-16.46) > 1.0 {
+		t.Errorf("scaled Type I share = %.2f%%", p)
+	}
+	if s.CategoryDist["Game"] == 0 {
+		t.Error("no Game category apps")
+	}
+	top := s.TopLibs(5)
+	if len(top) < 5 {
+		t.Fatalf("too few libraries: %v", top)
+	}
+	if top[0] != "libunity.so" {
+		t.Errorf("most popular lib = %s, want libunity.so (game engines dominate)", top[0])
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	s := Analyze(Scaled(500))
+	r := s.Report()
+	for _, want := range []string{"Type I", "Type II", "Type III", "Fig. 2", "libunity.so"} {
+		if !containsStr(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Scaled(1000)
+	var first, second []string
+	Generate(p, func(a *APK) { first = append(first, a.Pkg+"/"+a.Category) })
+	Generate(p, func(a *APK) { second = append(second, a.Pkg+"/"+a.Category) })
+	if len(first) != len(second) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("nondeterministic at %d: %s vs %s", i, first[i], second[i])
+		}
+	}
+}

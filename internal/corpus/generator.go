@@ -1,0 +1,306 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dex"
+)
+
+// MarketParams sets the ground-truth marginals of the synthetic market. The
+// defaults are the paper's published numbers (§III).
+type MarketParams struct {
+	Total            int // all crawled apps
+	TypeI            int // apps invoking System.load/loadLibrary
+	TypeINoLibs      int // Type I apps packaging no .so at all
+	TypeINoLibsAdMob int // ... of which carry the AdMob plugin classes
+	TypeII           int // apps packaging .so without loading them
+	TypeIIWithLoader int // ... of which have a loader dex
+	TypeIIIGame      int // pure-native game apps
+	TypeIIIEnt       int // pure-native entertainment apps
+	Seed             int64
+}
+
+// PaperParams returns the §III numbers: 227,911 apps, 37,506 Type I (16.46%),
+// 4,034 Type I without libs (48.1% AdMob), 1,738 Type II (394 with loader
+// dex), 16 Type III (11 game, 5 entertainment).
+func PaperParams() MarketParams {
+	return MarketParams{
+		Total:            227911,
+		TypeI:            37506,
+		TypeINoLibs:      4034,
+		TypeINoLibsAdMob: 1940, // 48.1% of 4,034
+		TypeII:           1738,
+		TypeIIWithLoader: 394,
+		TypeIIIGame:      11,
+		TypeIIIEnt:       5,
+		Seed:             1,
+	}
+}
+
+// Scaled returns the paper marginals scaled down by factor (for tests and
+// benches), keeping every population non-empty.
+func Scaled(factor int) MarketParams {
+	p := PaperParams()
+	scale := func(n int) int {
+		v := n / factor
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p.Total = scale(p.Total)
+	p.TypeI = scale(p.TypeI)
+	p.TypeINoLibs = scale(p.TypeINoLibs)
+	p.TypeINoLibsAdMob = scale(p.TypeINoLibsAdMob)
+	p.TypeII = scale(p.TypeII)
+	p.TypeIIWithLoader = scale(p.TypeIIWithLoader)
+	p.TypeIIIGame = scale(p.TypeIIIGame)
+	p.TypeIIIEnt = scale(p.TypeIIIEnt)
+	return p
+}
+
+// CategoryShare is the Fig. 2 Type I category distribution (percent). The
+// figure's six labeled slices are Game 42%, Tools 5%, Entertainment 5%,
+// Personalization, Communication and Music And Audio 4% each; the remaining
+// slices are reconstructed to match the figure's 3%/2% band structure.
+var CategoryShare = []struct {
+	Name    string
+	Percent int
+}{
+	{"Game", 42},
+	{"Tools", 5},
+	{"Entertainment", 5},
+	{"Personalization", 4},
+	{"Communication", 4},
+	{"Music And Audio", 4},
+	{"Books And Reference", 3},
+	{"Business", 3},
+	{"Education", 3},
+	{"Lifestyle", 3},
+	{"Productivity", 3},
+	{"Sports", 3},
+	{"Travel And Local", 3},
+	{"Finance", 2},
+	{"Health And Fitness", 2},
+	{"News And Magazines", 2},
+	{"Photography", 2},
+	{"Social", 2},
+	{"Media And Video", 2},
+	{"Shopping", 2},
+	{"Others", 1},
+}
+
+// PopularLibs is the §III-A library inventory: game engines, audio/video
+// processing, and NDK/system libraries bundled for compatibility.
+var PopularLibs = []struct {
+	Name   string
+	Weight int
+	Kind   string // "game-engine", "media", "bundled-system"
+}{
+	{"libunity.so", 30, "game-engine"},
+	{"libgdx.so", 14, "game-engine"},
+	{"libbox2d.so", 10, "game-engine"},
+	{"libcocos2d.so", 10, "game-engine"},
+	{"libmono.so", 8, "game-engine"},
+	{"libffmpeg.so", 7, "media"},
+	{"libvlcjni.so", 4, "media"},
+	{"libopenal.so", 4, "media"},
+	{"libstlport_shared.so", 5, "bundled-system"},
+	{"libcore.so", 3, "bundled-system"},
+	{"libstagefright_froyo.so", 3, "bundled-system"},
+	{"libcrypto.so", 2, "bundled-system"},
+}
+
+// admobClasses are the eight AdMob plugin classes of §III-A, identified
+// among Type I apps without packaged libraries.
+var admobClasses = []string{
+	"Lcom/google/ads/AdActivity;",
+	"Lcom/google/ads/AdView;",
+	"Lcom/google/ads/AdRequest;",
+	"Lcom/google/ads/AdSize;",
+	"Lcom/google/ads/InterstitialAd;",
+	"Lcom/google/ads/AdListener;",
+	"Lcom/google/ads/mediation/MediationAdapter;",
+	"Lcom/google/ads/util/AdUtil;",
+}
+
+// Generate streams the synthetic market app by app so the 227,911-app study
+// runs in constant memory. The emit callback must not retain the APK.
+func Generate(p MarketParams, emit func(*APK)) {
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	emitN := func(n int, build func(i int) *APK) {
+		for i := 0; i < n; i++ {
+			emit(build(i))
+		}
+	}
+
+	// --- Type I apps ---
+	// Category quotas cover *all* Type I apps (Fig. 2 is over Type I).
+	withLibs := p.TypeI - p.TypeINoLibs
+	catCursor := 0
+	catRemaining := 0
+	nextCategory := func() string {
+		for catRemaining == 0 && catCursor < len(CategoryShare) {
+			catRemaining = p.TypeI * CategoryShare[catCursor].Percent / 100
+			if catRemaining == 0 {
+				catRemaining = 1
+			}
+			catCursor++
+		}
+		if catCursor > len(CategoryShare) || catRemaining == 0 {
+			return "Others"
+		}
+		catRemaining--
+		return CategoryShare[catCursor-1].Name
+	}
+
+	emitN(withLibs, func(i int) *APK {
+		cat := nextCategory()
+		a := &APK{
+			Pkg:         fmt.Sprintf("com.market.t1.app%06d", i),
+			Category:    cat,
+			MainClasses: []*dex.Class{loaderClass(fmt.Sprintf("t1app%06d", i), pickLib(rng, cat))},
+		}
+		a.LibFiles = []string{"lib/armeabi/" + pickLib(rng, cat)}
+		if rng.Intn(4) == 0 { // many apps bundle a second library
+			a.LibFiles = append(a.LibFiles, "lib/armeabi/"+pickLib(rng, cat))
+		}
+		return a
+	})
+
+	// Type I apps with no packaged libraries (§III-A): AdMob-repackaged apps
+	// first, then apps whose libraries are system-provided or vestigial.
+	emitN(p.TypeINoLibsAdMob, func(i int) *APK {
+		return &APK{
+			Pkg:      fmt.Sprintf("com.market.t1admob.app%06d", i),
+			Category: nextCategory(),
+			MainClasses: []*dex.Class{
+				loaderClass(fmt.Sprintf("admob%06d", i), "libGoogleAdMobAds.so"),
+				admobPluginClass(i),
+			},
+		}
+	})
+	emitN(p.TypeINoLibs-p.TypeINoLibsAdMob, func(i int) *APK {
+		return &APK{
+			Pkg:         fmt.Sprintf("com.market.t1nolib.app%06d", i),
+			Category:    nextCategory(),
+			MainClasses: []*dex.Class{loaderClass(fmt.Sprintf("nolib%06d", i), "libsystem.so")},
+		}
+	})
+
+	// --- Type II apps ---
+	emitN(p.TypeIIWithLoader, func(i int) *APK {
+		return &APK{
+			Pkg:         fmt.Sprintf("com.market.t2loader.app%06d", i),
+			Category:    "Communication",
+			LibFiles:    []string{"assets/lib/" + pickLib(rng, "Communication")},
+			MainClasses: []*dex.Class{plainClass(fmt.Sprintf("t2l%06d", i))},
+			EmbeddedDex: []*dex.Class{loaderClass(fmt.Sprintf("hidden%06d", i), "libcore_logic.so")},
+		}
+	})
+	emitN(p.TypeII-p.TypeIIWithLoader, func(i int) *APK {
+		return &APK{
+			Pkg:         fmt.Sprintf("com.market.t2.app%06d", i),
+			Category:    "Tools",
+			LibFiles:    []string{"lib/x86/" + pickLib(rng, "Tools")}, // wrong-ABI leftovers
+			MainClasses: []*dex.Class{plainClass(fmt.Sprintf("t2%06d", i))},
+		}
+	})
+
+	// --- Type III apps ---
+	emitN(p.TypeIIIGame, func(i int) *APK {
+		return &APK{
+			Pkg:            fmt.Sprintf("com.market.t3game.app%02d", i),
+			Category:       "Game",
+			LibFiles:       []string{"lib/armeabi/libmain.so"},
+			NativeActivity: true,
+		}
+	})
+	emitN(p.TypeIIIEnt, func(i int) *APK {
+		return &APK{
+			Pkg:            fmt.Sprintf("com.market.t3ent.app%02d", i),
+			Category:       "Entertainment",
+			LibFiles:       []string{"lib/armeabi/libmain.so"},
+			NativeActivity: true,
+		}
+	})
+
+	// --- pure-Java remainder ---
+	rest := p.Total - p.TypeI - p.TypeII - p.TypeIIIGame - p.TypeIIIEnt
+	emitN(rest, func(i int) *APK {
+		return &APK{
+			Pkg:         fmt.Sprintf("com.market.java.app%06d", i),
+			Category:    CategoryShare[rng.Intn(len(CategoryShare))].Name,
+			MainClasses: []*dex.Class{plainClass(fmt.Sprintf("j%06d", i))},
+		}
+	})
+}
+
+// pickLib draws a library name weighted toward the app's category.
+func pickLib(rng *rand.Rand, category string) string {
+	total := 0
+	for _, l := range PopularLibs {
+		w := l.Weight
+		if category == "Game" && l.Kind == "game-engine" {
+			w *= 3
+		}
+		if category == "Music And Audio" && l.Kind == "media" {
+			w *= 6
+		}
+		total += w
+	}
+	n := rng.Intn(total)
+	for _, l := range PopularLibs {
+		w := l.Weight
+		if category == "Game" && l.Kind == "game-engine" {
+			w *= 3
+		}
+		if category == "Music And Audio" && l.Kind == "media" {
+			w *= 6
+		}
+		if n < w {
+			return l.Name
+		}
+		n -= w
+	}
+	return PopularLibs[0].Name
+}
+
+// loaderClass builds a class whose static initializer genuinely invokes
+// System.loadLibrary — what the analyzer's bytecode scan looks for.
+func loaderClass(tag, lib string) *dex.Class {
+	cb := dex.NewClass("Lcom/market/" + tag + "/MainActivity;")
+	name := lib
+	if len(name) > 6 && name[:3] == "lib" {
+		name = name[3 : len(name)-3] // "libfoo.so" -> "foo"
+	}
+	cb.Method("<clinit>", "V", dex.AccStatic, 1).
+		ConstString(0, name).
+		InvokeStatic("Ljava/lang/System;", "loadLibrary", "VL", 0).
+		ReturnVoid().
+		Done()
+	cb.NativeMethod("nativeInit", "V", dex.AccStatic, 0)
+	return cb.Build()
+}
+
+// plainClass builds a class with ordinary bytecode and no JNI use.
+func plainClass(tag string) *dex.Class {
+	cb := dex.NewClass("Lcom/market/" + tag + "/MainActivity;")
+	cb.Method("onCreate", "V", dex.AccStatic, 2).
+		Const(0, 1).
+		Const(1, 2).
+		Bin(dex.Add, 0, 0, 1).
+		ReturnVoid().
+		Done()
+	return cb.Build()
+}
+
+// admobPluginClass builds one of the AdMob plugin classes carrying native
+// method declarations (§III-A).
+func admobPluginClass(i int) *dex.Class {
+	cb := dex.NewClass(admobClasses[i%len(admobClasses)])
+	cb.NativeMethod("a", "V", dex.AccStatic, 0)
+	return cb.Build()
+}

@@ -1,0 +1,179 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats aggregates the §III study results.
+type Stats struct {
+	Total   int
+	TypeI   int
+	TypeII  int
+	TypeIII int
+
+	TypeINoLibs      int
+	TypeINoLibsAdMob int
+	TypeIIWithLoader int
+
+	TypeIIICategories map[string]int
+
+	// CategoryDist buckets Type I apps by market category (Fig. 2).
+	CategoryDist map[string]int
+
+	// LibCounts is the §III-A library-popularity histogram over Type I apps.
+	LibCounts map[string]int
+
+	// NativeDeclClasses counts, over Type I apps without packaged libraries,
+	// how many apps declare native methods in each class (the AdMob finding).
+	NativeDeclClasses map[string]int
+}
+
+// Analyze runs the static analysis over a generated market.
+func Analyze(p MarketParams) *Stats {
+	s := &Stats{
+		TypeIIICategories: make(map[string]int),
+		CategoryDist:      make(map[string]int),
+		LibCounts:         make(map[string]int),
+		NativeDeclClasses: make(map[string]int),
+	}
+	Generate(p, func(a *APK) { s.Add(a) })
+	return s
+}
+
+// Add classifies one app into the aggregate.
+func (s *Stats) Add(a *APK) {
+	s.Total++
+	switch Classify(a) {
+	case KindI:
+		s.TypeI++
+		s.CategoryDist[a.Category]++
+		if len(a.LibFiles) == 0 {
+			s.TypeINoLibs++
+			for _, cls := range HasNativeDecls(a.MainClasses) {
+				s.NativeDeclClasses[cls]++
+				if strings.HasPrefix(cls, "Lcom/google/ads/") {
+					s.TypeINoLibsAdMob++
+					break
+				}
+			}
+		}
+		for _, f := range a.LibFiles {
+			idx := strings.LastIndexByte(f, '/')
+			s.LibCounts[f[idx+1:]]++
+		}
+	case KindII:
+		s.TypeII++
+		if HasLoaderDex(a) {
+			s.TypeIIWithLoader++
+		}
+	case KindIII:
+		s.TypeIII++
+		s.TypeIIICategories[a.Category]++
+	}
+}
+
+// TypeIPercent is the share of apps using JNI (the paper: 16.46%).
+func (s *Stats) TypeIPercent() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.TypeI) / float64(s.Total)
+}
+
+// AdMobPercent is the AdMob share among lib-less Type I apps (paper: 48.1%).
+func (s *Stats) AdMobPercent() float64 {
+	if s.TypeINoLibs == 0 {
+		return 0
+	}
+	return 100 * float64(s.TypeINoLibsAdMob) / float64(s.TypeINoLibs)
+}
+
+// GamePercent is the Game share of Fig. 2 (paper: 42%).
+func (s *Stats) GamePercent() float64 {
+	if s.TypeI == 0 {
+		return 0
+	}
+	return 100 * float64(s.CategoryDist["Game"]) / float64(s.TypeI)
+}
+
+// TopLibs returns the n most popular native libraries (§III-A).
+func (s *Stats) TopLibs(n int) []string {
+	type kv struct {
+		name  string
+		count int
+	}
+	var all []kv
+	for name, c := range s.LibCounts {
+		all = append(all, kv{name, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].name < all[j].name
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// Report renders the Section III summary.
+func (s *Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Apps crawled:                %8d\n", s.Total)
+	fmt.Fprintf(&b, "Type I   (call loadLibrary): %8d (%.2f%%)\n", s.TypeI, s.TypeIPercent())
+	fmt.Fprintf(&b, "  without packaged libs:     %8d\n", s.TypeINoLibs)
+	fmt.Fprintf(&b, "    with AdMob plugin:       %8d (%.1f%%)\n", s.TypeINoLibsAdMob, s.AdMobPercent())
+	fmt.Fprintf(&b, "Type II  (libs, no load):    %8d\n", s.TypeII)
+	fmt.Fprintf(&b, "  with loader dex:           %8d\n", s.TypeIIWithLoader)
+	fmt.Fprintf(&b, "Type III (pure native):      %8d", s.TypeIII)
+	if len(s.TypeIIICategories) > 0 {
+		fmt.Fprintf(&b, " (")
+		var cats []string
+		for c := range s.TypeIIICategories {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for i, c := range cats {
+			if i > 0 {
+				fmt.Fprintf(&b, ", ")
+			}
+			fmt.Fprintf(&b, "%d %s", s.TypeIIICategories[c], strings.ToLower(c))
+		}
+		fmt.Fprintf(&b, ")")
+	}
+	fmt.Fprintf(&b, "\n\nFig. 2 — Type I category distribution:\n")
+	type kv struct {
+		name string
+		n    int
+	}
+	var cats []kv
+	for c, n := range s.CategoryDist {
+		cats = append(cats, kv{c, n})
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if cats[i].n != cats[j].n {
+			return cats[i].n > cats[j].n
+		}
+		return cats[i].name < cats[j].name
+	})
+	for _, c := range cats {
+		pct := 0.0
+		if s.TypeI > 0 {
+			pct = 100 * float64(c.n) / float64(s.TypeI)
+		}
+		fmt.Fprintf(&b, "  %-22s %7d (%4.1f%%)\n", c.name, c.n, pct)
+	}
+	fmt.Fprintf(&b, "\nTop native libraries:\n")
+	for _, l := range s.TopLibs(10) {
+		fmt.Fprintf(&b, "  %-26s %6d\n", l, s.LibCounts[l])
+	}
+	return b.String()
+}

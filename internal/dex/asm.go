@@ -1,0 +1,715 @@
+package dex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AssembleClass parses a smali-like class definition into a Class. The
+// dialect follows smali closely enough to be read as such:
+//
+//	.class Lcom/example/Foo;
+//	.super Ljava/lang/Object;          ; optional
+//	.field name                         ; instance field (32-bit)
+//	.field wide stamp                   ; instance field (64-bit pair)
+//	.field static counter
+//	.method static run()V
+//	    .locals 2
+//	    const v0, 42
+//	    const-string v1, "hello"
+//	    invoke-static {v1, v0}, Landroid/net/Network;->send(LL)V
+//	    move-result v0
+//	    if-eqz v0, :done
+//	    goto :loop
+//	:done
+//	    return-void
+//	    .catch Ljava/lang/Exception; :try_start :try_end :handler
+//	.end method
+//	.method native static work(I)I     ; JNI method, bound later
+//
+// Method signatures use shorty descriptors: `name(IL)V` declares arguments
+// I and L with return V. Comments start with '#' or ';'. Registers are
+// v0..vN; wide values name the low register of the pair.
+func AssembleClass(source string) (*Class, error) {
+	p := &classParser{lines: strings.Split(source, "\n")}
+	return p.parse()
+}
+
+// MustAssembleClass is AssembleClass for fixture code.
+func MustAssembleClass(source string) *Class {
+	c, err := AssembleClass(source)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type classParser struct {
+	lines []string
+	pos   int
+	cb    *ClassBuilder
+}
+
+func (p *classParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("dex: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func stripDexComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#', ';':
+			if !inStr {
+				// Class descriptors contain ';' — only treat it as a comment
+				// when preceded by whitespace or at line start.
+				if line[i] == ';' && i > 0 && line[i-1] != ' ' && line[i-1] != '\t' {
+					continue
+				}
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (p *classParser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(stripDexComment(p.lines[p.pos]))
+		p.pos++
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (p *classParser) parse() (*Class, error) {
+	line, ok := p.next()
+	if !ok || !strings.HasPrefix(line, ".class ") {
+		return nil, p.errf("file must start with .class")
+	}
+	p.cb = NewClass(strings.TrimSpace(strings.TrimPrefix(line, ".class ")))
+
+	for {
+		line, ok := p.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, ".super "):
+			p.cb.Super(strings.TrimSpace(strings.TrimPrefix(line, ".super ")))
+		case strings.HasPrefix(line, ".field "):
+			if err := p.parseField(strings.TrimPrefix(line, ".field ")); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, ".method "):
+			if err := p.parseMethod(strings.TrimPrefix(line, ".method ")); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected directive %q", line)
+		}
+	}
+	return p.cb.Build(), nil
+}
+
+func (p *classParser) parseField(rest string) error {
+	fields := strings.Fields(rest)
+	static, wide := false, false
+	name := ""
+	for _, f := range fields {
+		switch f {
+		case "static":
+			static = true
+		case "wide":
+			wide = true
+		default:
+			name = f
+		}
+	}
+	if name == "" {
+		return p.errf(".field needs a name")
+	}
+	if static {
+		p.cb.StaticField(name, wide)
+	} else {
+		p.cb.InstanceField(name, wide)
+	}
+	return nil
+}
+
+// parseSig splits "name(IL)V" into name and shorty "VIL".
+func parseSig(sig string) (name, shorty string, err error) {
+	open := strings.IndexByte(sig, '(')
+	closeP := strings.IndexByte(sig, ')')
+	if open < 1 || closeP < open || closeP == len(sig)-1 {
+		return "", "", fmt.Errorf("bad signature %q (want name(ARGS)RET with shorty chars)", sig)
+	}
+	name = sig[:open]
+	args := sig[open+1 : closeP]
+	ret := sig[closeP+1:]
+	if len(ret) != 1 {
+		return "", "", fmt.Errorf("bad return type %q in %q", ret, sig)
+	}
+	return name, ret + args, nil
+}
+
+func (p *classParser) parseMethod(rest string) error {
+	flags := uint32(AccPublic)
+	parts := strings.Fields(rest)
+	sig := parts[len(parts)-1]
+	for _, f := range parts[:len(parts)-1] {
+		switch f {
+		case "static":
+			flags |= AccStatic
+		case "native":
+			flags |= AccNative
+		case "public":
+		default:
+			return p.errf("unknown method flag %q", f)
+		}
+	}
+	name, shorty, err := parseSig(sig)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if flags&AccNative != 0 {
+		p.cb.NativeMethod(name, shorty, flags&^AccNative, 0)
+		return nil
+	}
+
+	// Collect body lines until .end method; .locals must come first.
+	var body []string
+	locals := 0
+	sawLocals := false
+	for {
+		line, ok := p.next()
+		if !ok {
+			return p.errf(".method %s without .end method", name)
+		}
+		if line == ".end method" {
+			break
+		}
+		if strings.HasPrefix(line, ".locals ") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".locals ")))
+			if err != nil {
+				return p.errf("bad .locals: %v", err)
+			}
+			locals = n
+			sawLocals = true
+			continue
+		}
+		body = append(body, line)
+	}
+	if !sawLocals {
+		return p.errf("method %s needs .locals", name)
+	}
+	mb := p.cb.Method(name, shorty, flags, locals)
+	for _, line := range body {
+		if err := assembleInsn(mb, line); err != nil {
+			return p.errf("in %s: %v", name, err)
+		}
+	}
+	// Done panics on unresolved labels (fine for the fluent builder API);
+	// surface it as a parse error here.
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = p.errf("in %s: %v", name, r)
+			}
+		}()
+		mb.Done()
+		return nil
+	}(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseReg(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != 'v' {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return n, nil
+}
+
+func parseLit(tok string) (int64, error) {
+	tok = strings.TrimSpace(tok)
+	return strconv.ParseInt(tok, 0, 64)
+}
+
+func parseLabel(tok string) (string, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, ":") {
+		return "", fmt.Errorf("bad label %q", tok)
+	}
+	return tok[1:], nil
+}
+
+// parseMemberRef splits "Lcls;->name" or "Lcls;->name(IL)V".
+func parseMemberRef(tok string) (class, member, shorty string, err error) {
+	tok = strings.TrimSpace(tok)
+	idx := strings.Index(tok, "->")
+	if idx < 0 {
+		return "", "", "", fmt.Errorf("bad member reference %q", tok)
+	}
+	class = tok[:idx]
+	rest := tok[idx+2:]
+	if strings.ContainsRune(rest, '(') {
+		member, shorty, err = parseSig(rest)
+		return class, member, shorty, err
+	}
+	return class, rest, "", nil
+}
+
+var dexArithOps = map[string]Arith{
+	"add": Add, "sub": Sub, "mul": Mul, "div": Div, "rem": Rem,
+	"and": And, "or": Or, "xor": Xor, "shl": Shl, "shr": Shr, "ushr": Ushr,
+}
+
+var dexCmps = map[string]Cmp{
+	"eq": Eq, "ne": Ne, "lt": Lt, "ge": Ge, "gt": Gt, "le": Le,
+}
+
+// assembleInsn translates one body line onto the MethodBuilder.
+func assembleInsn(mb *MethodBuilder, line string) error {
+	if strings.HasPrefix(line, ":") {
+		mb.Label(line[1:])
+		return nil
+	}
+	if strings.HasPrefix(line, ".catch ") {
+		// .catch Ltype; :start :end :handler   (Ltype; may be * for any)
+		parts := strings.Fields(strings.TrimPrefix(line, ".catch "))
+		if len(parts) != 4 {
+			return fmt.Errorf(".catch wants TYPE :start :end :handler")
+		}
+		typ := parts[0]
+		if typ == "*" {
+			typ = ""
+		}
+		s, err1 := parseLabel(parts[1])
+		e, err2 := parseLabel(parts[2])
+		h, err3 := parseLabel(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad .catch labels")
+		}
+		mb.Try(s, e, h, typ)
+		return nil
+	}
+
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	rest := ""
+	if sp > 0 {
+		mnem = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	ops := splitDexOperands(rest)
+
+	regs := func(n int) ([]int, error) {
+		if len(ops) != n {
+			return nil, fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		out := make([]int, n)
+		for i, o := range ops {
+			r, err := parseReg(o)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	switch mnem {
+	case "nop":
+		mb.Nop()
+	case "const":
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseLit(ops[1])
+		if err != nil {
+			return err
+		}
+		mb.Const(r, int32(v))
+	case "const-wide":
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseLit(ops[1])
+		if err != nil {
+			return err
+		}
+		mb.ConstWide(r, v)
+	case "const-string":
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := strconv.Unquote(strings.TrimSpace(ops[1]))
+		if err != nil {
+			return fmt.Errorf("bad string literal %s", ops[1])
+		}
+		mb.ConstString(r, s)
+	case "move", "move-wide":
+		rs, err := regs(2)
+		if err != nil {
+			return err
+		}
+		if mnem == "move" {
+			mb.Move(rs[0], rs[1])
+		} else {
+			mb.MoveWide(rs[0], rs[1])
+		}
+	case "move-result":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.MoveResult(rs[0])
+	case "move-result-wide":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.MoveResultWide(rs[0])
+	case "move-exception":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.MoveException(rs[0])
+	case "return-void":
+		mb.ReturnVoid()
+	case "return", "return-object":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.Return(rs[0])
+	case "return-wide":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.ReturnWide(rs[0])
+	case "new-instance":
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		mb.NewInstance(r, strings.TrimSpace(ops[1]))
+	case "new-array":
+		if len(ops) != 3 {
+			return fmt.Errorf("new-array wants vDst, vSize, KIND")
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		size, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		mb.NewArray(r, size, strings.TrimSpace(ops[2]))
+	case "array-length":
+		rs, err := regs(2)
+		if err != nil {
+			return err
+		}
+		mb.ArrayLength(rs[0], rs[1])
+	case "aget":
+		rs, err := regs(3)
+		if err != nil {
+			return err
+		}
+		mb.Aget(rs[0], rs[1], rs[2])
+	case "aput":
+		rs, err := regs(3)
+		if err != nil {
+			return err
+		}
+		mb.Aput(rs[0], rs[1], rs[2])
+	case "iget", "iput", "sget", "sput":
+		return assembleFieldInsn(mb, mnem, ops)
+	case "invoke-virtual", "invoke-static", "invoke-direct":
+		return assembleInvoke(mb, mnem, rest)
+	case "goto":
+		l, err := parseLabel(ops[0])
+		if err != nil {
+			return err
+		}
+		mb.Goto(l)
+	case "throw":
+		rs, err := regs(1)
+		if err != nil {
+			return err
+		}
+		mb.Throw(rs[0])
+	default:
+		return assembleCompound(mb, mnem, ops)
+	}
+	return nil
+}
+
+func assembleFieldInsn(mb *MethodBuilder, mnem string, ops []string) error {
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	refIdx := 1
+	obj := -1
+	if mnem == "iget" || mnem == "iput" {
+		if len(ops) != 3 {
+			return fmt.Errorf("%s wants vA, vObj, Lcls;->field", mnem)
+		}
+		obj, err = parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		refIdx = 2
+	}
+	class, member, _, err := parseMemberRef(ops[refIdx])
+	if err != nil {
+		return err
+	}
+	switch mnem {
+	case "iget":
+		mb.Iget(r, obj, class, member)
+	case "iput":
+		mb.Iput(r, obj, class, member)
+	case "sget":
+		mb.Sget(r, class, member)
+	case "sput":
+		mb.Sput(r, class, member)
+	}
+	return nil
+}
+
+func assembleInvoke(mb *MethodBuilder, mnem, rest string) error {
+	open := strings.IndexByte(rest, '{')
+	closeB := strings.IndexByte(rest, '}')
+	if open < 0 || closeB < open {
+		return fmt.Errorf("%s wants {regs}, Lcls;->sig", mnem)
+	}
+	var argRegs []int
+	for _, tok := range strings.Split(rest[open+1:closeB], ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		r, err := parseReg(tok)
+		if err != nil {
+			return err
+		}
+		argRegs = append(argRegs, r)
+	}
+	ref := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest[closeB+1:]), ","))
+	class, member, shorty, err := parseMemberRef(ref)
+	if err != nil {
+		return err
+	}
+	if shorty == "" {
+		return fmt.Errorf("%s needs a full signature, got %q", mnem, ref)
+	}
+	switch mnem {
+	case "invoke-virtual":
+		mb.InvokeVirtual(class, member, shorty, argRegs...)
+	case "invoke-static":
+		mb.InvokeStatic(class, member, shorty, argRegs...)
+	case "invoke-direct":
+		mb.InvokeDirect(class, member, shorty, argRegs...)
+	}
+	return nil
+}
+
+// assembleCompound handles hyphenated families: if-*, <arith>-<type>,
+// conversions, and cmp instructions.
+func assembleCompound(mb *MethodBuilder, mnem string, ops []string) error {
+	regs := func(n int) ([]int, error) {
+		if len(ops) < n {
+			return nil, fmt.Errorf("%s wants %d register operands", mnem, n)
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			r, err := parseReg(ops[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	// if-eqz vA, :label / if-eq vA, vB, :label
+	if strings.HasPrefix(mnem, "if-") {
+		cond := strings.TrimPrefix(mnem, "if-")
+		if strings.HasSuffix(cond, "z") {
+			c, ok := dexCmps[strings.TrimSuffix(cond, "z")]
+			if !ok {
+				return fmt.Errorf("unknown condition %q", cond)
+			}
+			rs, err := regs(1)
+			if err != nil {
+				return err
+			}
+			l, err := parseLabel(ops[1])
+			if err != nil {
+				return err
+			}
+			mb.IfZ(rs[0], c, l)
+			return nil
+		}
+		c, ok := dexCmps[cond]
+		if !ok {
+			return fmt.Errorf("unknown condition %q", cond)
+		}
+		rs, err := regs(2)
+		if err != nil {
+			return err
+		}
+		l, err := parseLabel(ops[2])
+		if err != nil {
+			return err
+		}
+		mb.If(rs[0], c, rs[1], l)
+		return nil
+	}
+
+	// conversions
+	switch mnem {
+	case "int-to-float", "float-to-int", "int-to-double", "double-to-int",
+		"int-to-long", "long-to-int":
+		rs, err := regs(2)
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "int-to-float":
+			mb.IntToFloat(rs[0], rs[1])
+		case "float-to-int":
+			mb.FloatToInt(rs[0], rs[1])
+		case "int-to-double":
+			mb.IntToDouble(rs[0], rs[1])
+		case "double-to-int":
+			mb.DoubleToInt(rs[0], rs[1])
+		case "int-to-long":
+			mb.add(Insn{Op: IntToLong, A: rs[0], B: rs[1]})
+		case "long-to-int":
+			mb.add(Insn{Op: LongToInt, A: rs[0], B: rs[1]})
+		}
+		return nil
+	case "cmp-float", "cmpl-float":
+		rs, err := regs(3)
+		if err != nil {
+			return err
+		}
+		mb.CmpFloatOp(rs[0], rs[1], rs[2])
+		return nil
+	case "cmp-double", "cmpl-double":
+		rs, err := regs(3)
+		if err != nil {
+			return err
+		}
+		mb.CmpDoubleOp(rs[0], rs[1], rs[2])
+		return nil
+	case "cmp-long":
+		rs, err := regs(3)
+		if err != nil {
+			return err
+		}
+		mb.add(Insn{Op: CmpLong, A: rs[0], B: rs[1], C: rs[2]})
+		return nil
+	}
+
+	// <arith>-<type>[/lit]: add-int, mul-float, div-double, add-int/lit, ...
+	base := mnem
+	lit := false
+	if strings.HasSuffix(base, "/lit") {
+		base = strings.TrimSuffix(base, "/lit")
+		lit = true
+	}
+	dash := strings.IndexByte(base, '-')
+	if dash < 0 {
+		return fmt.Errorf("unknown instruction %q", mnem)
+	}
+	op, ok := dexArithOps[base[:dash]]
+	if !ok {
+		return fmt.Errorf("unknown instruction %q", mnem)
+	}
+	kind := base[dash+1:]
+	if lit {
+		if kind != "int" {
+			return fmt.Errorf("/lit form is int-only, got %q", mnem)
+		}
+		rs, err := regs(2)
+		if err != nil {
+			return err
+		}
+		v, err := parseLit(ops[2])
+		if err != nil {
+			return err
+		}
+		mb.BinLit(op, rs[0], rs[1], int32(v))
+		return nil
+	}
+	rs, err := regs(3)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "int":
+		mb.Bin(op, rs[0], rs[1], rs[2])
+	case "long":
+		mb.BinWide(op, rs[0], rs[1], rs[2])
+	case "float":
+		mb.BinFloat(op, rs[0], rs[1], rs[2])
+	case "double":
+		mb.BinDouble(op, rs[0], rs[1], rs[2])
+	default:
+		return fmt.Errorf("unknown type %q in %q", kind, mnem)
+	}
+	return nil
+}
+
+// splitDexOperands splits on commas outside braces and quotes.
+func splitDexOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '{':
+			if !inStr {
+				depth++
+			}
+		case '}':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if last := strings.TrimSpace(s[start:]); last != "" {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package dex
+
+import "testing"
+
+func TestAssembleClassBasics(t *testing.T) {
+	cls, err := AssembleClass(`
+.class Lcom/smali/Demo;
+.super Ljava/lang/Object;
+.field value
+.field wide stamp
+.field static counter
+
+.method static add(II)I
+    .locals 1
+    add-int v0, v1, v2
+    return v0
+.end method
+
+.method native static work(I)I
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Name != "Lcom/smali/Demo;" || cls.Super != "Ljava/lang/Object;" {
+		t.Errorf("class header: %s / %s", cls.Name, cls.Super)
+	}
+	if len(cls.InstanceFields) != 2 || len(cls.StaticFields) != 1 {
+		t.Errorf("fields: %d instance, %d static", len(cls.InstanceFields), len(cls.StaticFields))
+	}
+	f, _ := cls.FieldByName("stamp")
+	if !f.Wide {
+		t.Error("stamp should be wide")
+	}
+	m, ok := cls.Method("add")
+	if !ok {
+		t.Fatal("no add method")
+	}
+	if m.Shorty != "III" || !m.IsStatic() {
+		t.Errorf("add: shorty=%s flags=%#x", m.Shorty, m.Flags)
+	}
+	if m.NumRegs != 3 { // 1 local + 2 ins
+		t.Errorf("NumRegs = %d", m.NumRegs)
+	}
+	n, ok := cls.Method("work")
+	if !ok || !n.IsNative() || n.Shorty != "II" {
+		t.Errorf("native method wrong: %+v", n)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	cls, err := AssembleClass(`
+.class Lcom/smali/Loop;
+.method static sum(I)I
+    .locals 1
+    const v0, 0
+:loop
+    if-lez v1, :done
+    add-int v0, v0, v1
+    sub-int/lit v1, v1, 1
+    goto :loop
+:done
+    return v0
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cls.Method("sum")
+	// Instruction 1 is if-lez with target = index of return.
+	if m.Insns[1].Op != IfTestZ || m.Insns[1].Cmp != Le {
+		t.Errorf("insn1 = %+v", m.Insns[1])
+	}
+	if m.Insns[1].Tgt != 5 {
+		t.Errorf("if target = %d, want 5", m.Insns[1].Tgt)
+	}
+	if m.Insns[4].Op != Goto || m.Insns[4].Tgt != 1 {
+		t.Errorf("goto = %+v", m.Insns[4])
+	}
+}
+
+func TestAssembleInvokeAndStrings(t *testing.T) {
+	cls, err := AssembleClass(`
+.class Lcom/smali/Inv;
+.method static go()V
+    .locals 2
+    const-string v0, "dest.example"
+    invoke-static {}, Landroid/telephony/TelephonyManager;->getDeviceId()L
+    move-result v1
+    invoke-static {v0, v1}, Landroid/net/Network;->send(LL)V
+    return-void
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cls.Method("go")
+	if m.Insns[0].Op != ConstString || m.Insns[0].Str != "dest.example" {
+		t.Errorf("const-string = %+v", m.Insns[0])
+	}
+	inv := m.Insns[3]
+	if inv.Op != InvokeStatic || inv.ClassName != "Landroid/net/Network;" ||
+		inv.MemberName != "send" || inv.Shorty != "VLL" {
+		t.Errorf("invoke = %+v", inv)
+	}
+	if len(inv.Args) != 2 || inv.Args[0] != 0 || inv.Args[1] != 1 {
+		t.Errorf("invoke args = %v", inv.Args)
+	}
+	getId := m.Insns[1]
+	if len(getId.Args) != 0 || getId.Shorty != "L" {
+		t.Errorf("zero-arg invoke = %+v", getId)
+	}
+}
+
+func TestAssembleFieldsAndCatch(t *testing.T) {
+	cls, err := AssembleClass(`
+.class Lcom/smali/FC;
+.field static slot
+.method static m(L)I
+    .locals 2
+:try_start
+    iget v0, v1, Lcom/smali/FC;->x
+    sput v0, Lcom/smali/FC;->slot
+    sget v0, Lcom/smali/FC;->slot
+:try_end
+    return v0
+:handler
+    move-exception v1
+    const v0, -1
+    return v0
+    .catch Ljava/lang/Exception; :try_start :try_end :handler
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cls.Method("m")
+	if m.Insns[0].Op != Iget || m.Insns[0].B != 1 || m.Insns[0].MemberName != "x" {
+		t.Errorf("iget = %+v", m.Insns[0])
+	}
+	if len(m.Tries) != 1 || m.Tries[0].Type != "Ljava/lang/Exception;" {
+		t.Fatalf("tries = %+v", m.Tries)
+	}
+	if m.Tries[0].Start != 0 || m.Tries[0].End != 3 || m.Tries[0].Handler != 4 {
+		t.Errorf("try range = %+v", m.Tries[0])
+	}
+}
+
+func TestAssembleArithFamilies(t *testing.T) {
+	cls, err := AssembleClass(`
+.class Lcom/smali/Ar;
+.method static m(IF)V
+    .locals 6
+    mul-int v0, v4, v4
+    add-int/lit v0, v0, 7
+    add-float v1, v5, v5
+    int-to-double v2, v0
+    mul-double v2, v2, v2
+    double-to-int v0, v2
+    cmp-double v1, v2, v2
+    return-void
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cls.Method("m")
+	wantOps := []Code{BinOp, BinOpLit, BinOpFloat, IntToDouble, BinOpDouble, DoubleToInt, CmpDouble, ReturnVoid}
+	for i, w := range wantOps {
+		if m.Insns[i].Op != w {
+			t.Errorf("insn %d = %v, want %v", i, m.Insns[i].Op, w)
+		}
+	}
+	if m.Insns[1].Lit != 7 {
+		t.Errorf("lit = %d", m.Insns[1].Lit)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"", // no .class
+		".class LX;\n.method static m()V\n.locals 1\nreturn-void\n", // no .end
+		".class LX;\n.method static m()V\nreturn-void\n.end method", // no .locals
+		".class LX;\n.method static m()V\n.locals 1\nbogus-insn v0\n.end method",
+		".class LX;\n.method static m()V\n.locals 1\ngoto :nowhere?\n.end method",
+		".class LX;\n.method static m\n.end method", // bad signature
+	}
+	for i, src := range cases {
+		if _, err := AssembleClass(src); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAssembleCommentsIgnored(t *testing.T) {
+	cls, err := AssembleClass(`
+# full-line comment
+.class Lcom/smali/C;
+.method static m()I   # trailing comment
+    .locals 1
+    const v0, 5       # five
+    return v0
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cls.Method("m")
+	if len(m.Insns) != 2 {
+		t.Errorf("insns = %d", len(m.Insns))
+	}
+}

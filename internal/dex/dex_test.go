@@ -1,0 +1,136 @@
+package dex
+
+import "testing"
+
+func TestShortyAccounting(t *testing.T) {
+	cases := []struct {
+		shorty  string
+		static  bool
+		ins     int
+		retWide bool
+	}{
+		{"V", true, 0, false},
+		{"V", false, 1, false},
+		{"IL", true, 1, false},
+		{"VLL", true, 2, false},
+		{"VLL", false, 3, false},
+		{"DD", true, 2, true},
+		{"VID", true, 3, false},
+		{"JI", false, 2, true},
+	}
+	for _, c := range cases {
+		flags := uint32(0)
+		if c.static {
+			flags = AccStatic
+		}
+		m := &Method{Name: "m", Shorty: c.shorty, Flags: flags}
+		if got := m.InsSize(); got != c.ins {
+			t.Errorf("InsSize(%q static=%v) = %d, want %d", c.shorty, c.static, got, c.ins)
+		}
+		if got := m.RetWide(); got != c.retWide {
+			t.Errorf("RetWide(%q) = %v", c.shorty, got)
+		}
+	}
+}
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	cb := NewClass("Lcom/t/C;")
+	m := cb.Method("m", "II", AccStatic, 1).
+		IfZ(1, Eq, "zero").
+		Const(0, 1).
+		Goto("end").
+		Label("zero").
+		Const(0, 2).
+		Label("end").
+		Return(0).
+		Done()
+	if m.Insns[0].Tgt != 3 {
+		t.Errorf("IfZ target = %d, want 3", m.Insns[0].Tgt)
+	}
+	if m.Insns[2].Tgt != 4 {
+		t.Errorf("Goto target = %d, want 4", m.Insns[2].Tgt)
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undefined label must panic at Done")
+		}
+	}()
+	NewClass("Lcom/t/P;").Method("m", "V", AccStatic, 0).
+		Goto("nowhere").
+		Done()
+}
+
+func TestBuilderTryCatch(t *testing.T) {
+	m := NewClass("Lcom/t/T;").Method("m", "V", AccStatic, 1).
+		Label("s").
+		Nop().
+		Label("e").
+		ReturnVoid().
+		Label("h").
+		MoveException(0).
+		ReturnVoid().
+		Try("s", "e", "h", "Ljava/lang/Exception;").
+		Done()
+	if len(m.Tries) != 1 {
+		t.Fatal("try entry missing")
+	}
+	tr := m.Tries[0]
+	if tr.Start != 0 || tr.End != 1 || tr.Handler != 2 {
+		t.Errorf("try = %+v", tr)
+	}
+	if tr.Type != "Ljava/lang/Exception;" {
+		t.Errorf("type = %q", tr.Type)
+	}
+}
+
+func TestFieldIndices(t *testing.T) {
+	cb := NewClass("Lcom/t/F;")
+	cb.InstanceField("a", false)
+	cb.InstanceField("b", true) // wide
+	cb.InstanceField("c", false)
+	cb.StaticField("s1", false)
+	cb.StaticField("s2", true)
+	cls := cb.Build()
+
+	a, _ := cls.FieldByName("a")
+	b, _ := cls.FieldByName("b")
+	c, _ := cls.FieldByName("c")
+	if a.Index != 0 || b.Index != 1 || c.Index != 3 {
+		t.Errorf("instance indices: a=%d b=%d c=%d", a.Index, b.Index, c.Index)
+	}
+	if cls.InstanceSlots() != 4 {
+		t.Errorf("InstanceSlots = %d, want 4", cls.InstanceSlots())
+	}
+	s2, _ := cls.FieldByName("s2")
+	if s2.Index != 1 || !s2.Static {
+		t.Errorf("s2 = %+v", s2)
+	}
+	if len(cls.StaticData) != 3 {
+		t.Errorf("static data slots = %d, want 3", len(cls.StaticData))
+	}
+}
+
+func TestArgRegLayout(t *testing.T) {
+	cb := NewClass("Lcom/t/A;")
+	mb := cb.Method("m", "VIL", AccStatic, 3)
+	// 3 locals + 2 ins: args at v3, v4.
+	if mb.ArgReg(0) != 3 || mb.ArgReg(1) != 4 {
+		t.Errorf("arg regs = %d, %d", mb.ArgReg(0), mb.ArgReg(1))
+	}
+	mb.ReturnVoid().Done()
+}
+
+func TestCodeStrings(t *testing.T) {
+	if InvokeStatic.String() != "invoke-static" {
+		t.Error(InvokeStatic.String())
+	}
+	if Add.String() != "add" || Ushr.String() != "ushr" {
+		t.Error("arith names")
+	}
+	if Le.String() != "le" {
+		t.Error("cmp names")
+	}
+}

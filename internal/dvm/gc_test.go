@@ -1,0 +1,157 @@
+package dvm
+
+import (
+	"testing"
+
+	"repro/internal/dex"
+	"repro/internal/taint"
+)
+
+// TestGCAutoTrigger: the allocation-count threshold fires collections
+// automatically and the program's live data survives.
+func TestGCAutoTrigger(t *testing.T) {
+	vm := newVM(t)
+	vm.GCThreshold = 32
+
+	cb := dex.NewClass("Lcom/gc/Churn;")
+	// Allocate many short-lived strings in a loop while holding one live one.
+	cb.Method("churn", "LI", dex.AccStatic, 2).
+		ConstString(0, "survivor").
+		Label("loop").
+		IfZ(2, dex.Le, "done").
+		ConstString(1, "short-lived").
+		BinLit(dex.Sub, 2, 2, 1).
+		Goto("loop").
+		Label("done").
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+
+	ret, _, thrown, err := vm.InvokeByName("Lcom/gc/Churn;", "churn", []uint32{200}, nil)
+	if err != nil || thrown != nil {
+		t.Fatalf("churn: %v %v", err, thrown)
+	}
+	if vm.GCCount == 0 {
+		t.Fatal("threshold GC never ran")
+	}
+	o, ok := vm.ObjectAt(uint32(ret))
+	if !ok || o.Str != "survivor" {
+		t.Fatalf("survivor lost across %d GCs: %#x -> %+v", vm.GCCount, ret, o)
+	}
+	// The dead short-lived strings must actually be collected.
+	if vm.HeapObjects() > 64 {
+		t.Errorf("heap holds %d objects; garbage not collected", vm.HeapObjects())
+	}
+}
+
+// TestGCPreservesObjectGraph: instance fields and reference arrays are
+// rewritten consistently during compaction.
+func TestGCPreservesObjectGraph(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/gc/Node;")
+	cb.InstanceField("next", false)
+	cb.InstanceField("payload", false)
+	vm.RegisterClass(cb.Build())
+	cls, _ := vm.Class("Lcom/gc/Node;")
+
+	// Garbage below the live graph guarantees compaction moves the graph.
+	for i := 0; i < 30; i++ {
+		vm.NewString("garbage-below")
+	}
+
+	// Build a 3-node list with string payloads, plus a reference array.
+	var nodes []*Object
+	for i := 0; i < 3; i++ {
+		n := vm.NewInstance(cls)
+		p := vm.NewString(string(rune('a' + i)))
+		n.Fields[1] = p.Addr
+		n.FieldTaints[1] = taint.SMS
+		nodes = append(nodes, n)
+	}
+	nodes[0].Fields[0] = nodes[1].Addr
+	nodes[1].Fields[0] = nodes[2].Addr
+	arr := vm.NewArray('L', 3)
+	for i, n := range nodes {
+		arr.setElem(i, n.Addr)
+	}
+	root := vm.AddGlobalRef(nodes[0])
+	arrRef := vm.AddGlobalRef(arr)
+
+	for i := 0; i < 30; i++ {
+		vm.NewString("garbage")
+	}
+	if vm.RunGC() == 0 {
+		t.Fatal("nothing moved")
+	}
+
+	// Walk the list through rewritten fields.
+	cur := vm.DecodeRef(root)
+	for i := 0; i < 3; i++ {
+		if cur == nil {
+			t.Fatalf("list broken at node %d", i)
+		}
+		p, ok := vm.ObjectAt(cur.Fields[1])
+		if !ok || p.Str != string(rune('a'+i)) {
+			t.Fatalf("payload %d wrong: %+v", i, p)
+		}
+		if cur.FieldTaints[1] != taint.SMS {
+			t.Errorf("field taint lost at node %d", i)
+		}
+		if next, ok := vm.ObjectAt(cur.Fields[0]); ok {
+			cur = next
+		} else {
+			cur = nil
+		}
+	}
+	// Reference-array elements were rewritten too.
+	a := vm.DecodeRef(arrRef)
+	for i := 0; i < 3; i++ {
+		n, ok := vm.ObjectAt(a.elem(i))
+		if !ok || n.Class != cls {
+			t.Fatalf("array slot %d dangles", i)
+		}
+	}
+}
+
+// TestGCStaticRootsSurvive: objects reachable only through static fields.
+func TestGCStaticRootsSurvive(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/gc/S;")
+	cb.StaticField("keep", false)
+	vm.RegisterClass(cb.Build())
+	cls, _ := vm.Class("Lcom/gc/S;")
+
+	o := vm.NewString("static-rooted")
+	cls.StaticData[0] = o.Addr
+	for i := 0; i < 10; i++ {
+		vm.NewString("junk")
+	}
+	vm.RunGC()
+	got, ok := vm.ObjectAt(cls.StaticData[0])
+	if !ok || got.Str != "static-rooted" {
+		t.Fatalf("static root lost: %+v", got)
+	}
+}
+
+// TestGCNativeDirectPointerGoesStale demonstrates the §II-A hazard: a direct
+// pointer squirreled away by native code dangles after compaction, which is
+// exactly why JNI hands out indirect references.
+func TestGCNativeDirectPointerGoesStale(t *testing.T) {
+	vm := newVM(t)
+	for i := 0; i < 8; i++ {
+		vm.NewString("filler")
+	}
+	o := vm.NewString("moving-target")
+	ref := vm.AddGlobalRef(o)
+	stale := o.Addr // the "direct pointer" native code must not keep
+
+	if vm.RunGC() == 0 {
+		t.Fatal("no movement")
+	}
+	if _, ok := vm.ObjectAt(stale); ok {
+		t.Error("stale direct pointer still resolves; compaction did not move")
+	}
+	if vm.DecodeRef(ref) != o {
+		t.Error("indirect reference must keep resolving")
+	}
+}

@@ -1,0 +1,748 @@
+package dvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dex"
+	"repro/internal/taint"
+)
+
+// Invoke runs a method on thread th. args are register words (wide arguments
+// as two consecutive words, object arguments as direct pointers); taints are
+// aligned with args. It returns the 64-bit return value, its taint, a thrown
+// exception object if the method completed abruptly, and an execution error
+// for genuine emulator faults.
+func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	prev := vm.curThread
+	vm.curThread = th
+	defer func() { vm.curThread = prev }()
+
+	if m.Builtin != nil {
+		b, ok := m.Builtin.(Builtin)
+		if !ok {
+			return 0, 0, nil, vm.errorf("method %s has invalid builtin", m.FullName())
+		}
+		ret, rt, thrown := b(vm, th, args, taints)
+		if !vm.TaintJava {
+			rt = 0
+		}
+		return ret, rt, thrown, nil
+	}
+	if m.IsNative() {
+		return vm.callJNIMethod(th, m, args, taints)
+	}
+	if len(args) != m.InsSize() {
+		return 0, 0, nil, vm.errorf("%s expects %d arg words, got %d", m.FullName(), m.InsSize(), len(args))
+	}
+	f := th.pushFrame(m, args, taints)
+	defer th.popFrame()
+	if vm.InterpretHookAll {
+		ctx := &CallCtx{Thread: th, JavaMethod: m, FrameAddr: f.FP, JavaTaints: taints}
+		var ret uint64
+		var rt taint.Tag
+		var thrown *Object
+		var err error
+		vm.internalCall("dvmInterpret", vm.callsiteOf("dvmCallMethod"), ctx, func() {
+			ret, rt, thrown, err = vm.run(th, f)
+		})
+		return ret, rt, thrown, err
+	}
+	return vm.run(th, f)
+}
+
+// InvokeByName resolves class.method and invokes it (entry-point helper).
+func (vm *VM) InvokeByName(class, method string, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	c, ok := vm.classes[class]
+	if !ok {
+		return 0, 0, nil, vm.errorf("unknown class %s", class)
+	}
+	m, ok := c.Method(method)
+	if !ok {
+		return 0, 0, nil, vm.errorf("unknown method %s.%s", class, method)
+	}
+	if taints == nil {
+		taints = make([]taint.Tag, len(args))
+	}
+	return vm.Invoke(vm.MainThread, m, args, taints)
+}
+
+// run interprets the method of frame f until it returns or throws.
+func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
+	m := f.Method
+	tainting := vm.TaintJava
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(m.Insns) {
+			return 0, 0, nil, vm.errorf("%s: pc %d out of range", m.FullName(), pc)
+		}
+		insn := &m.Insns[pc]
+		vm.JavaInsnCount++
+		m.InsnCount++
+		if vm.JavaStepFn != nil {
+			vm.JavaStepFn(th, m, pc, insn)
+		}
+
+		var thrown *Object
+
+		switch insn.Op {
+		case dex.Nop:
+
+		case dex.Const:
+			th.setReg(f, insn.A, uint32(insn.Lit))
+			th.setRegTaint(f, insn.A, 0)
+		case dex.ConstWide:
+			th.setRegWide(f, insn.A, uint64(insn.Lit))
+			th.setRegTaint(f, insn.A, 0)
+			th.setRegTaint(f, insn.A+1, 0)
+		case dex.ConstString:
+			o := vm.NewString(insn.Str)
+			th.setReg(f, insn.A, o.Addr)
+			th.setRegTaint(f, insn.A, 0)
+
+		case dex.Move:
+			th.setReg(f, insn.A, th.reg(f, insn.B))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+			}
+		case dex.MoveWide:
+			th.setRegWide(f, insn.A, th.regWide(f, insn.B))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+				th.setRegTaint(f, insn.A+1, th.regTaint(f, insn.B+1))
+			}
+		case dex.MoveResult:
+			th.setReg(f, insn.A, uint32(th.RetVal))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.RetTaint)
+			}
+		case dex.MoveResultWide:
+			th.setRegWide(f, insn.A, th.RetVal)
+			if tainting {
+				th.setRegTaint(f, insn.A, th.RetTaint)
+				th.setRegTaint(f, insn.A+1, th.RetTaint)
+			}
+		case dex.MoveException:
+			if th.Exception == nil {
+				return 0, 0, nil, vm.errorf("%s: move-exception with no pending exception", m.FullName())
+			}
+			th.setReg(f, insn.A, th.Exception.Addr)
+			if tainting {
+				th.setRegTaint(f, insn.A, th.Exception.Taint)
+			}
+			th.Exception = nil
+
+		case dex.ReturnVoid:
+			return 0, 0, nil, nil
+		case dex.Return:
+			return uint64(th.reg(f, insn.A)), th.regTaint(f, insn.A), nil, nil
+		case dex.ReturnWide:
+			t := th.regTaint(f, insn.A) | th.regTaint(f, insn.A+1)
+			return th.regWide(f, insn.A), t, nil, nil
+
+		case dex.NewInstance:
+			c, ok := vm.classes[insn.ClassName]
+			if !ok {
+				return 0, 0, nil, vm.errorf("%s: unknown class %s", m.FullName(), insn.ClassName)
+			}
+			o := vm.NewInstance(c)
+			th.setReg(f, insn.A, o.Addr)
+			th.setRegTaint(f, insn.A, 0)
+		case dex.NewArray:
+			n := int(int32(th.reg(f, insn.B)))
+			if n < 0 {
+				thrown = vm.makeThrowable(th, "Ljava/lang/RuntimeException;", "negative array size")
+				break
+			}
+			o := vm.NewArray(insn.Str[0], n)
+			th.setReg(f, insn.A, o.Addr)
+			th.setRegTaint(f, insn.A, 0)
+		case dex.ArrayLength:
+			arr, err := vm.arrayAt(m, th.reg(f, insn.B))
+			if err != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", err.Error())
+				break
+			}
+			th.setReg(f, insn.A, uint32(arr.Len))
+			if tainting {
+				th.setRegTaint(f, insn.A, arr.Taint|th.regTaint(f, insn.B))
+			}
+
+		case dex.Aget, dex.AgetWide:
+			arr, err := vm.arrayAt(m, th.reg(f, insn.B))
+			if err != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", err.Error())
+				break
+			}
+			idx := int(int32(th.reg(f, insn.C)))
+			if idx < 0 || idx >= arr.Len {
+				thrown = vm.makeThrowable(th, "Ljava/lang/ArrayIndexOutOfBoundsException;",
+					fmt.Sprintf("index %d length %d", idx, arr.Len))
+				break
+			}
+			if insn.Op == dex.AgetWide {
+				v := binary.LittleEndian.Uint64(arr.Data[idx*8:])
+				th.setRegWide(f, insn.A, v)
+				if tainting {
+					th.setRegTaint(f, insn.A, arr.Taint)
+					th.setRegTaint(f, insn.A+1, arr.Taint)
+				}
+			} else {
+				th.setReg(f, insn.A, arr.elem(idx))
+				if tainting {
+					// TaintDroid keeps a single tag per array object.
+					th.setRegTaint(f, insn.A, arr.Taint)
+				}
+			}
+		case dex.Aput, dex.AputWide:
+			arr, err := vm.arrayAt(m, th.reg(f, insn.B))
+			if err != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", err.Error())
+				break
+			}
+			idx := int(int32(th.reg(f, insn.C)))
+			if idx < 0 || idx >= arr.Len {
+				thrown = vm.makeThrowable(th, "Ljava/lang/ArrayIndexOutOfBoundsException;",
+					fmt.Sprintf("index %d length %d", idx, arr.Len))
+				break
+			}
+			if insn.Op == dex.AputWide {
+				binary.LittleEndian.PutUint64(arr.Data[idx*8:], th.regWide(f, insn.A))
+				if tainting {
+					arr.Taint |= th.regTaint(f, insn.A) | th.regTaint(f, insn.A+1)
+				}
+			} else {
+				arr.setElem(idx, th.reg(f, insn.A))
+				if tainting {
+					arr.Taint |= th.regTaint(f, insn.A)
+				}
+			}
+
+		case dex.Iget, dex.IgetWide:
+			o, fld, err := vm.instanceField(m, th.reg(f, insn.B), insn)
+			if err != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", err.Error())
+				break
+			}
+			if insn.Op == dex.IgetWide {
+				v := uint64(o.Fields[fld.Index]) | uint64(o.Fields[fld.Index+1])<<32
+				th.setRegWide(f, insn.A, v)
+				if tainting {
+					th.setRegTaint(f, insn.A, o.FieldTaints[fld.Index])
+					th.setRegTaint(f, insn.A+1, o.FieldTaints[fld.Index+1])
+				}
+			} else {
+				th.setReg(f, insn.A, o.Fields[fld.Index])
+				if tainting {
+					th.setRegTaint(f, insn.A, o.FieldTaints[fld.Index])
+				}
+			}
+		case dex.Iput, dex.IputWide:
+			o, fld, err := vm.instanceField(m, th.reg(f, insn.B), insn)
+			if err != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", err.Error())
+				break
+			}
+			if insn.Op == dex.IputWide {
+				v := th.regWide(f, insn.A)
+				o.Fields[fld.Index] = uint32(v)
+				o.Fields[fld.Index+1] = uint32(v >> 32)
+				if tainting {
+					o.FieldTaints[fld.Index] = th.regTaint(f, insn.A)
+					o.FieldTaints[fld.Index+1] = th.regTaint(f, insn.A+1)
+				}
+			} else {
+				o.Fields[fld.Index] = th.reg(f, insn.A)
+				if tainting {
+					o.FieldTaints[fld.Index] = th.regTaint(f, insn.A)
+				}
+			}
+
+		case dex.Sget, dex.SgetWide:
+			cls, fld, err := vm.staticField(insn)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if insn.Op == dex.SgetWide {
+				th.setReg(f, insn.A, cls.StaticData[fld.Index])
+				th.setReg(f, insn.A+1, cls.StaticData[fld.Index+1])
+				if tainting {
+					th.setRegTaint(f, insn.A, taint.Tag(cls.StaticTaints[fld.Index]))
+					th.setRegTaint(f, insn.A+1, taint.Tag(cls.StaticTaints[fld.Index+1]))
+				}
+			} else {
+				th.setReg(f, insn.A, cls.StaticData[fld.Index])
+				if tainting {
+					th.setRegTaint(f, insn.A, taint.Tag(cls.StaticTaints[fld.Index]))
+				}
+			}
+		case dex.Sput, dex.SputWide:
+			cls, fld, err := vm.staticField(insn)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if insn.Op == dex.SputWide {
+				cls.StaticData[fld.Index] = th.reg(f, insn.A)
+				cls.StaticData[fld.Index+1] = th.reg(f, insn.A+1)
+				if tainting {
+					cls.StaticTaints[fld.Index] = uint32(th.regTaint(f, insn.A))
+					cls.StaticTaints[fld.Index+1] = uint32(th.regTaint(f, insn.A+1))
+				}
+			} else {
+				cls.StaticData[fld.Index] = th.reg(f, insn.A)
+				if tainting {
+					cls.StaticTaints[fld.Index] = uint32(th.regTaint(f, insn.A))
+				}
+			}
+
+		case dex.InvokeVirtual, dex.InvokeDirect, dex.InvokeStatic:
+			target, args, taints, terr := vm.prepareInvoke(th, f, insn)
+			if terr != nil {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", terr.Error())
+				break
+			}
+			ret, rt, threw, err := vm.Invoke(th, target, args, taints)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if threw != nil {
+				thrown = threw
+				break
+			}
+			th.RetVal = ret
+			if !tainting {
+				rt = 0
+			}
+			th.RetTaint = rt
+
+		case dex.Goto:
+			pc = insn.Tgt
+			continue
+		case dex.IfTest:
+			if compareInt(insn.Cmp, int32(th.reg(f, insn.A)), int32(th.reg(f, insn.B))) {
+				pc = insn.Tgt
+				continue
+			}
+		case dex.IfTestZ:
+			if compareInt(insn.Cmp, int32(th.reg(f, insn.A)), 0) {
+				pc = insn.Tgt
+				continue
+			}
+
+		case dex.BinOp:
+			b := int32(th.reg(f, insn.B))
+			c := int32(th.reg(f, insn.C))
+			if (insn.Ar == dex.Div || insn.Ar == dex.Rem) && c == 0 {
+				thrown = vm.makeThrowable(th, "Ljava/lang/ArithmeticException;", "divide by zero")
+				break
+			}
+			th.setReg(f, insn.A, uint32(arithInt(insn.Ar, b, c)))
+			if tainting {
+				// Table-driven TaintDroid rule: result = union of operand taints.
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B)|th.regTaint(f, insn.C))
+			}
+		case dex.BinOpLit:
+			b := int32(th.reg(f, insn.B))
+			c := int32(insn.Lit)
+			if (insn.Ar == dex.Div || insn.Ar == dex.Rem) && c == 0 {
+				thrown = vm.makeThrowable(th, "Ljava/lang/ArithmeticException;", "divide by zero")
+				break
+			}
+			th.setReg(f, insn.A, uint32(arithInt(insn.Ar, b, c)))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+			}
+		case dex.BinOpWide:
+			b := int64(th.regWide(f, insn.B))
+			c := int64(th.regWide(f, insn.C))
+			if (insn.Ar == dex.Div || insn.Ar == dex.Rem) && c == 0 {
+				thrown = vm.makeThrowable(th, "Ljava/lang/ArithmeticException;", "divide by zero")
+				break
+			}
+			th.setRegWide(f, insn.A, uint64(arithLong(insn.Ar, b, c)))
+			if tainting {
+				t := th.regTaint(f, insn.B) | th.regTaint(f, insn.B+1) |
+					th.regTaint(f, insn.C) | th.regTaint(f, insn.C+1)
+				th.setRegTaint(f, insn.A, t)
+				th.setRegTaint(f, insn.A+1, t)
+			}
+		case dex.BinOpFloat:
+			b := math.Float32frombits(th.reg(f, insn.B))
+			c := math.Float32frombits(th.reg(f, insn.C))
+			th.setReg(f, insn.A, math.Float32bits(arithFloat(insn.Ar, b, c)))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B)|th.regTaint(f, insn.C))
+			}
+		case dex.BinOpDouble:
+			b := math.Float64frombits(th.regWide(f, insn.B))
+			c := math.Float64frombits(th.regWide(f, insn.C))
+			th.setRegWide(f, insn.A, math.Float64bits(arithDouble(insn.Ar, b, c)))
+			if tainting {
+				t := th.regTaint(f, insn.B) | th.regTaint(f, insn.B+1) |
+					th.regTaint(f, insn.C) | th.regTaint(f, insn.C+1)
+				th.setRegTaint(f, insn.A, t)
+				th.setRegTaint(f, insn.A+1, t)
+			}
+
+		case dex.IntToFloat:
+			th.setReg(f, insn.A, math.Float32bits(float32(int32(th.reg(f, insn.B)))))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+			}
+		case dex.FloatToInt:
+			th.setReg(f, insn.A, uint32(int32(math.Float32frombits(th.reg(f, insn.B)))))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+			}
+		case dex.IntToDouble:
+			th.setRegWide(f, insn.A, math.Float64bits(float64(int32(th.reg(f, insn.B)))))
+			if tainting {
+				t := th.regTaint(f, insn.B)
+				th.setRegTaint(f, insn.A, t)
+				th.setRegTaint(f, insn.A+1, t)
+			}
+		case dex.DoubleToInt:
+			th.setReg(f, insn.A, uint32(int32(math.Float64frombits(th.regWide(f, insn.B)))))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B)|th.regTaint(f, insn.B+1))
+			}
+		case dex.IntToLong:
+			th.setRegWide(f, insn.A, uint64(int64(int32(th.reg(f, insn.B)))))
+			if tainting {
+				t := th.regTaint(f, insn.B)
+				th.setRegTaint(f, insn.A, t)
+				th.setRegTaint(f, insn.A+1, t)
+			}
+		case dex.LongToInt:
+			th.setReg(f, insn.A, uint32(th.regWide(f, insn.B)))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B))
+			}
+
+		case dex.CmpFloat:
+			b := math.Float32frombits(th.reg(f, insn.B))
+			c := math.Float32frombits(th.reg(f, insn.C))
+			th.setReg(f, insn.A, uint32(cmpOrder(float64(b), float64(c))))
+			if tainting {
+				th.setRegTaint(f, insn.A, th.regTaint(f, insn.B)|th.regTaint(f, insn.C))
+			}
+		case dex.CmpDouble:
+			b := math.Float64frombits(th.regWide(f, insn.B))
+			c := math.Float64frombits(th.regWide(f, insn.C))
+			th.setReg(f, insn.A, uint32(cmpOrder(b, c)))
+			if tainting {
+				t := th.regTaint(f, insn.B) | th.regTaint(f, insn.B+1) |
+					th.regTaint(f, insn.C) | th.regTaint(f, insn.C+1)
+				th.setRegTaint(f, insn.A, t)
+			}
+		case dex.CmpLong:
+			b := int64(th.regWide(f, insn.B))
+			c := int64(th.regWide(f, insn.C))
+			v := int32(0)
+			switch {
+			case b < c:
+				v = -1
+			case b > c:
+				v = 1
+			}
+			th.setReg(f, insn.A, uint32(v))
+			if tainting {
+				t := th.regTaint(f, insn.B) | th.regTaint(f, insn.B+1) |
+					th.regTaint(f, insn.C) | th.regTaint(f, insn.C+1)
+				th.setRegTaint(f, insn.A, t)
+			}
+
+		case dex.Throw:
+			o, ok := vm.objects[th.reg(f, insn.A)]
+			if !ok {
+				thrown = vm.makeThrowable(th, "Ljava/lang/NullPointerException;", "throw on null")
+				break
+			}
+			thrown = o
+
+		default:
+			return 0, 0, nil, vm.errorf("%s: unimplemented op %s at pc %d", m.FullName(), insn.Op, pc)
+		}
+
+		if thrown != nil {
+			handler, ok := findHandler(vm, m, pc, thrown)
+			if !ok {
+				return 0, 0, thrown, nil
+			}
+			th.Exception = thrown
+			pc = handler
+			continue
+		}
+		pc++
+	}
+}
+
+// elem reads a 32-bit-or-narrower array element.
+func (o *Object) elem(idx int) uint32 {
+	switch o.ElemWidth {
+	case 1:
+		return uint32(o.Data[idx])
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(o.Data[idx*2:]))
+	default:
+		return binary.LittleEndian.Uint32(o.Data[idx*4:])
+	}
+}
+
+// setElem writes a 32-bit-or-narrower array element.
+func (o *Object) setElem(idx int, v uint32) {
+	switch o.ElemWidth {
+	case 1:
+		o.Data[idx] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(o.Data[idx*2:], uint16(v))
+	default:
+		binary.LittleEndian.PutUint32(o.Data[idx*4:], v)
+	}
+}
+
+func (vm *VM) arrayAt(m *dex.Method, addr uint32) (*Object, error) {
+	o, ok := vm.objects[addr]
+	if !ok || !o.IsArray {
+		return nil, fmt.Errorf("%s: not an array at %#x", m.FullName(), addr)
+	}
+	return o, nil
+}
+
+func (vm *VM) instanceField(m *dex.Method, addr uint32, insn *dex.Insn) (*Object, *dex.Field, error) {
+	o, ok := vm.objects[addr]
+	if !ok {
+		return nil, nil, fmt.Errorf("%s: field access on null/invalid object %#x", m.FullName(), addr)
+	}
+	if insn.ResolvedField == nil {
+		cls, ok := vm.classes[insn.ClassName]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown class %s", insn.ClassName)
+		}
+		fld, ok := cls.FieldByName(insn.MemberName)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown field %s.%s", insn.ClassName, insn.MemberName)
+		}
+		insn.ResolvedField = fld
+	}
+	return o, insn.ResolvedField, nil
+}
+
+func (vm *VM) staticField(insn *dex.Insn) (*dex.Class, *dex.Field, error) {
+	cls, ok := vm.classes[insn.ClassName]
+	if !ok {
+		return nil, nil, vm.errorf("unknown class %s", insn.ClassName)
+	}
+	if insn.ResolvedField == nil {
+		fld, ok := cls.FieldByName(insn.MemberName)
+		if !ok || !fld.Static {
+			return nil, nil, vm.errorf("unknown static field %s.%s", insn.ClassName, insn.MemberName)
+		}
+		insn.ResolvedField = fld
+	}
+	return cls, insn.ResolvedField, nil
+}
+
+// prepareInvoke gathers the target method and argument words for an invoke.
+func (vm *VM) prepareInvoke(th *Thread, f *Frame, insn *dex.Insn) (*dex.Method, []uint32, []taint.Tag, error) {
+	var target *dex.Method
+	switch insn.Op {
+	case dex.InvokeVirtual:
+		// Dynamic dispatch on the receiver's class.
+		recvAddr := th.reg(f, insn.Args[0])
+		recv, ok := vm.objects[recvAddr]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("invoke-virtual %s.%s on null receiver", insn.ClassName, insn.MemberName)
+		}
+		cls := recv.Class
+		if cls == nil {
+			cls = vm.classes[insn.ClassName]
+		}
+		for cls != nil {
+			if m, ok := cls.Method(insn.MemberName); ok {
+				target = m
+				break
+			}
+			cls = vm.classes[cls.Super]
+		}
+	default:
+		if insn.ResolvedMethod == nil {
+			cls, ok := vm.classes[insn.ClassName]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("unknown class %s", insn.ClassName)
+			}
+			m, ok := cls.Method(insn.MemberName)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("unknown method %s.%s", insn.ClassName, insn.MemberName)
+			}
+			insn.ResolvedMethod = m
+		}
+		target = insn.ResolvedMethod
+	}
+	if target == nil {
+		return nil, nil, nil, fmt.Errorf("unresolvable method %s.%s", insn.ClassName, insn.MemberName)
+	}
+	args := make([]uint32, len(insn.Args))
+	taints := make([]taint.Tag, len(insn.Args))
+	for i, r := range insn.Args {
+		args[i] = th.reg(f, r)
+		taints[i] = th.regTaint(f, r)
+	}
+	return target, args, taints, nil
+}
+
+// makeThrowable allocates an exception object of the named class.
+func (vm *VM) makeThrowable(th *Thread, class, msg string) *Object {
+	cls, ok := vm.classes[class]
+	if !ok {
+		cls, ok = vm.classes["Ljava/lang/Exception;"]
+		if !ok {
+			panic("dvm: exception classes not registered")
+		}
+	}
+	o := vm.NewInstance(cls)
+	msgObj := vm.NewString(msg)
+	if len(o.Fields) > 0 {
+		o.Fields[0] = msgObj.Addr
+	}
+	return o
+}
+
+// findHandler locates a catch handler for thrown at pc in m, walking the
+// class hierarchy for type matches.
+func findHandler(vm *VM, m *dex.Method, pc int, thrown *Object) (int, bool) {
+	for _, t := range m.Tries {
+		if pc < t.Start || pc >= t.End {
+			continue
+		}
+		if t.Type == "" {
+			return t.Handler, true
+		}
+		cls := thrown.Class
+		for cls != nil {
+			if cls.Name == t.Type {
+				return t.Handler, true
+			}
+			cls = vm.classes[cls.Super]
+		}
+	}
+	return 0, false
+}
+
+func compareInt(c dex.Cmp, a, b int32) bool {
+	switch c {
+	case dex.Eq:
+		return a == b
+	case dex.Ne:
+		return a != b
+	case dex.Lt:
+		return a < b
+	case dex.Ge:
+		return a >= b
+	case dex.Gt:
+		return a > b
+	case dex.Le:
+		return a <= b
+	}
+	return false
+}
+
+func arithInt(op dex.Arith, a, b int32) int32 {
+	switch op {
+	case dex.Add:
+		return a + b
+	case dex.Sub:
+		return a - b
+	case dex.Mul:
+		return a * b
+	case dex.Div:
+		return a / b
+	case dex.Rem:
+		return a % b
+	case dex.And:
+		return a & b
+	case dex.Or:
+		return a | b
+	case dex.Xor:
+		return a ^ b
+	case dex.Shl:
+		return a << (uint32(b) & 31)
+	case dex.Shr:
+		return a >> (uint32(b) & 31)
+	case dex.Ushr:
+		return int32(uint32(a) >> (uint32(b) & 31))
+	}
+	return 0
+}
+
+func arithLong(op dex.Arith, a, b int64) int64 {
+	switch op {
+	case dex.Add:
+		return a + b
+	case dex.Sub:
+		return a - b
+	case dex.Mul:
+		return a * b
+	case dex.Div:
+		return a / b
+	case dex.Rem:
+		return a % b
+	case dex.And:
+		return a & b
+	case dex.Or:
+		return a | b
+	case dex.Xor:
+		return a ^ b
+	case dex.Shl:
+		return a << (uint64(b) & 63)
+	case dex.Shr:
+		return a >> (uint64(b) & 63)
+	case dex.Ushr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	}
+	return 0
+}
+
+func arithFloat(op dex.Arith, a, b float32) float32 {
+	switch op {
+	case dex.Add:
+		return a + b
+	case dex.Sub:
+		return a - b
+	case dex.Mul:
+		return a * b
+	case dex.Div:
+		return a / b
+	case dex.Rem:
+		return float32(math.Mod(float64(a), float64(b)))
+	}
+	return 0
+}
+
+func arithDouble(op dex.Arith, a, b float64) float64 {
+	switch op {
+	case dex.Add:
+		return a + b
+	case dex.Sub:
+		return a - b
+	case dex.Mul:
+		return a * b
+	case dex.Div:
+		return a / b
+	case dex.Rem:
+		return math.Mod(a, b)
+	}
+	return 0
+}
+
+func cmpOrder(a, b float64) int32 {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

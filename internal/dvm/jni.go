@@ -1,0 +1,176 @@
+package dvm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/dex"
+	"repro/internal/kernel"
+	"repro/internal/taint"
+)
+
+// thread returns the thread on whose behalf native code is running.
+func (vm *VM) thread() *Thread {
+	if vm.curThread != nil {
+		return vm.curThread
+	}
+	return vm.MainThread
+}
+
+// savedCPU snapshots the register state around a nested native call.
+type savedCPU struct {
+	R        [16]uint32
+	N        bool
+	Z        bool
+	C        bool
+	V        bool
+	Thumb    bool
+	RegTaint [16]taint.Tag
+}
+
+func snapshotCPU(c *arm.CPU) savedCPU {
+	return savedCPU{R: c.R, N: c.N, Z: c.Z, C: c.C, V: c.V, Thumb: c.Thumb, RegTaint: c.RegTaint}
+}
+
+func restoreCPU(c *arm.CPU, s savedCPU) {
+	c.R = s.R
+	c.N, c.Z, c.C, c.V = s.N, s.Z, s.C, s.V
+	c.Thumb = s.Thumb
+	c.RegTaint = s.RegTaint
+}
+
+// callNative runs guest code at addr with AAPCS args and returns R0, R1, and
+// the shadow taints of R0/R1 at return time (read before state restoration so
+// NDroid's JNI-entry After hook can observe them).
+func (vm *VM) callNative(addr uint32, args []uint32) (r0, r1 uint32, sh0, sh1 taint.Tag, err error) {
+	c := vm.CPU
+	saved := snapshotCPU(c)
+	pad := kernel.ReturnPadBase + uint32(vm.padDepth)*16
+	vm.padDepth++
+	defer func() { vm.padDepth-- }()
+
+	sp := c.R[arm.SP]
+	if len(args) > 4 {
+		sp -= uint32(4 * (len(args) - 4))
+		for i := 4; i < len(args); i++ {
+			vm.Mem.Write32(sp+uint32(4*(i-4)), args[i])
+		}
+	}
+	c.R[arm.SP] = sp
+	for i := 0; i < 4; i++ {
+		if i < len(args) {
+			c.R[i] = args[i]
+		}
+		c.RegTaint[i] = 0
+	}
+	c.R[arm.LR] = pad
+	c.SetThumbPC(addr)
+	err = c.RunUntil(pad, 64<<20)
+	r0, r1 = c.R[0], c.R[1]
+	sh0, sh1 = c.RegTaint[0], c.RegTaint[1]
+	restoreCPU(c, saved)
+	return r0, r1, sh0, sh1, err
+}
+
+// callJNIMethod is the JNI call bridge (dvmCallJNIMethod): it marshals Java
+// arguments into the AAPCS (objects become local indirect references), runs
+// the native method on the CPU, and applies the JNI return-taint policy —
+// TaintDroid's "return tainted iff any parameter tainted" unless an NDroid
+// hook overrides it (§V-B "JNI Entry").
+func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	vm.pushLocalFrame()
+	defer vm.popLocalFrame()
+
+	cpuArgs := []uint32{kernel.JNIEnvBase}
+	argTaints := []taint.Tag{0}
+	argObjs := []*Object{nil}
+
+	idx := 0
+	if m.IsStatic() {
+		clsObj := vm.classObject(m.Class)
+		cpuArgs = append(cpuArgs, vm.AddLocalRef(clsObj))
+		argTaints = append(argTaints, 0)
+		argObjs = append(argObjs, clsObj)
+	} else {
+		thisObj := vm.objects[args[0]]
+		cpuArgs = append(cpuArgs, vm.AddLocalRef(thisObj))
+		argTaints = append(argTaints, taints[0])
+		argObjs = append(argObjs, thisObj)
+		idx = 1
+	}
+	for i := 1; i < len(m.Shorty); i++ {
+		switch m.Shorty[i] {
+		case 'L':
+			o := vm.objects[args[idx]]
+			cpuArgs = append(cpuArgs, vm.AddLocalRef(o))
+			argTaints = append(argTaints, taints[idx])
+			argObjs = append(argObjs, o)
+			idx++
+		case 'J', 'D':
+			cpuArgs = append(cpuArgs, args[idx], args[idx+1])
+			argTaints = append(argTaints, taints[idx], taints[idx+1])
+			argObjs = append(argObjs, nil, nil)
+			idx += 2
+		default:
+			cpuArgs = append(cpuArgs, args[idx])
+			argTaints = append(argTaints, taints[idx])
+			argObjs = append(argObjs, nil)
+			idx++
+		}
+	}
+
+	ctx := &CallCtx{
+		Thread:    th,
+		Method:    m,
+		CPUArgs:   cpuArgs,
+		ArgTaints: argTaints,
+		ArgObjs:   argObjs,
+	}
+
+	var r0, r1 uint32
+	var sh0, sh1 taint.Tag
+	var runErr error
+	vm.internalCall("dvmCallJNIMethod", vm.callsiteOf("dvmInterpret"), ctx, func() {
+		r0, r1, sh0, sh1, runErr = vm.callNative(m.NativeAddr, cpuArgs)
+		ctx.Ret = uint64(r0) | uint64(r1)<<32
+		ctx.RetTaint = sh0
+		if m.RetWide() {
+			ctx.RetTaint |= sh1
+		}
+	})
+	if runErr != nil {
+		return 0, 0, nil, vm.errorf("native method %s: %w", m.FullName(), runErr)
+	}
+
+	// Return-taint policy. TaintDroid: union of parameter taints when any is
+	// tainted. NDroid hooks set RetOverride with the shadow-derived taint.
+	var retTaint taint.Tag
+	if ctx.RetOverride {
+		retTaint = ctx.RetTaint
+	} else {
+		for _, t := range argTaints {
+			retTaint |= t
+		}
+	}
+	if !vm.TaintJava {
+		retTaint = 0
+	}
+
+	var ret uint64
+	switch m.Shorty[0] {
+	case 'V':
+	case 'L':
+		if o := vm.DecodeRef(r0); o != nil {
+			ret = uint64(o.Addr)
+		}
+	case 'J', 'D':
+		ret = uint64(r0) | uint64(r1)<<32
+	default:
+		ret = uint64(r0)
+	}
+
+	var thrown *Object
+	if th.Exception != nil {
+		thrown = th.Exception
+		th.Exception = nil
+	}
+	return ret, retTaint, thrown, nil
+}

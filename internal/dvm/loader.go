@@ -1,0 +1,78 @@
+package dvm
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/kernel"
+)
+
+// LoadNativeLib assembles ARM/Thumb source, loads it into the app code
+// region, registers it in the task's memory map (so the OS-level view
+// reconstructor can attribute its addresses), and returns the program. The
+// source may reference every libc/libm symbol and every JNI function by name.
+func (vm *VM) LoadNativeLib(name, source string) (*arm.Program, error) {
+	extern := vm.Libc.Syms()
+	for sym, addr := range vm.JNISyms() {
+		extern[sym] = addr
+	}
+	base := vm.nextLibBase
+	if base == 0 {
+		base = kernel.AppCodeBase
+	}
+	prog, err := arm.Assemble(source, base, extern)
+	if err != nil {
+		return nil, fmt.Errorf("dvm: assembling %s: %w", name, err)
+	}
+	vm.Mem.WriteBytes(prog.Base, prog.Code)
+	end := (prog.Base + prog.Size() + 0xfff) &^ 0xfff
+	vm.nextLibBase = end
+	if vm.Task != nil {
+		vm.Kern.AddVMA(vm.Task, kernel.VMA{
+			Start: prog.Base, End: end, Perms: "r-x",
+			Name: "/data/app-lib/" + name,
+		})
+	}
+	vm.nativeLibs = append(vm.nativeLibs, LoadedLib{Name: name, Prog: prog})
+	return prog, nil
+}
+
+// LoadedLib records one loaded native library image.
+type LoadedLib struct {
+	Name string
+	Prog *arm.Program
+}
+
+// NativeLibs returns the loaded native library images.
+func (vm *VM) NativeLibs() []LoadedLib { return vm.nativeLibs }
+
+// NativeCodeRange reports the address range occupied by app native code —
+// the "third-party native code" region the multilevel hooking condition T1
+// tests membership of (Fig. 5).
+func (vm *VM) NativeCodeRange() (uint32, uint32) {
+	if len(vm.nativeLibs) == 0 {
+		return 0, 0
+	}
+	return kernel.AppCodeBase, vm.nextLibBase
+}
+
+// BindNative points a declared native method at a label in a loaded library.
+func (vm *VM) BindNative(className, methodName string, prog *arm.Program, label string) error {
+	cls, ok := vm.classes[className]
+	if !ok {
+		return vm.errorf("unknown class %s", className)
+	}
+	m, ok := cls.Method(methodName)
+	if !ok {
+		return vm.errorf("unknown method %s.%s", className, methodName)
+	}
+	if !m.IsNative() {
+		return vm.errorf("%s.%s is not native", className, methodName)
+	}
+	addr, err := prog.Label(label)
+	if err != nil {
+		return err
+	}
+	m.NativeAddr = addr
+	return nil
+}

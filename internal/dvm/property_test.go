@@ -1,0 +1,134 @@
+package dvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dex"
+	"repro/internal/taint"
+)
+
+// TestInterpreterArithmeticMatchesGo is a property test: for random operand
+// pairs, every Dalvik integer binop computed by the interpreter equals the
+// Go-native result.
+func TestInterpreterArithmeticMatchesGo(t *testing.T) {
+	vm := newVM(t)
+	ops := []dex.Arith{dex.Add, dex.Sub, dex.Mul, dex.And, dex.Or, dex.Xor, dex.Shl, dex.Shr, dex.Ushr}
+	for i, op := range ops {
+		cb := dex.NewClass("Lcom/prop/C" + string(rune('0'+i)) + ";")
+		cb.Method("f", "III", dex.AccStatic, 1).
+			Bin(op, 0, 1, 2).
+			Return(0).
+			Done()
+		vm.RegisterClass(cb.Build())
+	}
+	ref := func(op dex.Arith, a, b int32) int32 {
+		switch op {
+		case dex.Add:
+			return a + b
+		case dex.Sub:
+			return a - b
+		case dex.Mul:
+			return a * b
+		case dex.And:
+			return a & b
+		case dex.Or:
+			return a | b
+		case dex.Xor:
+			return a ^ b
+		case dex.Shl:
+			return a << (uint32(b) & 31)
+		case dex.Shr:
+			return a >> (uint32(b) & 31)
+		case dex.Ushr:
+			return int32(uint32(a) >> (uint32(b) & 31))
+		}
+		return 0
+	}
+	f := func(a, b int32, sel uint8) bool {
+		i := int(sel) % len(ops)
+		cls := "Lcom/prop/C" + string(rune('0'+i)) + ";"
+		ret, _, thrown, err := vm.InvokeByName(cls, "f", []uint32{uint32(a), uint32(b)}, nil)
+		if err != nil || thrown != nil {
+			return false
+		}
+		return int32(ret) == ref(ops[i], a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterpreterDoubleMatchesGo: double arithmetic on register pairs.
+func TestInterpreterDoubleMatchesGo(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/prop/D;")
+	cb.Method("mul", "DDD", dex.AccStatic, 0).
+		BinDouble(dex.Mul, 0, 0, 2).
+		ReturnWide(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ab, bb := math.Float64bits(a), math.Float64bits(b)
+		ret, _, thrown, err := vm.InvokeByName("Lcom/prop/D;", "mul",
+			[]uint32{uint32(ab), uint32(ab >> 32), uint32(bb), uint32(bb >> 32)}, nil)
+		if err != nil || thrown != nil {
+			return false
+		}
+		got := math.Float64frombits(ret)
+		want := a * b
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaintNeverInventedFromCleanInputs is a whole-pipeline property: running
+// arbitrary arithmetic over untainted inputs never produces a tainted result.
+func TestTaintNeverInventedFromCleanInputs(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/prop/Clean;")
+	cb.Method("mix", "IIII", dex.AccStatic, 2).
+		Bin(dex.Add, 0, 2, 3).
+		Bin(dex.Xor, 1, 0, 4).
+		BinLit(dex.Mul, 0, 1, 31).
+		Return(0).
+		Done()
+	vm.RegisterClass(cb.Build())
+	f := func(a, b, c int32) bool {
+		_, rt, thrown, err := vm.InvokeByName("Lcom/prop/Clean;", "mix",
+			[]uint32{uint32(a), uint32(b), uint32(c)}, nil)
+		return err == nil && thrown == nil && rt == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaintAlwaysReachesResultThroughDataFlow: the dual property — any single
+// tainted input to the same dataflow taints the result.
+func TestTaintAlwaysReachesResultThroughDataFlow(t *testing.T) {
+	vm := newVM(t)
+	cb := dex.NewClass("Lcom/prop/Flow;")
+	cb.Method("mix", "IIII", dex.AccStatic, 2).
+		Bin(dex.Add, 0, 2, 3).
+		Bin(dex.Xor, 1, 0, 4).
+		Return(1).
+		Done()
+	vm.RegisterClass(cb.Build())
+	f := func(a, b, c int32, which uint8) bool {
+		taints := make([]taint.Tag, 3)
+		taints[int(which)%3] = taint.IMEI
+		_, rt, thrown, err := vm.InvokeByName("Lcom/prop/Flow;", "mix",
+			[]uint32{uint32(a), uint32(b), uint32(c)}, taints)
+		return err == nil && thrown == nil && rt.Has(taint.IMEI)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dvm
+
+import (
+	"repro/internal/dex"
+	"repro/internal/taint"
+)
+
+// Frame is one interpreter frame. Register slots live in guest memory with
+// TaintDroid's layout (Fig. 1): each register is an 8-byte slot — 4 value
+// bytes followed by 4 taint-tag bytes — and a 16-byte StackSaveArea sits
+// above the registers holding the caller's frame pointer.
+type Frame struct {
+	Method *dex.Method
+	FP     uint32 // guest address of v0's value word
+}
+
+// saveAreaSize is the StackSaveArea footprint.
+const saveAreaSize = 16
+
+// RegAddr returns the guest address of register i's value word — the
+// addresses NDroid's dvmInterpret hook writes taints to (Fig. 9's
+// "t[44bf8c14] = 0x1602").
+func (f *Frame) RegAddr(i int) uint32 { return f.FP + uint32(8*i) }
+
+// TaintAddr returns the guest address of register i's taint tag.
+func (f *Frame) TaintAddr(i int) uint32 { return f.FP + uint32(8*i) + 4 }
+
+// Thread is a Dalvik thread: a guest stack region plus the interpreter
+// save-state (return value and its taint, pending exception).
+type Thread struct {
+	VM   *VM
+	Name string
+
+	StackBase uint32
+	StackTop  uint32
+	cur       uint32
+
+	Frames []*Frame
+
+	// InterpSaveState (§II-B): the last invoke's return value and taint.
+	RetVal   uint64
+	RetTaint taint.Tag
+
+	Exception *Object
+}
+
+// pushFrame allocates a frame for m and stores args (with taints interleaved)
+// into the argument registers, exactly as TaintDroid stores parameters and
+// their tags on the Dalvik stack.
+func (th *Thread) pushFrame(m *dex.Method, args []uint32, taints []taint.Tag) *Frame {
+	size := uint32(m.NumRegs*8) + saveAreaSize
+	fp := th.cur - size
+	if fp < th.StackBase {
+		panic("dvm: thread stack overflow")
+	}
+	mem := th.VM.Mem
+	// Zero the register slots.
+	for i := 0; i < m.NumRegs; i++ {
+		mem.Write32(fp+uint32(8*i), 0)
+		mem.Write32(fp+uint32(8*i)+4, 0)
+	}
+	// Argument registers occupy the high end of the frame.
+	first := m.NumRegs - m.InsSize()
+	for i, v := range args {
+		mem.Write32(fp+uint32(8*(first+i)), v)
+		if i < len(taints) {
+			mem.Write32(fp+uint32(8*(first+i))+4, uint32(taints[i]))
+		}
+	}
+	// StackSaveArea: previous frame pointer and a marker.
+	mem.Write32(fp+uint32(m.NumRegs*8), th.cur)
+	mem.Write32(fp+uint32(m.NumRegs*8)+4, objHeaderMagic)
+	th.cur = fp
+	f := &Frame{Method: m, FP: fp}
+	th.Frames = append(th.Frames, f)
+	return f
+}
+
+// popFrame releases the top frame.
+func (th *Thread) popFrame() {
+	n := len(th.Frames)
+	if n == 0 {
+		return
+	}
+	f := th.Frames[n-1]
+	th.cur = f.FP + uint32(f.Method.NumRegs*8) + saveAreaSize
+	th.Frames = th.Frames[:n-1]
+}
+
+// CurrentFrame returns the innermost frame, if any.
+func (th *Thread) CurrentFrame() *Frame {
+	if len(th.Frames) == 0 {
+		return nil
+	}
+	return th.Frames[len(th.Frames)-1]
+}
+
+// reg reads register i of frame f.
+func (th *Thread) reg(f *Frame, i int) uint32 { return th.VM.Mem.Read32(f.RegAddr(i)) }
+
+// setReg writes register i of frame f.
+func (th *Thread) setReg(f *Frame, i int, v uint32) { th.VM.Mem.Write32(f.RegAddr(i), v) }
+
+// regTaint reads register i's taint tag.
+func (th *Thread) regTaint(f *Frame, i int) taint.Tag {
+	return taint.Tag(th.VM.Mem.Read32(f.TaintAddr(i)))
+}
+
+// setRegTaint writes register i's taint tag.
+func (th *Thread) setRegTaint(f *Frame, i int, t taint.Tag) {
+	th.VM.Mem.Write32(f.TaintAddr(i), uint32(t))
+}
+
+// regWide reads the 64-bit value in registers (i, i+1).
+func (th *Thread) regWide(f *Frame, i int) uint64 {
+	return uint64(th.reg(f, i)) | uint64(th.reg(f, i+1))<<32
+}
+
+// setRegWide writes a 64-bit value into registers (i, i+1).
+func (th *Thread) setRegWide(f *Frame, i int, v uint64) {
+	th.setReg(f, i, uint32(v))
+	th.setReg(f, i+1, uint32(v>>32))
+}

@@ -1,0 +1,503 @@
+// Package dvm implements the Dalvik virtual machine substrate with
+// TaintDroid's modifications: interpreter stack frames holding taint tags
+// interleaved with register values in guest memory (paper Fig. 1), taint
+// storage on string/array objects and field slots (§II-B), the naive JNI
+// taint policy (return tainted iff any parameter tainted), an indirect
+// reference table kept current by a moving garbage collector (§II-A), the JNI
+// call bridge (dvmCallJNIMethod), and the JNIEnv function table exposed to
+// emulated native code.
+//
+// Every libdvm-internal function NDroid hooks in the paper (dvmCallJNIMethod,
+// dvmCallMethod*, dvmInterpret, dvmCreateStringFromCstr, dvmAllocObject, ...)
+// has a guest address inside an emulated libdvm.so region and fires
+// before/after hooks plus branch events when "called", so the DVM Hook Engine
+// and the multilevel hooking state machine (Fig. 5) observe the same call
+// chains they would on the real system.
+package dvm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arm"
+	"repro/internal/dex"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// Object is a heap object: a class instance, string, array, or class handle.
+type Object struct {
+	Addr  uint32 // current direct pointer; changes when the GC moves it
+	Class *dex.Class
+
+	Fields      []uint32
+	FieldTaints []taint.Tag
+
+	IsString bool
+	Str      string
+
+	IsArray   bool
+	ElemKind  byte // shorty char
+	ElemWidth uint32
+	Len       int
+	Data      []byte // little-endian elements
+
+	IsClass  bool
+	ClassRef *dex.Class
+
+	// Taint is the object-level tag TaintDroid keeps for strings and arrays.
+	Taint taint.Tag
+}
+
+// Ref kinds for indirect references (Android's IndirectRefKind).
+const (
+	refKindLocal  = 1
+	refKindGlobal = 2
+)
+
+// objHeaderMagic marks object headers in guest memory.
+const objHeaderMagic = 0x0b7ec70b
+
+// JavaLeak reports tainted data reaching a Java-context sink.
+type JavaLeak struct {
+	Sink string
+	Dest string
+	Data string
+	Tag  taint.Tag
+}
+
+// Builtin is a framework method implemented by the host. args includes the
+// receiver for instance methods.
+type Builtin func(vm *VM, th *Thread, args []uint32, taints []taint.Tag) (ret uint64, retTaint taint.Tag, thrown *Object)
+
+// CallCtx is the context handed to internal-function hooks. Fields are
+// populated according to which function is being hooked.
+type CallCtx struct {
+	VM     *VM
+	Name   string
+	Thread *Thread
+
+	// JNI call bridge (dvmCallJNIMethod):
+	Method    *dex.Method
+	CPUArgs   []uint32    // AAPCS argument words (env, this/class, args...)
+	ArgTaints []taint.Tag // taints aligned with CPUArgs
+	ArgObjs   []*Object   // object per CPUArg position (nil for prims)
+
+	// Native-to-Java calls (dvmCallMethod*/dvmInterpret):
+	JavaMethod  *dex.Method
+	JavaArgs    []uint32    // decoded argument words
+	JavaArgRefs []uint32    // pre-decode indirect refs (0 for prims)
+	JavaArgSrc  []ArgSrc    // native-context source of each argument word
+	JavaTaints  []taint.Tag // mutable: hooks may taint arguments
+	FrameAddr   uint32      // guest FP of the new frame (dvmInterpret)
+
+	// Object/string creation:
+	CStrAddr  uint32 // source C string for NewStringUTF
+	UTF16Addr uint32 // source buffer for NewString
+	UTF16Len  uint32
+	ResultObj *Object
+	ResultRef uint32
+
+	// Field access:
+	FieldObj *Object
+	Field    *dex.Field
+	Value    uint64
+	ValueTag taint.Tag
+
+	// Return-taint override (set by After hooks; JNI entry path).
+	RetTaint    taint.Tag
+	RetOverride bool
+
+	// Raw return value for JNI exit paths.
+	Ret uint64
+}
+
+// ArgSrc records where an argument word lived in the native context, so
+// NDroid's shadow registers and shadow memory can be consulted (§V-B "JNI
+// Exit": "NDroid creates shadow registers and memory to save the taints in
+// the native context and refers to them when the taints are propagated to
+// the Java context").
+type ArgSrc struct {
+	Reg  int    // AAPCS register index, or -1 when the word came from memory
+	Addr uint32 // guest address for stack/va_list/jvalue words
+}
+
+// InternalHook observes one internal function.
+type InternalHook struct {
+	Before func(*CallCtx)
+	After  func(*CallCtx)
+}
+
+// VM is the Dalvik virtual machine instance.
+type VM struct {
+	Mem  *mem.Memory
+	CPU  *arm.CPU
+	Kern *kernel.Kernel
+	Task *kernel.Task
+	Libc *libc.Libc
+
+	classes map[string]*dex.Class
+
+	objects    map[uint32]*Object
+	heapCursor uint32
+	allocCount int
+	// GCThreshold triggers a collection every N allocations (0 disables).
+	GCThreshold int
+	GCCount     int
+	// OnGCMove is invoked for every object relocation (old, new address);
+	// NDroid's taint engine subscribes to keep its maps coherent.
+	OnGCMove func(old, new uint32, o *Object)
+
+	irt       map[uint32]*Object
+	nextLocal uint32
+	nextGlob  uint32
+	locals    [][]uint32 // per-JNI-call local ref frames
+
+	methodIDs []*dex.Method
+	fieldIDs  []*dex.Field
+
+	internalAddrs map[string]uint32
+	internalNames map[uint32]string
+	hooks         map[string][]InternalHook
+	libdvmEnd     uint32
+
+	// TaintJava enables TaintDroid's in-DVM propagation. Off = stock Android.
+	TaintJava bool
+	// InterpretHookAll fires the dvmInterpret hooks on *every* interpreted
+	// invocation, not just native-originated ones — the costly baseline that
+	// multilevel hooking exists to avoid (§V-B: "the overhead will be high
+	// if we hook these two functions whenever they are called").
+	InterpretHookAll bool
+	// JavaStepFn observes every interpreted instruction (profiling and the
+	// DroidScope semantic-reconstruction cost model).
+	JavaStepFn func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)
+	// JavaLeakFn receives Java-context sink reports (TaintDroid sinks).
+	JavaLeakFn func(JavaLeak)
+
+	// JavaInsnCount counts interpreted Dalvik instructions.
+	JavaInsnCount uint64
+
+	MainThread *Thread
+	threads    []*Thread
+	curThread  *Thread
+
+	padDepth    int
+	loadedLibs  []string
+	nativeLibs  []LoadedLib
+	nextLibBase uint32
+}
+
+// internalFuncs lists every hookable libdvm-internal function, in a fixed
+// order so addresses are deterministic.
+var internalFuncs = []string{
+	"dvmCallJNIMethod",
+	"dvmCallMethod",
+	"dvmCallMethodV",
+	"dvmCallMethodA",
+	"dvmInterpret",
+	"dvmCreateStringFromCstr",
+	"dvmCreateStringFromUnicode",
+	"dvmAllocObject",
+	"dvmAllocArrayByClass",
+	"dvmAllocPrimitiveArray",
+	"dvmDecodeIndirectRef",
+	"initException",
+}
+
+// New creates a VM wired to the given CPU, kernel task, and libc.
+func New(m *mem.Memory, c *arm.CPU, k *kernel.Kernel, t *kernel.Task, lc *libc.Libc) *VM {
+	vm := &VM{
+		Mem:           m,
+		CPU:           c,
+		Kern:          k,
+		Task:          t,
+		Libc:          lc,
+		classes:       make(map[string]*dex.Class),
+		objects:       make(map[uint32]*Object),
+		heapCursor:    kernel.DvmHeapBase,
+		irt:           make(map[uint32]*Object),
+		nextLocal:     1,
+		nextGlob:      1,
+		internalAddrs: make(map[string]uint32),
+		internalNames: make(map[uint32]string),
+		hooks:         make(map[string][]InternalHook),
+	}
+
+	// Assign libdvm addresses: 16 bytes per internal function.
+	cursor := kernel.LibdvmBase
+	for _, name := range internalFuncs {
+		vm.internalAddrs[name] = cursor
+		vm.internalNames[cursor] = name
+		cursor += 16
+	}
+	vm.installJNIEnv(cursor)
+
+	vm.MainThread = vm.NewThread("main")
+	registerFramework(vm)
+	return vm
+}
+
+// NewThread allocates an interpreter thread with a guest stack region.
+func (vm *VM) NewThread(name string) *Thread {
+	const stackSize = 1 << 20
+	idx := uint32(0)
+	if vm.MainThread != nil {
+		idx = 1 // only two threads are ever used in the evaluation
+	}
+	base := kernel.DvmStackBase + idx*stackSize
+	th := &Thread{
+		VM:        vm,
+		Name:      name,
+		StackBase: base,
+		StackTop:  base + stackSize,
+		cur:       base + stackSize,
+	}
+	vm.threads = append(vm.threads, th)
+	return th
+}
+
+// RegisterClass adds a class to the VM.
+func (vm *VM) RegisterClass(c *dex.Class) { vm.classes[c.Name] = c }
+
+// Class looks up a registered class.
+func (vm *VM) Class(name string) (*dex.Class, bool) {
+	c, ok := vm.classes[name]
+	return c, ok
+}
+
+// Classes returns all registered class names, sorted.
+func (vm *VM) Classes() []string {
+	out := make([]string, 0, len(vm.classes))
+	for n := range vm.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadedLibs reports libraries loaded via System.loadLibrary.
+func (vm *VM) LoadedLibs() []string { return vm.loadedLibs }
+
+// HookInternal registers a hook on a libdvm-internal or JNI function.
+func (vm *VM) HookInternal(name string, h InternalHook) {
+	vm.hooks[name] = append(vm.hooks[name], h)
+}
+
+// ClearInternalHooks removes all hooks (between analysis runs).
+func (vm *VM) ClearInternalHooks() { vm.hooks = make(map[string][]InternalHook) }
+
+// InternalAddr returns the guest address of an internal/JNI function.
+func (vm *VM) InternalAddr(name string) uint32 { return vm.internalAddrs[name] }
+
+// InternalName resolves a libdvm address back to its function name.
+func (vm *VM) InternalName(addr uint32) (string, bool) {
+	n, ok := vm.internalNames[addr]
+	return n, ok
+}
+
+// callsiteOf returns the synthetic call-site address inside an internal
+// function (the "A"/"B"/"C" addresses of Fig. 5).
+func (vm *VM) callsiteOf(name string) uint32 { return vm.internalAddrs[name] + 8 }
+
+// internalCall emits the branch events and hook invocations for a call into
+// an internal function. from is the caller's call-site address; body performs
+// the actual work.
+func (vm *VM) internalCall(name string, from uint32, ctx *CallCtx, body func()) {
+	entry := vm.internalAddrs[name]
+	ctx.VM = vm
+	ctx.Name = name
+	vm.CPU.EmitBranch(from, entry)
+	for _, h := range vm.hooks[name] {
+		if h.Before != nil {
+			h.Before(ctx)
+		}
+	}
+	body()
+	for _, h := range vm.hooks[name] {
+		if h.After != nil {
+			h.After(ctx)
+		}
+	}
+	vm.CPU.EmitBranch(entry+4, from+4)
+}
+
+// --- heap ---------------------------------------------------------------
+
+func (vm *VM) allocAddr(payload uint32) uint32 {
+	vm.allocCount++
+	if vm.GCThreshold > 0 && vm.allocCount >= vm.GCThreshold {
+		vm.allocCount = 0
+		vm.RunGC()
+	}
+	size := objFootprint(payload)
+	addr := vm.heapCursor
+	if addr+size >= kernel.DvmHeapLimit {
+		vm.RunGC()
+		addr = vm.heapCursor
+		if addr+size >= kernel.DvmHeapLimit {
+			panic("dvm: heap exhausted")
+		}
+	}
+	vm.heapCursor += size
+	return addr
+}
+
+func objFootprint(payload uint32) uint32 { return (16 + payload + 7) &^ 7 }
+
+func (o *Object) payloadSize() uint32 {
+	switch {
+	case o.IsString:
+		return uint32(len(o.Str))
+	case o.IsArray:
+		return uint32(len(o.Data))
+	case o.IsClass:
+		return 0
+	default:
+		return uint32(len(o.Fields)) * 8
+	}
+}
+
+func (vm *VM) registerObject(o *Object) *Object {
+	vm.objects[o.Addr] = o
+	// A small header in guest memory makes the object visible to raw-memory
+	// consumers (VMI, logs): word0 = magic, word1 = payload length.
+	vm.Mem.Write32(o.Addr, objHeaderMagic)
+	vm.Mem.Write32(o.Addr+4, uint32(o.Len))
+	return o
+}
+
+// NewString allocates a StringObject.
+func (vm *VM) NewString(s string) *Object {
+	addr := vm.allocAddr(uint32(len(s)))
+	o := &Object{Addr: addr, IsString: true, Str: s, Len: len(s)}
+	if c, ok := vm.classes["Ljava/lang/String;"]; ok {
+		o.Class = c
+	}
+	return vm.registerObject(o)
+}
+
+// NewArray allocates an ArrayObject with elements of the given shorty kind.
+func (vm *VM) NewArray(kind byte, n int) *Object {
+	w := uint32(dex.ShortyWidth(kind)) * 4
+	if kind == 'B' || kind == 'Z' {
+		w = 1
+	}
+	if kind == 'S' || kind == 'C' {
+		w = 2
+	}
+	addr := vm.allocAddr(uint32(n) * w)
+	o := &Object{
+		Addr: addr, IsArray: true, ElemKind: kind, ElemWidth: w,
+		Len: n, Data: make([]byte, uint32(n)*w),
+	}
+	return vm.registerObject(o)
+}
+
+// NewInstance allocates a class instance.
+func (vm *VM) NewInstance(c *dex.Class) *Object {
+	slots := c.InstanceSlots()
+	addr := vm.allocAddr(uint32(slots) * 8)
+	o := &Object{
+		Addr: addr, Class: c,
+		Fields:      make([]uint32, slots),
+		FieldTaints: make([]taint.Tag, slots),
+	}
+	return vm.registerObject(o)
+}
+
+// classObject returns (allocating on demand) the pseudo-object for a class.
+func (vm *VM) classObject(c *dex.Class) *Object {
+	for _, o := range vm.objects {
+		if o.IsClass && o.ClassRef == c {
+			return o
+		}
+	}
+	addr := vm.allocAddr(0)
+	o := &Object{Addr: addr, IsClass: true, ClassRef: c}
+	return vm.registerObject(o)
+}
+
+// ObjectAt resolves a direct pointer to its object.
+func (vm *VM) ObjectAt(addr uint32) (*Object, bool) {
+	o, ok := vm.objects[addr]
+	return o, ok
+}
+
+// HeapObjects reports the number of live objects.
+func (vm *VM) HeapObjects() int { return len(vm.objects) }
+
+// --- indirect references --------------------------------------------------
+
+// AddLocalRef creates a local indirect reference (current JNI frame).
+func (vm *VM) AddLocalRef(o *Object) uint32 {
+	if o == nil {
+		return 0
+	}
+	ref := 0xa000_0000 | vm.nextLocal<<2 | refKindLocal
+	vm.nextLocal++
+	vm.irt[ref] = o
+	if n := len(vm.locals); n > 0 {
+		vm.locals[n-1] = append(vm.locals[n-1], ref)
+	}
+	return ref
+}
+
+// AddGlobalRef creates a global indirect reference.
+func (vm *VM) AddGlobalRef(o *Object) uint32 {
+	if o == nil {
+		return 0
+	}
+	ref := 0xb000_0000 | vm.nextGlob<<2 | refKindGlobal
+	vm.nextGlob++
+	vm.irt[ref] = o
+	return ref
+}
+
+// DeleteRef drops an indirect reference.
+func (vm *VM) DeleteRef(ref uint32) { delete(vm.irt, ref) }
+
+// DecodeRef resolves an indirect reference — or a direct pointer, which
+// pre-ICS code may still pass (§II-A requires handling both) — to an object.
+func (vm *VM) DecodeRef(ref uint32) *Object {
+	if ref == 0 {
+		return nil
+	}
+	if o, ok := vm.irt[ref]; ok {
+		return o
+	}
+	if o, ok := vm.objects[ref]; ok {
+		return o
+	}
+	return nil
+}
+
+// IsIndirectRef reports whether ref is table-based (vs a direct pointer).
+func (vm *VM) IsIndirectRef(ref uint32) bool {
+	_, ok := vm.irt[ref]
+	return ok
+}
+
+func (vm *VM) pushLocalFrame() { vm.locals = append(vm.locals, nil) }
+
+func (vm *VM) popLocalFrame() {
+	n := len(vm.locals)
+	if n == 0 {
+		return
+	}
+	for _, ref := range vm.locals[n-1] {
+		delete(vm.irt, ref)
+	}
+	vm.locals = vm.locals[:n-1]
+}
+
+// nextPad returns a unique return-pad address for nested native calls.
+func (vm *VM) nextPad() uint32 {
+	pad := kernel.ReturnPadBase + uint32(vm.padDepth)*16
+	return pad
+}
+
+func (vm *VM) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("dvm: "+format, args...)
+}

@@ -1,0 +1,411 @@
+// Package kernel emulates the thin slice of Linux the paper's system needs:
+// processes with memory maps (serialized into guest memory so that the
+// OS-level view reconstructor can parse them from raw bytes, as DroidScope-
+// style virtual machine introspection does), an in-memory filesystem, a
+// recording network stack, and the SVC syscall interface.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// Guest serialization layout for VMI (all fields little-endian words):
+//
+//	task:  +0 pid   +4 next_task  +8 mm_ptr  +12..+27 comm[16]
+//	mm:    +0 first_vma
+//	vma:   +0 start +4 end  +8 flags  +12 next_vma  +16 name_ptr (cstring)
+//
+// flags bit0 = r, bit1 = w, bit2 = x.
+const (
+	taskStructSize = 28
+	mmStructSize   = 4
+	vmaStructSize  = 20
+	nameBufSize    = 64
+)
+
+// VMA is one mapping in a task's memory map.
+type VMA struct {
+	Start uint32
+	End   uint32
+	Perms string // "rwx" subset
+	Name  string
+}
+
+// Task is an emulated process.
+type Task struct {
+	PID  uint32
+	Comm string
+	VMAs []VMA
+
+	guestAddr uint32
+	fds       map[int32]*fd
+	nextFD    int32
+	brk       uint32
+}
+
+// Kernel owns tasks, the filesystem, the network log, and syscall dispatch.
+type Kernel struct {
+	Mem   *mem.Memory
+	FS    *FS
+	Net   *Net
+	tasks []*Task
+
+	// InitTaskAddr is the guest address of the first task struct — the only
+	// root the OS-level view reconstructor is given (§V-F).
+	InitTaskAddr uint32
+
+	serialCursor uint32
+	nextPID      uint32
+
+	// Exited reports the code passed to SysExit, if any.
+	Exited   bool
+	ExitCode int32
+}
+
+// New returns a kernel bound to guest memory m.
+func New(m *mem.Memory) *Kernel {
+	return &Kernel{
+		Mem:          m,
+		FS:           NewFS(),
+		Net:          NewNet(),
+		serialCursor: KernBase,
+		nextPID:      100,
+	}
+}
+
+// NewTask creates a process, serializes its task struct into guest memory,
+// and links it on the guest task list.
+func (k *Kernel) NewTask(comm string) *Task {
+	t := &Task{
+		PID:    k.nextPID,
+		Comm:   comm,
+		fds:    make(map[int32]*fd),
+		nextFD: 3, // 0,1,2 reserved
+		brk:    HeapBase,
+	}
+	k.nextPID++
+	t.guestAddr = k.alloc(taskStructSize)
+	k.Mem.Write32(t.guestAddr, t.PID)
+	k.Mem.Write32(t.guestAddr+4, 0) // next
+	k.Mem.Write32(t.guestAddr+8, 0) // mm
+	commBytes := make([]byte, 16)
+	copy(commBytes, comm)
+	k.Mem.WriteBytes(t.guestAddr+12, commBytes)
+
+	if len(k.tasks) == 0 {
+		k.InitTaskAddr = t.guestAddr
+	} else {
+		prev := k.tasks[len(k.tasks)-1]
+		k.Mem.Write32(prev.guestAddr+4, t.guestAddr)
+	}
+	k.tasks = append(k.tasks, t)
+
+	// stdout / stderr capture files
+	t.fds[1] = &fd{file: k.FS.create("/proc/" + comm + "/stdout")}
+	t.fds[2] = &fd{file: k.FS.create("/proc/" + comm + "/stderr")}
+	return t
+}
+
+// Tasks returns the live task list.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// alloc carves space from the kernel-structures region.
+func (k *Kernel) alloc(n uint32) uint32 {
+	addr := k.serialCursor
+	k.serialCursor += (n + 3) &^ 3
+	return addr
+}
+
+func permFlags(perms string) uint32 {
+	var f uint32
+	for _, c := range perms {
+		switch c {
+		case 'r':
+			f |= 1
+		case 'w':
+			f |= 2
+		case 'x':
+			f |= 4
+		}
+	}
+	return f
+}
+
+// AddVMA records a mapping in the task's memory map and mirrors it into the
+// guest-serialized VMA list.
+func (k *Kernel) AddVMA(t *Task, v VMA) {
+	t.VMAs = append(t.VMAs, v)
+
+	vmaAddr := k.alloc(vmaStructSize)
+	nameAddr := k.alloc(nameBufSize)
+	k.Mem.WriteCString(nameAddr, v.Name)
+	k.Mem.Write32(vmaAddr, v.Start)
+	k.Mem.Write32(vmaAddr+4, v.End)
+	k.Mem.Write32(vmaAddr+8, permFlags(v.Perms))
+	k.Mem.Write32(vmaAddr+12, 0)
+	k.Mem.Write32(vmaAddr+16, nameAddr)
+
+	mmPtr := k.Mem.Read32(t.guestAddr + 8)
+	if mmPtr == 0 {
+		mmPtr = k.alloc(mmStructSize)
+		k.Mem.Write32(t.guestAddr+8, mmPtr)
+		k.Mem.Write32(mmPtr, vmaAddr)
+		return
+	}
+	// Append at the tail of the guest VMA list.
+	cur := k.Mem.Read32(mmPtr)
+	if cur == 0 {
+		k.Mem.Write32(mmPtr, vmaAddr)
+		return
+	}
+	for {
+		next := k.Mem.Read32(cur + 12)
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	k.Mem.Write32(cur+12, vmaAddr)
+}
+
+// FindVMA returns the mapping containing addr in task t.
+func (t *Task) FindVMA(addr uint32) (VMA, bool) {
+	for _, v := range t.VMAs {
+		if addr >= v.Start && addr < v.End {
+			return v, true
+		}
+	}
+	return VMA{}, false
+}
+
+type fd struct {
+	file   *File
+	offset uint32
+	sock   *Socket
+}
+
+// Syscall dispatches an SVC from the CPU. Arguments follow the AAPCS
+// (R0–R3); the result is returned in R0 (0xffffffff on error).
+func (k *Kernel) Syscall(t *Task, c *arm.CPU, num uint32) error {
+	const errRet = 0xffffffff
+	switch num {
+	case SysExit:
+		k.Exited = true
+		k.ExitCode = int32(c.R[0])
+		c.Halted = true
+	case SysOpen:
+		path := k.Mem.ReadCString(c.R[0], 0)
+		n, err := k.openFD(t, path, c.R[1])
+		if err != nil {
+			c.R[0] = errRet
+			return nil
+		}
+		c.R[0] = uint32(n)
+	case SysClose:
+		delete(t.fds, int32(c.R[0]))
+		c.R[0] = 0
+	case SysRead:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.file == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		n := f.file.ReadAt(f.offset, c.R[2], k.Mem, c.R[1])
+		f.offset += n
+		c.R[0] = n
+	case SysWrite:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.file == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		data := k.Mem.ReadBytes(c.R[1], c.R[2])
+		f.file.WriteAt(f.offset, data)
+		f.offset += uint32(len(data))
+		c.R[0] = c.R[2]
+	case SysLseek:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.file == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		off := int32(c.R[1])
+		switch c.R[2] {
+		case SeekSet:
+			f.offset = uint32(off)
+		case SeekCur:
+			f.offset = uint32(int32(f.offset) + off)
+		case SeekEnd:
+			f.offset = uint32(int32(len(f.file.Data)) + off)
+		}
+		c.R[0] = f.offset
+	case SysBrk:
+		if c.R[0] == 0 {
+			c.R[0] = t.brk
+			return nil
+		}
+		if c.R[0] >= HeapBase && c.R[0] < HeapLimit {
+			t.brk = c.R[0]
+			c.R[0] = t.brk
+		} else {
+			c.R[0] = errRet
+		}
+	case SysMmap:
+		// Anonymous mapping carved from the top of the heap range.
+		length := (c.R[1] + 0xfff) &^ 0xfff
+		if t.brk+length >= HeapLimit {
+			c.R[0] = errRet
+			return nil
+		}
+		addr := t.brk
+		t.brk += length
+		c.R[0] = addr
+	case SysSocket:
+		s := k.Net.NewSocket()
+		n := t.nextFD
+		t.nextFD++
+		t.fds[n] = &fd{sock: s}
+		c.R[0] = uint32(n)
+	case SysConnect:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.sock == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		host := k.Mem.ReadCString(c.R[1], 0)
+		f.sock.Connect(host, uint16(c.R[2]))
+		c.R[0] = 0
+	case SysSend:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.sock == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		data := k.Mem.ReadBytes(c.R[1], c.R[2])
+		k.Net.Send(f.sock, data)
+		c.R[0] = c.R[2]
+	case SysSendto:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.sock == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		data := k.Mem.ReadBytes(c.R[1], c.R[2])
+		host := k.Mem.ReadCString(c.R[3], 0)
+		k.Net.SendTo(f.sock, host, data)
+		c.R[0] = c.R[2]
+	case SysRecv:
+		f, ok := t.fds[int32(c.R[0])]
+		if !ok || f.sock == nil {
+			c.R[0] = errRet
+			return nil
+		}
+		data := f.sock.Recv(int(c.R[2]))
+		k.Mem.WriteBytes(c.R[1], data)
+		c.R[0] = uint32(len(data))
+	case SysGettid:
+		c.R[0] = t.PID
+	case SysStat:
+		path := k.Mem.ReadCString(c.R[0], 0)
+		if _, ok := k.FS.files[path]; ok {
+			c.R[0] = 0
+		} else {
+			c.R[0] = errRet
+		}
+	case SysMkdir:
+		c.R[0] = 0
+	case SysRename:
+		from := k.Mem.ReadCString(c.R[0], 0)
+		to := k.Mem.ReadCString(c.R[1], 0)
+		if f, ok := k.FS.files[from]; ok {
+			delete(k.FS.files, from)
+			k.FS.files[to] = f
+			c.R[0] = 0
+		} else {
+			c.R[0] = errRet
+		}
+	case SysUnlink:
+		path := k.Mem.ReadCString(c.R[0], 0)
+		delete(k.FS.files, path)
+		c.R[0] = 0
+	default:
+		return fmt.Errorf("kernel: unknown syscall %d", num)
+	}
+	return nil
+}
+
+func (k *Kernel) openFD(t *Task, path string, flags uint32) (int32, error) {
+	f, ok := k.FS.files[path]
+	if !ok {
+		if flags&OCreat == 0 {
+			return -1, fmt.Errorf("kernel: %s: no such file", path)
+		}
+		f = k.FS.create(path)
+	}
+	if flags&OTrunc != 0 {
+		f.Data = nil
+	}
+	n := t.nextFD
+	t.nextFD++
+	e := &fd{file: f}
+	if flags&OAppend != 0 {
+		e.offset = uint32(len(f.Data))
+	}
+	t.fds[n] = e
+	return n, nil
+}
+
+// Open exposes openFD to host-implemented libc (fopen).
+func (k *Kernel) Open(t *Task, path string, flags uint32) (int32, error) {
+	return k.openFD(t, path, flags)
+}
+
+// FDFile returns the file behind a descriptor, for host-implemented stdio.
+func (k *Kernel) FDFile(t *Task, n int32) (*File, uint32, bool) {
+	f, ok := t.fds[n]
+	if !ok || f.file == nil {
+		return nil, 0, false
+	}
+	return f.file, f.offset, true
+}
+
+// FDAdvance moves a descriptor's offset (host-implemented stdio bookkeeping).
+func (k *Kernel) FDAdvance(t *Task, n int32, delta uint32) {
+	if f, ok := t.fds[n]; ok {
+		f.offset += delta
+	}
+}
+
+// FDClose closes a descriptor.
+func (k *Kernel) FDClose(t *Task, n int32) { delete(t.fds, n) }
+
+// FDDesc describes a descriptor for leak reports: the file path or the
+// connected host of a socket.
+func (k *Kernel) FDDesc(t *Task, n int32) string {
+	f, ok := t.fds[n]
+	if !ok {
+		return fmt.Sprintf("fd:%d", n)
+	}
+	if f.file != nil {
+		return f.file.Path
+	}
+	if f.sock != nil {
+		if f.sock.Host != "" {
+			return f.sock.Host
+		}
+		return fmt.Sprintf("socket:%d", f.sock.ID)
+	}
+	return fmt.Sprintf("fd:%d", n)
+}
+
+// FDSocket returns the socket behind a descriptor, if any.
+func (k *Kernel) FDSocket(t *Task, n int32) (*Socket, bool) {
+	f, ok := t.fds[n]
+	if !ok || f.sock == nil {
+		return nil, false
+	}
+	return f.sock, true
+}

@@ -1,0 +1,230 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+func newKernel(t *testing.T) (*Kernel, *Task, *arm.CPU) {
+	t.Helper()
+	m := mem.New()
+	k := New(m)
+	task := k.NewTask("testproc")
+	c := arm.New(m)
+	c.R[arm.SP] = NativeStackTop
+	c.SVC = func(c *arm.CPU, num uint32) error { return k.Syscall(task, c, num) }
+	return k, task, c
+}
+
+func sys(t *testing.T, k *Kernel, task *Task, c *arm.CPU, num uint32, args ...uint32) uint32 {
+	t.Helper()
+	for i, a := range args {
+		c.R[i] = a
+	}
+	if err := k.Syscall(task, c, num); err != nil {
+		t.Fatalf("syscall %d: %v", num, err)
+	}
+	return c.R[0]
+}
+
+func TestFileSyscallRoundTrip(t *testing.T) {
+	k, task, c := newKernel(t)
+	path := uint32(0x1000)
+	buf := uint32(0x2000)
+	k.Mem.WriteCString(path, "/data/test")
+	k.Mem.WriteBytes(buf, []byte("hello kernel"))
+
+	fd := sys(t, k, task, c, SysOpen, path, OWronly|OCreat)
+	if int32(fd) < 0 {
+		t.Fatal("open failed")
+	}
+	if n := sys(t, k, task, c, SysWrite, fd, buf, 12); n != 12 {
+		t.Fatalf("write = %d", n)
+	}
+	sys(t, k, task, c, SysClose, fd)
+
+	fd = sys(t, k, task, c, SysOpen, path, ORdonly)
+	out := uint32(0x3000)
+	if n := sys(t, k, task, c, SysRead, fd, out, 64); n != 12 {
+		t.Fatalf("read = %d", n)
+	}
+	if got := string(k.Mem.ReadBytes(out, 12)); got != "hello kernel" {
+		t.Errorf("read data = %q", got)
+	}
+}
+
+func TestOpenMissingWithoutCreate(t *testing.T) {
+	k, task, c := newKernel(t)
+	path := uint32(0x1000)
+	k.Mem.WriteCString(path, "/missing")
+	if fd := sys(t, k, task, c, SysOpen, path, ORdonly); fd != 0xffffffff {
+		t.Errorf("open missing = %#x, want -1", fd)
+	}
+}
+
+func TestLseek(t *testing.T) {
+	k, task, c := newKernel(t)
+	k.FS.WriteFile("/d", []byte("0123456789"))
+	path := uint32(0x1000)
+	k.Mem.WriteCString(path, "/d")
+	fd := sys(t, k, task, c, SysOpen, path, ORdonly)
+	if off := sys(t, k, task, c, SysLseek, fd, 4, SeekSet); off != 4 {
+		t.Errorf("seek set = %d", off)
+	}
+	buf := uint32(0x2000)
+	sys(t, k, task, c, SysRead, fd, buf, 2)
+	if got := string(k.Mem.ReadBytes(buf, 2)); got != "45" {
+		t.Errorf("after seek read %q", got)
+	}
+	if off := sys(t, k, task, c, SysLseek, fd, ^uint32(1), SeekEnd); off != 8 { // -2 from end
+		t.Errorf("seek end = %d", off)
+	}
+}
+
+func TestSocketSendRecv(t *testing.T) {
+	k, task, c := newKernel(t)
+	host := uint32(0x1000)
+	msg := uint32(0x2000)
+	k.Mem.WriteCString(host, "example.org")
+	k.Mem.WriteBytes(msg, []byte("ping"))
+
+	sock := sys(t, k, task, c, SysSocket, 2, 1, 0)
+	sys(t, k, task, c, SysConnect, sock, host, 443)
+	if n := sys(t, k, task, c, SysSend, sock, msg, 4); n != 4 {
+		t.Fatalf("send = %d", n)
+	}
+	if got := k.Net.SentTo("example.org"); len(got) != 1 || string(got[0]) != "ping" {
+		t.Fatalf("net log = %q", got)
+	}
+
+	// Feed a reply and receive it.
+	s, ok := k.FDSocket(task, int32(sock))
+	if !ok {
+		t.Fatal("socket lookup failed")
+	}
+	s.Feed([]byte("pong"))
+	buf := uint32(0x3000)
+	if n := sys(t, k, task, c, SysRecv, sock, buf, 16); n != 4 {
+		t.Fatalf("recv = %d", n)
+	}
+	if got := string(k.Mem.ReadBytes(buf, 4)); got != "pong" {
+		t.Errorf("recv data = %q", got)
+	}
+}
+
+func TestSendtoExplicitDest(t *testing.T) {
+	k, task, c := newKernel(t)
+	host := uint32(0x1000)
+	msg := uint32(0x2000)
+	k.Mem.WriteCString(host, "udp.example.net")
+	k.Mem.WriteBytes(msg, []byte("dgram"))
+	sock := sys(t, k, task, c, SysSocket, 2, 2, 0)
+	if n := sys(t, k, task, c, SysSendto, sock, msg, 5, host); n != 5 {
+		t.Fatalf("sendto = %d", n)
+	}
+	if got := k.Net.SentTo("udp.example.net"); len(got) != 1 {
+		t.Fatalf("net log = %q", got)
+	}
+}
+
+func TestBrkAndMmap(t *testing.T) {
+	k, task, c := newKernel(t)
+	cur := sys(t, k, task, c, SysBrk, 0)
+	if cur != HeapBase {
+		t.Errorf("initial brk = %#x", cur)
+	}
+	if got := sys(t, k, task, c, SysBrk, HeapBase+0x1000); got != HeapBase+0x1000 {
+		t.Errorf("brk grow = %#x", got)
+	}
+	if got := sys(t, k, task, c, SysBrk, 0x100); got != 0xffffffff {
+		t.Errorf("out-of-range brk accepted: %#x", got)
+	}
+	addr := sys(t, k, task, c, SysMmap, 0, 8192, 3, 0x22)
+	if addr == 0xffffffff || addr%4096 != 0 {
+		t.Errorf("mmap = %#x", addr)
+	}
+}
+
+func TestExitHaltsCPU(t *testing.T) {
+	k, task, c := newKernel(t)
+	sys(t, k, task, c, SysExit, 7)
+	if !k.Exited || k.ExitCode != 7 || !c.Halted {
+		t.Errorf("exit state: %v %d halted=%v", k.Exited, k.ExitCode, c.Halted)
+	}
+}
+
+func TestRenameUnlink(t *testing.T) {
+	k, task, c := newKernel(t)
+	k.FS.WriteFile("/a", []byte("x"))
+	from, to := uint32(0x1000), uint32(0x1100)
+	k.Mem.WriteCString(from, "/a")
+	k.Mem.WriteCString(to, "/b")
+	if got := sys(t, k, task, c, SysRename, from, to); got != 0 {
+		t.Fatal("rename failed")
+	}
+	if k.FS.Exists("/a") || !k.FS.Exists("/b") {
+		t.Error("rename did not move")
+	}
+	if got := sys(t, k, task, c, SysUnlink, to); got != 0 {
+		t.Fatal("unlink failed")
+	}
+	if k.FS.Exists("/b") {
+		t.Error("unlink did not remove")
+	}
+}
+
+func TestGuestTaskSerialization(t *testing.T) {
+	m := mem.New()
+	k := New(m)
+	t1 := k.NewTask("first")
+	t2 := k.NewTask("second")
+	k.AddVMA(t1, VMA{Start: 0x1000, End: 0x2000, Perms: "r-x", Name: "libx.so"})
+	k.AddVMA(t1, VMA{Start: 0x3000, End: 0x4000, Perms: "rw-", Name: "heap"})
+
+	// Walk the raw guest structures by hand.
+	head := k.InitTaskAddr
+	if m.Read32(head) != t1.PID {
+		t.Errorf("pid = %d", m.Read32(head))
+	}
+	if got := m.ReadCString(head+12, 16); got != "first" {
+		t.Errorf("comm = %q", got)
+	}
+	next := m.Read32(head + 4)
+	if m.Read32(next) != t2.PID {
+		t.Error("task list link broken")
+	}
+	mm := m.Read32(head + 8)
+	vma1 := m.Read32(mm)
+	if m.Read32(vma1) != 0x1000 || m.Read32(vma1+4) != 0x2000 {
+		t.Error("first vma bounds wrong")
+	}
+	if m.Read32(vma1+8) != 5 { // r-x = bit0|bit2
+		t.Errorf("flags = %d", m.Read32(vma1+8))
+	}
+	vma2 := m.Read32(vma1 + 12)
+	if got := m.ReadCString(m.Read32(vma2+16), 64); got != "heap" {
+		t.Errorf("second vma name = %q", got)
+	}
+	if m.Read32(vma2+12) != 0 {
+		t.Error("vma list must terminate")
+	}
+}
+
+func TestFDDesc(t *testing.T) {
+	k, task, c := newKernel(t)
+	if got := k.FDDesc(task, 1); got != "/proc/testproc/stdout" {
+		t.Errorf("stdout desc = %q", got)
+	}
+	host := uint32(0x1000)
+	k.Mem.WriteCString(host, "h.example")
+	sock := sys(t, k, task, c, SysSocket, 2, 1, 0)
+	sys(t, k, task, c, SysConnect, sock, host, 80)
+	if got := k.FDDesc(task, int32(sock)); got != "h.example" {
+		t.Errorf("socket desc = %q", got)
+	}
+	if got := k.FDDesc(task, 99); got != "fd:99" {
+		t.Errorf("bogus fd desc = %q", got)
+	}
+}

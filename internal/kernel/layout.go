@@ -1,0 +1,78 @@
+package kernel
+
+// Guest address-space layout. Every subsystem that places code or data into
+// the emulated memory agrees on these bases; the kernel also records them as
+// VMAs in the guest-serialized memory map so the OS-level view reconstructor
+// can rediscover them from raw memory (§V-F).
+const (
+	// AppCodeBase is where an app's native library (.so) image is loaded.
+	AppCodeBase uint32 = 0x0000_8000
+	// AppDataBase holds app-private native data.
+	AppDataBase uint32 = 0x0010_0000
+	// HeapBase is the start of the native heap (malloc arena / brk).
+	HeapBase uint32 = 0x0800_0000
+	// HeapLimit bounds the native heap.
+	HeapLimit uint32 = 0x0c00_0000
+	// LibcBase is the load address of the emulated libc.so image.
+	LibcBase uint32 = 0x1000_0000
+	// LibmBase is the load address of the emulated libm.so image.
+	LibmBase uint32 = 0x1400_0000
+	// LibdvmBase is the load address of the emulated libdvm.so stub region
+	// (JNI functions and hookable dvm-internal functions live here).
+	LibdvmBase uint32 = 0x1800_0000
+	// JNIEnvBase is where the JNIEnv pointer and its function table live.
+	JNIEnvBase uint32 = 0x2000_0000
+	// DvmHeapBase is the start of the Dalvik object heap.
+	DvmHeapBase uint32 = 0x3000_0000
+	// DvmHeapLimit bounds the Dalvik object heap.
+	DvmHeapLimit uint32 = 0x3800_0000
+	// DvmStackBase is the bottom of the region holding Dalvik interpreter
+	// stacks (TaintDroid's interleaved value/taint frames, Fig. 1).
+	DvmStackBase uint32 = 0x3800_0000
+	// NativeStackTop is the initial SP for native threads (stack grows down).
+	NativeStackTop uint32 = 0x4800_0000
+	// KernBase is where kernel structures (task list, VMAs) are serialized.
+	KernBase uint32 = 0x5000_0000
+	// ReturnPadBase is a reserved range of addresses used as call-bridge
+	// return pads; the CPU never executes them.
+	ReturnPadBase uint32 = 0x7f00_0000
+)
+
+// Syscall numbers (SVC immediates).
+const (
+	SysExit    = 1
+	SysOpen    = 2
+	SysClose   = 3
+	SysRead    = 4
+	SysWrite   = 5
+	SysLseek   = 6
+	SysMmap    = 7
+	SysBrk     = 8
+	SysSocket  = 10
+	SysConnect = 11
+	SysSend    = 12
+	SysSendto  = 13
+	SysRecv    = 14
+	SysGettid  = 15
+	SysStat    = 16
+	SysMkdir   = 17
+	SysRename  = 18
+	SysUnlink  = 19
+)
+
+// Open flags (subset of Linux's).
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)

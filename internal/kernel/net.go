@@ -1,0 +1,81 @@
+package kernel
+
+// Socket is an emulated network endpoint.
+type Socket struct {
+	ID    int
+	Host  string
+	Port  uint16
+	inbox []byte
+}
+
+// Connect binds the socket to a destination.
+func (s *Socket) Connect(host string, port uint16) {
+	s.Host = host
+	s.Port = port
+}
+
+// Feed queues bytes for a future Recv (tests use this to simulate servers).
+func (s *Socket) Feed(data []byte) { s.inbox = append(s.inbox, data...) }
+
+// Recv drains up to n queued bytes.
+func (s *Socket) Recv(n int) []byte {
+	if n > len(s.inbox) {
+		n = len(s.inbox)
+	}
+	out := s.inbox[:n]
+	s.inbox = s.inbox[n:]
+	return out
+}
+
+// NetMessage records one outbound transmission — the ground truth that leak
+// tests check against ("did tainted bytes actually leave the device?").
+type NetMessage struct {
+	SocketID int
+	Dest     string
+	Data     []byte
+}
+
+// Net is the recording network stack.
+type Net struct {
+	nextID int
+	Log    []NetMessage
+}
+
+// NewNet returns an empty network.
+func NewNet() *Net { return &Net{nextID: 1} }
+
+// NewSocket allocates an endpoint.
+func (n *Net) NewSocket() *Socket {
+	s := &Socket{ID: n.nextID}
+	n.nextID++
+	return s
+}
+
+// Send transmits on a connected socket.
+func (n *Net) Send(s *Socket, data []byte) {
+	n.Log = append(n.Log, NetMessage{
+		SocketID: s.ID,
+		Dest:     s.Host,
+		Data:     append([]byte(nil), data...),
+	})
+}
+
+// SendTo transmits to an explicit destination (UDP-style).
+func (n *Net) SendTo(s *Socket, host string, data []byte) {
+	n.Log = append(n.Log, NetMessage{
+		SocketID: s.ID,
+		Dest:     host,
+		Data:     append([]byte(nil), data...),
+	})
+}
+
+// SentTo returns all payloads delivered to host.
+func (n *Net) SentTo(host string) [][]byte {
+	var out [][]byte
+	for _, m := range n.Log {
+		if m.Dest == host {
+			out = append(out, m.Data)
+		}
+	}
+	return out
+}

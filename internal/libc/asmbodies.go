@@ -1,0 +1,239 @@
+package libc
+
+// asmBodies holds the instruction-level implementations of the memory/string
+// core, assembled into the libc.so image at load time. They follow the AAPCS
+// and use only R0–R3, R12 plus explicitly saved registers. The paper's
+// System Lib Hook Engine exists precisely because running these loops under
+// the instruction tracer is slow (§V-D); keeping real bodies lets the
+// modeled-vs-traced ablation measure that trade-off on genuine code.
+const asmBodies = `
+; ---- void *malloc(size_t n): first-fit free list, else bump allocation.
+;      Block layout: [p-8]=size, [p-4]=next (while free). The canonical
+;      malloc/free symbols point at these bodies, so stock execution runs
+;      real native allocator code; NDroid's System Lib Hook Engine replaces
+;      them with models (§V-D), which is why the paper's MALLOCS row stays
+;      near 1x under NDroid.
+malloc:
+	ADD R0, R0, #7
+	BIC R0, R0, #7
+	LDR R1, =freelist
+	LDR R2, [R1]
+ml_scan:
+	CMP R2, #0
+	BEQ ml_bump
+	LDR R3, [R2]
+	CMP R3, R0
+	BEQ ml_take
+	ADD R1, R2, #4
+	LDR R2, [R2, #4]
+	B ml_scan
+ml_take:
+	LDR R3, [R2, #4]
+	STR R3, [R1]
+	ADD R0, R2, #8
+	BX LR
+ml_bump:
+	LDR R2, =bumpptr
+	LDR R3, [R2]
+	STR R0, [R3]
+	ADD R12, R3, #8
+	ADD R3, R3, R0
+	ADD R3, R3, #8
+	STR R3, [R2]
+	MOV R0, R12
+	BX LR
+
+; ---- void free(void *p)
+free:
+	CMP R0, #0
+	BEQ fr_done
+	SUB R2, R0, #8
+	LDR R1, =freelist
+	LDR R3, [R1]
+	STR R3, [R2, #4]
+	STR R2, [R1]
+fr_done:
+	MOV R0, #0
+	BX LR
+
+freelist:
+	.word 0
+bumpptr:
+	.word 0x07000000
+
+; ---- void *memcpy(void *dst, const void *src, size_t n)
+memcpy:
+	NOP
+memcpy.insn:
+	MOV R3, #0
+mc_loop:
+	CMP R3, R2
+	BEQ mc_done
+	LDRB R12, [R1, R3]
+	STRB R12, [R0, R3]
+	ADD R3, R3, #1
+	B mc_loop
+mc_done:
+	BX LR
+
+; ---- void *memset.insn(void *dst, int c, size_t n)
+memset:
+	NOP
+memset.insn:
+	MOV R3, #0
+ms_loop:
+	CMP R3, R2
+	BEQ ms_done
+	STRB R1, [R0, R3]
+	ADD R3, R3, #1
+	B ms_loop
+ms_done:
+	BX LR
+
+; ---- void *memmove.insn(void *dst, const void *src, size_t n)
+memmove:
+	NOP
+memmove.insn:
+	CMP R0, R1
+	BLS mm_fwd
+	MOV R3, R2          ; dst > src: copy backwards
+mm_bk:
+	CMP R3, #0
+	BEQ mm_done
+	SUB R3, R3, #1
+	LDRB R12, [R1, R3]
+	STRB R12, [R0, R3]
+	B mm_bk
+mm_fwd:
+	MOV R3, #0
+mm_f2:
+	CMP R3, R2
+	BEQ mm_done
+	LDRB R12, [R1, R3]
+	STRB R12, [R0, R3]
+	ADD R3, R3, #1
+	B mm_f2
+mm_done:
+	BX LR
+
+; ---- size_t strlen.insn(const char *s)
+strlen:
+	NOP
+strlen.insn:
+	MOV R2, #0
+sl_loop:
+	LDRB R3, [R0, R2]
+	CMP R3, #0
+	BEQ sl_done
+	ADD R2, R2, #1
+	B sl_loop
+sl_done:
+	MOV R0, R2
+	BX LR
+
+; ---- char *strcpy.insn(char *dst, const char *src)
+strcpy:
+	NOP
+strcpy.insn:
+	MOV R2, #0
+sc_loop:
+	LDRB R3, [R1, R2]
+	STRB R3, [R0, R2]
+	CMP R3, #0
+	BEQ sc_done
+	ADD R2, R2, #1
+	B sc_loop
+sc_done:
+	BX LR
+
+; ---- int strcmp.insn(const char *a, const char *b)
+strcmp:
+	NOP
+strcmp.insn:
+	PUSH {R4}
+scmp_loop:
+	LDRB R2, [R0]
+	LDRB R3, [R1]
+	CMP R2, R3
+	BNE scmp_diff
+	CMP R2, #0
+	BEQ scmp_eq
+	ADD R0, R0, #1
+	ADD R1, R1, #1
+	B scmp_loop
+scmp_diff:
+	SUB R0, R2, R3
+	POP {R4}
+	BX LR
+scmp_eq:
+	MOV R0, #0
+	POP {R4}
+	BX LR
+
+; ---- int memcmp.insn(const void *a, const void *b, size_t n)
+memcmp:
+	NOP
+memcmp.insn:
+	PUSH {R4, R5}
+	MOV R3, #0
+mcmp_loop:
+	CMP R3, R2
+	BEQ mcmp_eq
+	LDRB R4, [R0, R3]
+	LDRB R5, [R1, R3]
+	CMP R4, R5
+	BNE mcmp_diff
+	ADD R3, R3, #1
+	B mcmp_loop
+mcmp_diff:
+	SUB R0, R4, R5
+	POP {R4, R5}
+	BX LR
+mcmp_eq:
+	MOV R0, #0
+	POP {R4, R5}
+	BX LR
+
+; ---- char *strcat.insn(char *dst, const char *src)
+strcat:
+	NOP
+strcat.insn:
+	PUSH {R4}
+	MOV R2, #0
+scat_find:
+	LDRB R3, [R0, R2]
+	CMP R3, #0
+	BEQ scat_copy
+	ADD R2, R2, #1
+	B scat_find
+scat_copy:
+	MOV R4, #0
+scat_loop:
+	LDRB R3, [R1, R4]
+	ADD R12, R0, R2
+	STRB R3, [R12, R4]
+	CMP R3, #0
+	BEQ scat_done
+	ADD R4, R4, #1
+	B scat_loop
+scat_done:
+	POP {R4}
+	BX LR
+
+; ---- size_t strlen.tinsn(const char *s) — Thumb-encoded variant so the
+;      tracer's Thumb handlers run on real code too.
+	.thumb
+strlen.tinsn:
+	MOV R2, #0
+tsl_loop:
+	LDRB R3, [R0]
+	CMP R3, #0
+	BEQ tsl_done
+	ADD R2, R2, #1
+	ADD R0, R0, #1
+	B tsl_loop
+tsl_done:
+	MOV R0, R2
+	BX LR
+	.arm
+`

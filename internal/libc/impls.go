@@ -1,0 +1,371 @@
+package libc
+
+import (
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/kernel"
+)
+
+// stdImpls maps every Go-implemented libc symbol to its behaviour. The set
+// covers all of the paper's Table VI libc rows and Table VII standard calls.
+var stdImpls = map[string]Impl{
+	// --- memory / string core (Go fast paths; ".insn" twins are emulated) ---
+	"memcpy":      implMemcpy,
+	"memmove":     implMemmove,
+	"memset":      implMemset,
+	"memcmp":      implMemcmp,
+	"memchr":      implMemchr,
+	"strlen":      implStrlen,
+	"strcpy":      implStrcpy,
+	"strncpy":     implStrncpy,
+	"strcmp":      implStrcmp,
+	"strncmp":     implStrncmp,
+	"strcasecmp":  implStrcasecmp,
+	"strncasecmp": implStrncasecmp,
+	"strchr":      implStrchr,
+	"strrchr":     implStrrchr,
+	"strstr":      implStrstr,
+	"strcat":      implStrcat,
+	"strdup":      implStrdup,
+
+	// --- allocation ---
+	"malloc":  implMalloc,
+	"free":    implFree,
+	"calloc":  implCalloc,
+	"realloc": implRealloc,
+
+	// --- conversions ---
+	"atoi":    implAtoi,
+	"atol":    implAtoi,
+	"strtoul": implStrtoul,
+	"strtol":  implStrtol,
+
+	// --- formatted I/O ---
+	"sprintf":   implSprintf,
+	"snprintf":  implSnprintf,
+	"vsprintf":  implVsprintf,
+	"vsnprintf": implVsnprintf,
+	"fprintf":   implFprintf,
+	"vfprintf":  implVfprintf,
+	"sscanf":    implSscanf,
+
+	// --- stdio ---
+	"fopen":  implFopen,
+	"fclose": implFclose,
+	"fread":  implFread,
+	"fwrite": implFwrite,
+	"fgets":  implFgets,
+	"fputc":  implFputc,
+	"fputs":  implFputs,
+	"getc":   implGetc,
+	"fdopen": implFdopen,
+
+	// --- fd I/O and friends (Table VII) ---
+	"open":   syscallImpl(kernel.SysOpen),
+	"close":  syscallImpl(kernel.SysClose),
+	"read":   syscallImpl(kernel.SysRead),
+	"write":  syscallImpl(kernel.SysWrite),
+	"stat":   syscallImpl(kernel.SysStat),
+	"mkdir":  syscallImpl(kernel.SysMkdir),
+	"rename": syscallImpl(kernel.SysRename),
+	"remove": syscallImpl(kernel.SysUnlink),
+	"mmap":   syscallImpl(kernel.SysMmap),
+
+	// --- network (Table VII) ---
+	"socket":   syscallImpl(kernel.SysSocket),
+	"connect":  syscallImpl(kernel.SysConnect),
+	"send":     syscallImpl(kernel.SysSend),
+	"sendto":   syscallImpl(kernel.SysSendto),
+	"recv":     syscallImpl(kernel.SysRecv),
+	"recvfrom": syscallImpl(kernel.SysRecv),
+
+	// --- misc / stubs with stable return values (Table VII coverage) ---
+	"sysconf":  implSysconf,
+	"fcntl":    implZero,
+	"fstat":    implZero,
+	"munmap":   implZero,
+	"mprotect": implZero,
+	"ioctl":    implZero,
+	"bind":     implZero,
+	"listen":   implZero,
+	"accept":   implMinusOne,
+	"select":   implZero,
+	"kill":     implZero,
+	"fork":     implMinusOne,
+	"execve":   implMinusOne,
+	"chown":    implZero,
+	"ptrace":   implZero,
+	"dlopen":   implDlopen,
+	"dlsym":    implDlsym,
+	"dlclose":  implZero,
+}
+
+func syscallImpl(num uint32) Impl {
+	return func(l *Libc, c *arm.CPU) {
+		// The libc wrapper shares the syscall's register convention, so
+		// dispatch directly.
+		_ = l.Kern.Syscall(l.Task, c, num)
+	}
+}
+
+func implZero(_ *Libc, c *arm.CPU)     { c.R[0] = 0 }
+func implMinusOne(_ *Libc, c *arm.CPU) { c.R[0] = 0xffffffff }
+
+func implSysconf(_ *Libc, c *arm.CPU) { c.R[0] = 4096 }
+
+// --- memory / string ---
+
+func implMemcpy(l *Libc, c *arm.CPU) {
+	dst, src, n := c.R[0], c.R[1], c.R[2]
+	l.Mem.WriteBytes(dst, l.Mem.ReadBytes(src, n))
+}
+
+func implMemmove(l *Libc, c *arm.CPU) {
+	// ReadBytes snapshots, so overlap is already safe.
+	implMemcpy(l, c)
+}
+
+func implMemset(l *Libc, c *arm.CPU) {
+	dst, v, n := c.R[0], uint8(c.R[1]), c.R[2]
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = v
+	}
+	l.Mem.WriteBytes(dst, buf)
+}
+
+func implMemcmp(l *Libc, c *arm.CPU) {
+	a := l.Mem.ReadBytes(c.R[0], c.R[2])
+	b := l.Mem.ReadBytes(c.R[1], c.R[2])
+	c.R[0] = 0
+	for i := range a {
+		if a[i] != b[i] {
+			c.R[0] = uint32(int32(a[i]) - int32(b[i]))
+			return
+		}
+	}
+}
+
+func implMemchr(l *Libc, c *arm.CPU) {
+	base, want, n := c.R[0], uint8(c.R[1]), c.R[2]
+	buf := l.Mem.ReadBytes(base, n)
+	for i, b := range buf {
+		if b == want {
+			c.R[0] = base + uint32(i)
+			return
+		}
+	}
+	c.R[0] = 0
+}
+
+func implStrlen(l *Libc, c *arm.CPU) {
+	c.R[0] = uint32(len(l.Mem.ReadCString(c.R[0], 0)))
+}
+
+func implStrcpy(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[1], 0)
+	l.Mem.WriteCString(c.R[0], s)
+}
+
+func implStrncpy(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[1], int(c.R[2]))
+	buf := make([]byte, c.R[2])
+	copy(buf, s)
+	l.Mem.WriteBytes(c.R[0], buf)
+}
+
+func implStrcmp(l *Libc, c *arm.CPU) {
+	a := l.Mem.ReadCString(c.R[0], 0)
+	b := l.Mem.ReadCString(c.R[1], 0)
+	c.R[0] = uint32(int32(strings.Compare(a, b)))
+}
+
+func implStrncmp(l *Libc, c *arm.CPU) {
+	n := int(c.R[2])
+	a := l.Mem.ReadCString(c.R[0], n)
+	b := l.Mem.ReadCString(c.R[1], n)
+	c.R[0] = uint32(int32(strings.Compare(a, b)))
+}
+
+func implStrcasecmp(l *Libc, c *arm.CPU) {
+	a := strings.ToLower(l.Mem.ReadCString(c.R[0], 0))
+	b := strings.ToLower(l.Mem.ReadCString(c.R[1], 0))
+	c.R[0] = uint32(int32(strings.Compare(a, b)))
+}
+
+func implStrncasecmp(l *Libc, c *arm.CPU) {
+	n := int(c.R[2])
+	a := strings.ToLower(l.Mem.ReadCString(c.R[0], n))
+	b := strings.ToLower(l.Mem.ReadCString(c.R[1], n))
+	c.R[0] = uint32(int32(strings.Compare(a, b)))
+}
+
+func implStrchr(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	idx := strings.IndexByte(s, byte(c.R[1]))
+	if idx < 0 {
+		c.R[0] = 0
+		return
+	}
+	c.R[0] += uint32(idx)
+}
+
+func implStrrchr(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	idx := strings.LastIndexByte(s, byte(c.R[1]))
+	if idx < 0 {
+		c.R[0] = 0
+		return
+	}
+	c.R[0] += uint32(idx)
+}
+
+func implStrstr(l *Libc, c *arm.CPU) {
+	hay := l.Mem.ReadCString(c.R[0], 0)
+	needle := l.Mem.ReadCString(c.R[1], 0)
+	idx := strings.Index(hay, needle)
+	if idx < 0 {
+		c.R[0] = 0
+		return
+	}
+	c.R[0] += uint32(idx)
+}
+
+func implStrcat(l *Libc, c *arm.CPU) {
+	dst := l.Mem.ReadCString(c.R[0], 0)
+	src := l.Mem.ReadCString(c.R[1], 0)
+	l.Mem.WriteCString(c.R[0]+uint32(len(dst)), src)
+	_ = dst
+}
+
+func implStrdup(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	addr := l.Malloc(uint32(len(s)) + 1)
+	if addr != 0 {
+		l.Mem.WriteCString(addr, s)
+	}
+	c.R[0] = addr
+}
+
+// --- allocation ---
+
+func implMalloc(l *Libc, c *arm.CPU) { c.R[0] = l.Malloc(c.R[0]) }
+
+func implFree(l *Libc, c *arm.CPU) { l.Free(c.R[0]) }
+
+func implCalloc(l *Libc, c *arm.CPU) {
+	n := c.R[0] * c.R[1]
+	addr := l.Malloc(n)
+	if addr != 0 {
+		l.Mem.WriteBytes(addr, make([]byte, n))
+	}
+	c.R[0] = addr
+}
+
+func implRealloc(l *Libc, c *arm.CPU) {
+	old, n := c.R[0], c.R[1]
+	if old == 0 {
+		c.R[0] = l.Malloc(n)
+		return
+	}
+	oldSize, ok := l.AllocSize(old)
+	if !ok {
+		// The block may come from the guest-side allocator, which keeps the
+		// same size-header convention at p-8.
+		oldSize = l.Mem.Read32(old - 8)
+		if oldSize == 0 || oldSize > 1<<20 {
+			c.R[0] = 0
+			return
+		}
+	}
+	addr := l.Malloc(n)
+	if addr != 0 {
+		copyN := oldSize
+		if n < copyN {
+			copyN = n
+		}
+		l.Mem.WriteBytes(addr, l.Mem.ReadBytes(old, copyN))
+	}
+	l.Free(old)
+	c.R[0] = addr
+}
+
+// --- conversions ---
+
+// parseIntPrefix parses a leading integer. It returns the value, the number
+// of digit characters, and the total characters consumed (whitespace, sign,
+// base prefix, digits).
+func parseIntPrefix(s string, base int) (val int64, digits, consumed int) {
+	i := 0
+	neg := false
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	if base == 0 {
+		base = 10
+		if strings.HasPrefix(s[i:], "0x") || strings.HasPrefix(s[i:], "0X") {
+			base = 16
+			i += 2
+		}
+	}
+	start := i
+	for i < len(s) {
+		var d int
+		ch := s[i]
+		switch {
+		case ch >= '0' && ch <= '9':
+			d = int(ch - '0')
+		case ch >= 'a' && ch <= 'f':
+			d = int(ch-'a') + 10
+		case ch >= 'A' && ch <= 'F':
+			d = int(ch-'A') + 10
+		default:
+			d = 99
+		}
+		if d >= base {
+			break
+		}
+		val = val*int64(base) + int64(d)
+		i++
+	}
+	if neg {
+		val = -val
+	}
+	return val, i - start, i
+}
+
+func implAtoi(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	v, _, _ := parseIntPrefix(s, 10)
+	c.R[0] = uint32(int32(v))
+}
+
+func implStrtoul(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	v, _, _ := parseIntPrefix(s, int(c.R[2]))
+	c.R[0] = uint32(v)
+}
+
+func implStrtol(l *Libc, c *arm.CPU) {
+	s := l.Mem.ReadCString(c.R[0], 0)
+	v, _, _ := parseIntPrefix(s, int(c.R[2]))
+	c.R[0] = uint32(int32(v))
+}
+
+// --- dl ---
+
+func implDlopen(_ *Libc, c *arm.CPU) { c.R[0] = 1 }
+
+func implDlsym(l *Libc, c *arm.CPU) {
+	name := l.Mem.ReadCString(c.R[1], 0)
+	if addr, ok := l.syms[name]; ok {
+		c.R[0] = addr
+		return
+	}
+	c.R[0] = 0
+}

@@ -1,0 +1,364 @@
+package libc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+type env struct {
+	m *mem.Memory
+	k *kernel.Kernel
+	t *kernel.Task
+	l *Libc
+	c *arm.CPU
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	m := mem.New()
+	k := kernel.New(m)
+	task := k.NewTask("test")
+	l, err := New(m, k, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := arm.New(m)
+	c.R[arm.SP] = kernel.NativeStackTop
+	c.SVC = func(c *arm.CPU, num uint32) error { return k.Syscall(task, c, num) }
+	l.Install(c)
+	return &env{m: m, k: k, t: task, l: l, c: c}
+}
+
+// call invokes a libc symbol as guest code would: set args, BLX to it.
+func (e *env) call(t *testing.T, name string, args ...uint32) uint32 {
+	t.Helper()
+	addr, ok := e.l.Sym(name)
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	for i, a := range args {
+		if i < 4 {
+			e.c.R[i] = a
+		} else {
+			t.Fatalf("call helper supports 4 register args")
+		}
+	}
+	const pad = kernel.ReturnPadBase
+	e.c.R[arm.LR] = pad
+	e.c.SetThumbPC(addr)
+	if err := e.c.RunUntil(pad, 1<<20); err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	return e.c.R[0]
+}
+
+func TestAsmBodiesMatchGoImpls(t *testing.T) {
+	e := newEnv(t)
+	src := uint32(0x100000)
+	e.m.WriteCString(src, "hello, ndroid")
+
+	// strlen
+	if n := e.call(t, "strlen.insn", src); n != 13 {
+		t.Errorf("strlen.insn = %d, want 13", n)
+	}
+	if n := e.call(t, "strlen", src); n != 13 {
+		t.Errorf("strlen = %d, want 13", n)
+	}
+	if n := e.call(t, "strlen.tinsn", src); n != 13 {
+		t.Errorf("strlen.tinsn = %d, want 13", n)
+	}
+
+	// memcpy
+	dst1, dst2 := uint32(0x101000), uint32(0x102000)
+	e.call(t, "memcpy.insn", dst1, src, 14)
+	e.call(t, "memcpy", dst2, src, 14)
+	if got := e.m.ReadCString(dst1, 0); got != "hello, ndroid" {
+		t.Errorf("memcpy.insn result %q", got)
+	}
+	if !bytes.Equal(e.m.ReadBytes(dst1, 14), e.m.ReadBytes(dst2, 14)) {
+		t.Error("asm and Go memcpy disagree")
+	}
+
+	// strcpy
+	dst3 := uint32(0x103000)
+	e.call(t, "strcpy.insn", dst3, src)
+	if got := e.m.ReadCString(dst3, 0); got != "hello, ndroid" {
+		t.Errorf("strcpy.insn result %q", got)
+	}
+
+	// strcmp
+	s2 := uint32(0x104000)
+	e.m.WriteCString(s2, "hello, ndroid")
+	if got := e.call(t, "strcmp.insn", src, s2); got != 0 {
+		t.Errorf("strcmp.insn equal strings = %d", got)
+	}
+	e.m.WriteCString(s2, "hello, ndroie")
+	if got := int32(e.call(t, "strcmp.insn", src, s2)); got >= 0 {
+		t.Errorf("strcmp.insn = %d, want negative", got)
+	}
+
+	// memset
+	e.call(t, "memset.insn", dst1, 'x', 5)
+	if got := e.m.ReadCString(dst1, 0); got != "xxxxx, ndroid" {
+		t.Errorf("memset.insn result %q", got)
+	}
+
+	// memmove with overlap (dst > src)
+	ov := uint32(0x105000)
+	e.m.WriteBytes(ov, []byte("abcdef"))
+	e.call(t, "memmove.insn", ov+2, ov, 4)
+	if got := string(e.m.ReadBytes(ov, 6)); got != "ababcd" {
+		t.Errorf("memmove.insn overlap = %q, want ababcd", got)
+	}
+
+	// memcmp
+	a, b := uint32(0x106000), uint32(0x107000)
+	e.m.WriteBytes(a, []byte{1, 2, 3})
+	e.m.WriteBytes(b, []byte{1, 2, 4})
+	if got := int32(e.call(t, "memcmp.insn", a, b, 3)); got >= 0 {
+		t.Errorf("memcmp.insn = %d, want negative", got)
+	}
+
+	// strcat
+	cat := uint32(0x108000)
+	e.m.WriteCString(cat, "foo")
+	catSrc := uint32(0x109000)
+	e.m.WriteCString(catSrc, "bar")
+	e.call(t, "strcat.insn", cat, catSrc)
+	if got := e.m.ReadCString(cat, 0); got != "foobar" {
+		t.Errorf("strcat.insn = %q", got)
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	e := newEnv(t)
+	// malloc/free run as real guest code (the asm allocator); an exact-size
+	// free is reused LIFO.
+	p1 := e.call(t, "malloc", 64)
+	if p1 == 0 {
+		t.Fatal("malloc returned NULL")
+	}
+	e.call(t, "free", p1)
+	p2 := e.call(t, "malloc", 64)
+	if p2 != p1 {
+		t.Errorf("free list not reused: %#x then %#x", p1, p2)
+	}
+	if !e.l.AsmBacked("malloc") || !e.l.AsmBacked("free") {
+		t.Error("malloc/free should be asm-backed")
+	}
+}
+
+func TestMallocDistinctLiveBlocks(t *testing.T) {
+	e := newEnv(t)
+	p1 := e.call(t, "malloc", 32)
+	p2 := e.call(t, "malloc", 32)
+	if p1 == p2 || p1 == 0 || p2 == 0 {
+		t.Fatalf("live blocks must differ: %#x %#x", p1, p2)
+	}
+	// Size header convention: size at p-8.
+	if got := e.m.Read32(p1 - 8); got != 32 {
+		t.Errorf("size header = %d, want 32", got)
+	}
+}
+
+func TestCallocZeroes(t *testing.T) {
+	e := newEnv(t)
+	// Dirty then free a host-arena block; calloc (host impl) must reuse and
+	// zero it.
+	p := e.l.Malloc(16)
+	e.m.WriteBytes(p, []byte("dirtydirtydirty"))
+	e.l.Free(p)
+	q := e.call(t, "calloc", 4, 4)
+	if q != p {
+		t.Fatalf("expected reuse for determinism: %#x vs %#x", p, q)
+	}
+	for i := uint32(0); i < 16; i++ {
+		if e.m.Read8(q+i) != 0 {
+			t.Fatalf("calloc byte %d not zeroed", i)
+		}
+	}
+}
+
+func TestReallocPreservesPrefix(t *testing.T) {
+	e := newEnv(t)
+	p := e.call(t, "malloc", 8)
+	e.m.WriteBytes(p, []byte("12345678"))
+	q := e.call(t, "realloc", p, 32)
+	if q == 0 {
+		t.Fatal("realloc failed")
+	}
+	if got := string(e.m.ReadBytes(q, 8)); got != "12345678" {
+		t.Errorf("realloc lost data: %q", got)
+	}
+}
+
+func TestSprintfFamily(t *testing.T) {
+	e := newEnv(t)
+	buf := uint32(0x200000)
+	fmtAddr := uint32(0x201000)
+	strAddr := uint32(0x202000)
+	e.m.WriteCString(fmtAddr, "id=%d name=%s hex=%x")
+	e.m.WriteCString(strAddr, "vincent")
+	n := e.call(t, "sprintf", buf, fmtAddr, 42, strAddr)
+	// Fourth printf arg (hex) comes from the stack; our helper passed only
+	// three registers, so hex reads whatever R3... pass via proper 4-reg call:
+	_ = n
+	got := e.m.ReadCString(buf, 0)
+	if !strings.HasPrefix(got, "id=42 name=vincent hex=") {
+		t.Errorf("sprintf = %q", got)
+	}
+}
+
+func TestAtoiStrtoul(t *testing.T) {
+	e := newEnv(t)
+	s := uint32(0x210000)
+	e.m.WriteCString(s, "-123")
+	if got := int32(e.call(t, "atoi", s)); got != -123 {
+		t.Errorf("atoi = %d", got)
+	}
+	e.m.WriteCString(s, "ff")
+	if got := e.call(t, "strtoul", s, 0, 16); got != 0xff {
+		t.Errorf("strtoul base16 = %#x", got)
+	}
+}
+
+func TestStdioRoundTrip(t *testing.T) {
+	e := newEnv(t)
+	path := uint32(0x220000)
+	mode := uint32(0x221000)
+	data := uint32(0x222000)
+	e.m.WriteCString(path, "/sdcard/test.txt")
+	e.m.WriteCString(mode, "w")
+	e.m.WriteCString(data, "hello file")
+
+	fp := e.call(t, "fopen", path, mode)
+	if fp == 0 {
+		t.Fatal("fopen failed")
+	}
+	if got := e.call(t, "fputs", data, fp); got != 10 {
+		t.Errorf("fputs = %d", got)
+	}
+	e.call(t, "fputc", '!', fp)
+	e.call(t, "fclose", fp)
+
+	content, ok := e.k.FS.ReadFile("/sdcard/test.txt")
+	if !ok || string(content) != "hello file!" {
+		t.Fatalf("file content = %q, ok=%v", content, ok)
+	}
+
+	// Read it back with fopen/fgets.
+	e.m.WriteCString(mode, "r")
+	fp = e.call(t, "fopen", path, mode)
+	buf := uint32(0x223000)
+	if got := e.call(t, "fgets", buf, 64, fp); got != buf {
+		t.Fatalf("fgets returned %#x", got)
+	}
+	if got := e.m.ReadCString(buf, 0); got != "hello file!" {
+		t.Errorf("fgets = %q", got)
+	}
+}
+
+func TestFwriteFread(t *testing.T) {
+	e := newEnv(t)
+	path, mode, src, dst := uint32(0x230000), uint32(0x231000), uint32(0x232000), uint32(0x233000)
+	e.m.WriteCString(path, "/data/blob")
+	e.m.WriteCString(mode, "w")
+	e.m.WriteBytes(src, []byte("0123456789"))
+	fp := e.call(t, "fopen", path, mode)
+	if got := e.call(t, "fwrite", src, 2, 5, fp); got != 5 {
+		t.Errorf("fwrite = %d, want 5", got)
+	}
+	e.call(t, "fclose", fp)
+
+	e.m.WriteCString(mode, "r")
+	fp = e.call(t, "fopen", path, mode)
+	if got := e.call(t, "fread", dst, 1, 10, fp); got != 10 {
+		t.Errorf("fread = %d, want 10", got)
+	}
+	if got := string(e.m.ReadBytes(dst, 10)); got != "0123456789" {
+		t.Errorf("fread data = %q", got)
+	}
+}
+
+func TestNetworkPath(t *testing.T) {
+	e := newEnv(t)
+	host := uint32(0x240000)
+	msg := uint32(0x241000)
+	e.m.WriteCString(host, "info.3g.qq.com")
+	e.m.WriteCString(msg, "payload")
+
+	sock := e.call(t, "socket", 2, 1, 0)
+	if int32(sock) < 0 {
+		t.Fatal("socket failed")
+	}
+	if got := e.call(t, "connect", sock, host, 80); got != 0 {
+		t.Fatal("connect failed")
+	}
+	if got := e.call(t, "send", sock, msg, 7); got != 7 {
+		t.Errorf("send = %d", got)
+	}
+	sent := e.k.Net.SentTo("info.3g.qq.com")
+	if len(sent) != 1 || string(sent[0]) != "payload" {
+		t.Fatalf("net log = %q", sent)
+	}
+}
+
+func TestSscanf(t *testing.T) {
+	e := newEnv(t)
+	input, format, out1, out2 := uint32(0x250000), uint32(0x251000), uint32(0x252000), uint32(0x253000)
+	e.m.WriteCString(input, "42 hello")
+	e.m.WriteCString(format, "%d %s")
+	if got := e.call(t, "sscanf", input, format, out1, out2); got != 2 {
+		t.Fatalf("sscanf matched %d", got)
+	}
+	if e.m.Read32(out1) != 42 {
+		t.Errorf("sscanf %%d = %d", e.m.Read32(out1))
+	}
+	if got := e.m.ReadCString(out2, 0); got != "hello" {
+		t.Errorf("sscanf %%s = %q", got)
+	}
+}
+
+func TestLibmDoubles(t *testing.T) {
+	e := newEnv(t)
+	// sqrt(16.0): bits of 16.0 = 0x4030000000000000
+	lo, hi := uint32(0), uint32(0x40300000)
+	e.call(t, "sqrt", lo, hi)
+	if e.c.R[0] != 0 || e.c.R[1] != 0x40100000 { // 4.0
+		t.Errorf("sqrt(16) regs = %#x %#x, want 0 0x40100000", e.c.R[0], e.c.R[1])
+	}
+	// pow(2.0, 10.0) = 1024.0 (0x4090000000000000)
+	e.call(t, "pow", 0, 0x40000000, 0, 0x40240000)
+	if e.c.R[0] != 0 || e.c.R[1] != 0x40900000 {
+		t.Errorf("pow(2,10) regs = %#x %#x, want 0 0x40900000", e.c.R[0], e.c.R[1])
+	}
+}
+
+func TestDlsym(t *testing.T) {
+	e := newEnv(t)
+	name := uint32(0x260000)
+	e.m.WriteCString(name, "memcpy")
+	h := e.call(t, "dlopen", 0, 0)
+	addr := e.call(t, "dlsym", h, name)
+	want, _ := e.l.Sym("memcpy")
+	if addr != want {
+		t.Errorf("dlsym(memcpy) = %#x, want %#x", addr, want)
+	}
+}
+
+func TestVMAsRegistered(t *testing.T) {
+	e := newEnv(t)
+	v, ok := e.t.FindVMA(kernel.LibcBase + 0x100)
+	if !ok || v.Name != "/system/lib/libc.so" {
+		t.Errorf("libc VMA = %+v, ok=%v", v, ok)
+	}
+	v, ok = e.t.FindVMA(kernel.LibmBase)
+	if !ok || v.Name != "/system/lib/libm.so" {
+		t.Errorf("libm VMA = %+v, ok=%v", v, ok)
+	}
+}

@@ -1,0 +1,144 @@
+package libc
+
+import (
+	"math"
+
+	"repro/internal/arm"
+)
+
+// libm follows the soft-float AAPCS: float arguments arrive in R0 (bits),
+// doubles in R0/R1 (lo/hi); results return the same way.
+
+func readDoubleArg(c *arm.CPU, first int) float64 {
+	lo := uint64(c.Arg(first))
+	hi := uint64(c.Arg(first + 1))
+	return math.Float64frombits(hi<<32 | lo)
+}
+
+func writeDoubleRet(c *arm.CPU, v float64) {
+	bits := math.Float64bits(v)
+	c.R[0] = uint32(bits)
+	c.R[1] = uint32(bits >> 32)
+}
+
+func d1(f func(float64) float64) Impl {
+	return func(_ *Libc, c *arm.CPU) {
+		writeDoubleRet(c, f(readDoubleArg(c, 0)))
+	}
+}
+
+func d2(f func(a, b float64) float64) Impl {
+	return func(_ *Libc, c *arm.CPU) {
+		writeDoubleRet(c, f(readDoubleArg(c, 0), readDoubleArg(c, 2)))
+	}
+}
+
+func f1(f func(float32) float32) Impl {
+	return func(_ *Libc, c *arm.CPU) {
+		c.R[0] = math.Float32bits(f(math.Float32frombits(c.R[0])))
+	}
+}
+
+func f2(f func(a, b float32) float32) Impl {
+	return func(_ *Libc, c *arm.CPU) {
+		a := math.Float32frombits(c.R[0])
+		b := math.Float32frombits(c.R[1])
+		c.R[0] = math.Float32bits(f(a, b))
+	}
+}
+
+// mathImpls covers every libm row of the paper's Table VI.
+var mathImpls = map[string]Impl{
+	"sin":   d1(math.Sin),
+	"cos":   d1(math.Cos),
+	"tan":   d1(math.Tan),
+	"asin":  d1(math.Asin),
+	"acos":  d1(math.Acos),
+	"atan":  d1(math.Atan),
+	"sqrt":  d1(math.Sqrt),
+	"floor": d1(math.Floor),
+	"ceil":  d1(math.Ceil),
+	"log":   d1(math.Log),
+	"log10": d1(math.Log10),
+	"exp":   d1(math.Exp),
+	"sinh":  d1(math.Sinh),
+	"cosh":  d1(math.Cosh),
+	"pow":   d2(math.Pow),
+	"atan2": d2(math.Atan2),
+	"fmod":  d2(math.Mod),
+	"ldexp": func(_ *Libc, c *arm.CPU) {
+		v := readDoubleArg(c, 0)
+		writeDoubleRet(c, math.Ldexp(v, int(int32(c.Arg(2)))))
+	},
+	"sinf":  f1(func(x float32) float32 { return float32(math.Sin(float64(x))) }),
+	"cosf":  f1(func(x float32) float32 { return float32(math.Cos(float64(x))) }),
+	"sqrtf": f1(func(x float32) float32 { return float32(math.Sqrt(float64(x))) }),
+	"expf":  f1(func(x float32) float32 { return float32(math.Exp(float64(x))) }),
+	"powf": f2(func(a, b float32) float32 {
+		return float32(math.Pow(float64(a), float64(b)))
+	}),
+	"atan2f": f2(func(a, b float32) float32 {
+		return float32(math.Atan2(float64(a), float64(b)))
+	}),
+	"strtod": func(l *Libc, c *arm.CPU) {
+		s := l.Mem.ReadCString(c.R[0], 0)
+		writeDoubleRet(c, parseDoublePrefix(s))
+	},
+}
+
+func parseDoublePrefix(s string) float64 {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	start := i
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		i++
+	}
+	seenDot := false
+	for i < len(s) {
+		if s[i] >= '0' && s[i] <= '9' {
+			i++
+			continue
+		}
+		if s[i] == '.' && !seenDot {
+			seenDot = true
+			i++
+			continue
+		}
+		break
+	}
+	if i == start {
+		return 0
+	}
+	var v float64
+	neg := false
+	j := start
+	if s[j] == '-' {
+		neg = true
+		j++
+	} else if s[j] == '+' {
+		j++
+	}
+	frac := 0.0
+	scale := 0.1
+	inFrac := false
+	for ; j < i; j++ {
+		if s[j] == '.' {
+			inFrac = true
+			continue
+		}
+		d := float64(s[j] - '0')
+		if inFrac {
+			frac += d * scale
+			scale /= 10
+		} else {
+			v = v*10 + d
+		}
+	}
+	v += frac
+	if neg {
+		v = -v
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+// Package mem provides the emulated 32-bit guest physical memory used by the
+// CPU emulator, the Dalvik VM (whose stacks and heap live inside it), the
+// kernel (whose task structures are serialized into it for the OS-level view
+// reconstructor), and the libc arena.
+//
+// The memory is sparse and paged; reads of unmapped pages return zeroes and
+// writes allocate pages on demand, which matches how the rest of the system
+// uses it (regions are reserved via the Region registry for bookkeeping, not
+// for protection).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse paged 32-bit address space. The zero value is not
+// usable; construct with New.
+type Memory struct {
+	pages   map[uint32]*[pageSize]byte
+	regions []Region
+}
+
+// Region describes a named address range (a module mapping, a stack, a heap).
+// Regions are advisory metadata consumed by the kernel's memory-map tables
+// and, through them, by the OS-level view reconstructor.
+type Region struct {
+	Name  string
+	Start uint32
+	End   uint32 // exclusive
+	Perms string // e.g. "r-x", "rw-"
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	if !ok && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint32) uint8 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v uint8) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read16 returns the little-endian halfword at addr.
+func (m *Memory) Read16(addr uint32) uint16 {
+	if addr&pageMask <= pageSize-2 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint16(p[addr&pageMask:])
+	}
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 stores a little-endian halfword at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	if addr&pageMask <= pageSize-2 {
+		binary.LittleEndian.PutUint16(m.page(addr, true)[addr&pageMask:], v)
+		return
+	}
+	m.Write8(addr, uint8(v))
+	m.Write8(addr+1, uint8(v>>8))
+}
+
+// Read32 returns the little-endian word at addr.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[addr&pageMask:])
+	}
+	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+}
+
+// Write32 stores a little-endian word at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[addr&pageMask:], v)
+		return
+	}
+	m.Write16(addr, uint16(v))
+	m.Write16(addr+2, uint16(v>>16))
+}
+
+// Read64 returns the little-endian doubleword at addr.
+func (m *Memory) Read64(addr uint32) uint64 {
+	return uint64(m.Read32(addr)) | uint64(m.Read32(addr+4))<<32
+}
+
+// Write64 stores a little-endian doubleword at addr.
+func (m *Memory) Write64(addr uint32, v uint64) {
+	m.Write32(addr, uint32(v))
+	m.Write32(addr+4, uint32(v>>32))
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr, n uint32) []byte {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; {
+		off := (addr + i) & pageMask
+		chunk := uint32(pageSize) - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		p := m.page(addr+i, false)
+		if p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i := 0; i < len(b); {
+		off := (addr + uint32(i)) & pageMask
+		chunk := pageSize - int(off)
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		p := m.page(addr+uint32(i), true)
+		copy(p[off:off+uint32(chunk)], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (0 means a 64 KiB safety cap).
+func (m *Memory) ReadCString(addr uint32, max int) string {
+	if max <= 0 {
+		max = 64 << 10
+	}
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.Read8(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// WriteCString stores s followed by a NUL byte at addr and returns the number
+// of bytes written including the terminator.
+func (m *Memory) WriteCString(addr uint32, s string) uint32 {
+	m.WriteBytes(addr, []byte(s))
+	m.Write8(addr+uint32(len(s)), 0)
+	return uint32(len(s)) + 1
+}
+
+// AddRegion registers a named address range. Overlaps are allowed (the kernel
+// maintains per-task maps with stricter rules); ranges are kept sorted.
+func (m *Memory) AddRegion(r Region) error {
+	if r.End <= r.Start {
+		return fmt.Errorf("mem: region %q end 0x%x <= start 0x%x", r.Name, r.End, r.Start)
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	return nil
+}
+
+// Regions returns a copy of the registered regions, sorted by start address.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// RegionAt returns the first region containing addr.
+func (m *Memory) RegionAt(addr uint32) (Region, bool) {
+	for _, r := range m.regions {
+		if addr >= r.Start && addr < r.End {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// MappedPages reports how many pages are currently allocated.
+func (m *Memory) MappedPages() int { return len(m.pages) }

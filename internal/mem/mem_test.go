@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	m.Write8(0x100, 0xab)
+	if got := m.Read8(0x100); got != 0xab {
+		t.Errorf("Read8 = %#x", got)
+	}
+	m.Write16(0x200, 0x1234)
+	if got := m.Read16(0x200); got != 0x1234 {
+		t.Errorf("Read16 = %#x", got)
+	}
+	m.Write32(0x300, 0xdeadbeef)
+	if got := m.Read32(0x300); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	m.Write64(0x400, 0x0123456789abcdef)
+	if got := m.Read64(0x400); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 0x11223344)
+	want := []byte{0x44, 0x33, 0x22, 0x11}
+	for i, b := range want {
+		if got := m.Read8(0x100 + uint32(i)); got != b {
+			t.Errorf("byte %d = %#x, want %#x", i, got, b)
+		}
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	m := New()
+	if m.Read32(0xdead0000) != 0 {
+		t.Error("unmapped read should be zero")
+	}
+	if m.MappedPages() != 0 {
+		t.Error("reads must not allocate pages")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	// A word written across the 4K page boundary must read back whole.
+	m.Write32(0xfff, 0xcafebabe)
+	if got := m.Read32(0xfff); got != 0xcafebabe {
+		t.Errorf("cross-page Read32 = %#x", got)
+	}
+	m.Write16(0x1fff, 0xbeef)
+	if got := m.Read16(0x1fff); got != 0xbeef {
+		t.Errorf("cross-page Read16 = %#x", got)
+	}
+}
+
+func TestBulkBytes(t *testing.T) {
+	m := New()
+	data := make([]byte, 10000) // spans multiple pages
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.WriteBytes(0xffe, data)
+	got := m.ReadBytes(0xffe, uint32(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk write/read mismatch")
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := New()
+	n := m.WriteCString(0x500, "hello")
+	if n != 6 {
+		t.Errorf("WriteCString returned %d, want 6", n)
+	}
+	if got := m.ReadCString(0x500, 0); got != "hello" {
+		t.Errorf("ReadCString = %q", got)
+	}
+	if got := m.ReadCString(0x500, 3); got != "hel" {
+		t.Errorf("capped ReadCString = %q", got)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	m := New()
+	if err := m.AddRegion(Region{Name: "libc.so", Start: 0x40000, End: 0x50000, Perms: "r-x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRegion(Region{Name: "stack", Start: 0x7f000, End: 0x80000, Perms: "rw-"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRegion(Region{Name: "bad", Start: 10, End: 10}); err == nil {
+		t.Error("empty region should be rejected")
+	}
+	r, ok := m.RegionAt(0x41000)
+	if !ok || r.Name != "libc.so" {
+		t.Errorf("RegionAt = %+v, %v", r, ok)
+	}
+	if _, ok := m.RegionAt(0x60000); ok {
+		t.Error("hole should not resolve")
+	}
+	regs := m.Regions()
+	if len(regs) != 2 || regs[0].Name != "libc.so" {
+		t.Errorf("Regions() = %+v", regs)
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New()
+	f := func(addr uint32, v uint32) bool {
+		addr %= 1 << 24
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package taint
+
+// MemTaint is a byte-granular shadow-taint map over the 32-bit guest address
+// space, mirroring NDroid's taint map ("The taint granularity of NDroid is
+// byte", §V-E). It is paged so that sparse use stays cheap.
+type MemTaint struct {
+	pages map[uint32]*taintPage
+	// count of currently tainted bytes, maintained incrementally so invariant
+	// checks and tests can assert on it without a full scan.
+	tainted int
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type taintPage struct {
+	tags [pageSize]Tag
+	used int // number of non-zero entries on this page
+}
+
+// NewMemTaint returns an empty shadow-taint map.
+func NewMemTaint() *MemTaint {
+	return &MemTaint{pages: make(map[uint32]*taintPage)}
+}
+
+// Get returns the taint of the byte at addr.
+func (m *MemTaint) Get(addr uint32) Tag {
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return Clear
+	}
+	return p.tags[addr&pageMask]
+}
+
+// Set assigns tag to the byte at addr (overwriting, not ORing).
+func (m *MemTaint) Set(addr uint32, tag Tag) {
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	if !ok {
+		if tag == Clear {
+			return
+		}
+		p = &taintPage{}
+		m.pages[pn] = p
+	}
+	old := p.tags[addr&pageMask]
+	if old == tag {
+		return
+	}
+	p.tags[addr&pageMask] = tag
+	switch {
+	case old == Clear && tag != Clear:
+		p.used++
+		m.tainted++
+	case old != Clear && tag == Clear:
+		p.used--
+		m.tainted--
+		if p.used == 0 {
+			delete(m.pages, pn)
+		}
+	}
+}
+
+// Add ORs tag into the byte at addr.
+func (m *MemTaint) Add(addr uint32, tag Tag) {
+	if tag == Clear {
+		return
+	}
+	m.Set(addr, m.Get(addr)|tag)
+}
+
+// SetRange assigns tag to n consecutive bytes starting at addr. Clearing
+// ranges on pages that hold no taint is free.
+func (m *MemTaint) SetRange(addr, n uint32, tag Tag) {
+	if tag == Clear {
+		for i := uint32(0); i < n; {
+			pn := (addr + i) >> pageShift
+			off := (addr + i) & pageMask
+			chunk := pageSize - off
+			if chunk > n-i {
+				chunk = n - i
+			}
+			if p, ok := m.pages[pn]; ok {
+				for j := uint32(0); j < chunk; j++ {
+					if p.tags[off+j] != Clear {
+						p.tags[off+j] = Clear
+						p.used--
+						m.tainted--
+					}
+				}
+				if p.used == 0 {
+					delete(m.pages, pn)
+				}
+			}
+			i += chunk
+		}
+		return
+	}
+	for i := uint32(0); i < n; i++ {
+		m.Set(addr+i, tag)
+	}
+}
+
+// AddRange ORs tag into n consecutive bytes starting at addr.
+func (m *MemTaint) AddRange(addr, n uint32, tag Tag) {
+	for i := uint32(0); i < n; i++ {
+		m.Add(addr+i, tag)
+	}
+}
+
+// GetRange returns the union of the taints of n consecutive bytes at addr.
+// Pages with no taint are skipped wholesale, so scanning clean buffers (the
+// common case at sinks) costs one map lookup per page.
+func (m *MemTaint) GetRange(addr, n uint32) Tag {
+	var t Tag
+	for i := uint32(0); i < n; {
+		pn := (addr + i) >> pageShift
+		p, ok := m.pages[pn]
+		off := (addr + i) & pageMask
+		chunk := pageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if ok {
+			for j := uint32(0); j < chunk; j++ {
+				t |= p.tags[off+j]
+			}
+		}
+		i += chunk
+	}
+	return t
+}
+
+// Get32 returns the union taint of the 4 bytes of the word at addr, the
+// common case for register-sized loads.
+func (m *MemTaint) Get32(addr uint32) Tag { return m.GetRange(addr, 4) }
+
+// Set32 assigns tag to the 4 bytes of the word at addr.
+func (m *MemTaint) Set32(addr uint32, tag Tag) { m.SetRange(addr, 4, tag) }
+
+// ClearRange removes taint from n consecutive bytes starting at addr.
+func (m *MemTaint) ClearRange(addr, n uint32) { m.SetRange(addr, n, Clear) }
+
+// Copy propagates the taints of n bytes at src to the n bytes at dst,
+// byte-for-byte (the memcpy model of Listing 3).
+func (m *MemTaint) Copy(dst, src, n uint32) {
+	if dst == src || n == 0 {
+		return
+	}
+	if dst < src || dst >= src+n {
+		for i := uint32(0); i < n; i++ {
+			m.Set(dst+i, m.Get(src+i))
+		}
+		return
+	}
+	// Overlapping with dst inside [src,src+n): copy backwards (memmove).
+	for i := n; i > 0; i-- {
+		m.Set(dst+i-1, m.Get(src+i-1))
+	}
+}
+
+// TaintedBytes returns how many bytes currently carry taint.
+func (m *MemTaint) TaintedBytes() int { return m.tainted }
+
+// Reset drops all taint.
+func (m *MemTaint) Reset() {
+	m.pages = make(map[uint32]*taintPage)
+	m.tainted = 0
+}
+
+// WordTaint is a coarser, word-granular shadow map used only by the
+// granularity-ablation benchmark (DESIGN.md §4.4).
+type WordTaint struct {
+	tags map[uint32]Tag // keyed by addr>>2
+}
+
+// NewWordTaint returns an empty word-granular map.
+func NewWordTaint() *WordTaint { return &WordTaint{tags: make(map[uint32]Tag)} }
+
+// Get returns the taint of the word containing addr.
+func (w *WordTaint) Get(addr uint32) Tag { return w.tags[addr>>2] }
+
+// Add ORs tag into the word containing addr.
+func (w *WordTaint) Add(addr uint32, tag Tag) {
+	if tag == Clear {
+		return
+	}
+	w.tags[addr>>2] |= tag
+}
+
+// Set assigns tag to the word containing addr.
+func (w *WordTaint) Set(addr uint32, tag Tag) {
+	if tag == Clear {
+		delete(w.tags, addr>>2)
+		return
+	}
+	w.tags[addr>>2] = tag
+}

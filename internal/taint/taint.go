@@ -1,0 +1,106 @@
+// Package taint defines the taint-tag algebra shared by every layer of the
+// NDroid reproduction: the Dalvik interpreter (TaintDroid rules), the native
+// instruction tracer (Table V rules), the system-library models (Table VI),
+// and the sink checkers (Table VII).
+//
+// Tags follow TaintDroid's representation: a 32-bit integer in which each bit
+// names one category of sensitive information, combined with bitwise OR. The
+// constants below are TaintDroid's own TAINT_* values, so logs produced by
+// this reproduction show the same tag numbers the paper shows (e.g. 0x202 =
+// SMS|Contacts in Fig. 6, 0x2 = Contacts in Fig. 8).
+package taint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tag is a 32-bit taint label. The zero value means "untainted".
+type Tag uint32
+
+// TaintDroid tag constants (one bit per category of sensitive information).
+const (
+	Clear         Tag = 0x0
+	Location      Tag = 0x1
+	Contacts      Tag = 0x2
+	Mic           Tag = 0x4
+	PhoneNumber   Tag = 0x8
+	LocationGPS   Tag = 0x10
+	LocationNet   Tag = 0x20
+	LocationLast  Tag = 0x40
+	Camera        Tag = 0x80
+	Accelerometer Tag = 0x100
+	SMS           Tag = 0x200
+	IMEI          Tag = 0x400
+	IMSI          Tag = 0x800
+	ICCID         Tag = 0x1000
+	DeviceSN      Tag = 0x2000
+	Account       Tag = 0x4000
+	History       Tag = 0x8000
+)
+
+var tagNames = map[Tag]string{
+	Location:      "Location",
+	Contacts:      "Contacts",
+	Mic:           "Mic",
+	PhoneNumber:   "PhoneNumber",
+	LocationGPS:   "LocationGPS",
+	LocationNet:   "LocationNet",
+	LocationLast:  "LocationLast",
+	Camera:        "Camera",
+	Accelerometer: "Accelerometer",
+	SMS:           "SMS",
+	IMEI:          "IMEI",
+	IMSI:          "IMSI",
+	ICCID:         "ICCID",
+	DeviceSN:      "DeviceSN",
+	Account:       "Account",
+	History:       "History",
+}
+
+// Union combines two tags; taint propagation in every engine reduces to this.
+func Union(a, b Tag) Tag { return a | b }
+
+// Tainted reports whether the tag carries any taint.
+func (t Tag) Tainted() bool { return t != 0 }
+
+// Has reports whether every bit of other is present in t.
+func (t Tag) Has(other Tag) bool { return t&other == other }
+
+// String renders the tag as "Tag(0x202:SMS|Contacts)"-style text.
+func (t Tag) String() string {
+	if t == 0 {
+		return "Tag(0x0)"
+	}
+	var parts []string
+	for bit, name := range tagNames {
+		if t&bit != 0 {
+			parts = append(parts, name)
+		}
+	}
+	sort.Strings(parts)
+	var b strings.Builder
+	b.WriteString("Tag(0x")
+	b.WriteString(hex32(uint32(t)))
+	if len(parts) > 0 {
+		b.WriteString(":")
+		b.WriteString(strings.Join(parts, "|"))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func hex32(v uint32) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,149 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagUnion(t *testing.T) {
+	got := Union(SMS, Contacts)
+	if got != Tag(0x202) {
+		t.Errorf("Union(SMS, Contacts) = %#x, want 0x202 (the Fig. 6 tag)", uint32(got))
+	}
+	if !got.Has(SMS) || !got.Has(Contacts) || got.Has(IMEI) {
+		t.Error("Has() wrong on combined tag")
+	}
+}
+
+func TestTagString(t *testing.T) {
+	s := Tag(0x202).String()
+	if !strings.Contains(s, "0x202") || !strings.Contains(s, "SMS") || !strings.Contains(s, "Contacts") {
+		t.Errorf("Tag(0x202).String() = %q", s)
+	}
+	if Clear.String() != "Tag(0x0)" {
+		t.Errorf("Clear.String() = %q", Clear.String())
+	}
+}
+
+func TestTaintedPredicate(t *testing.T) {
+	if Clear.Tainted() {
+		t.Error("Clear must not be tainted")
+	}
+	if !IMEI.Tainted() {
+		t.Error("IMEI must be tainted")
+	}
+}
+
+func TestMemTaintBasic(t *testing.T) {
+	m := NewMemTaint()
+	if m.Get(0x1000) != Clear {
+		t.Error("fresh map should be clear")
+	}
+	m.Set(0x1000, IMEI)
+	if m.Get(0x1000) != IMEI {
+		t.Error("Set/Get roundtrip failed")
+	}
+	m.Add(0x1000, SMS)
+	if m.Get(0x1000) != IMEI|SMS {
+		t.Error("Add should OR")
+	}
+	m.Set(0x1000, Clear)
+	if m.Get(0x1000) != Clear || m.TaintedBytes() != 0 {
+		t.Error("clearing should drop the byte and the count")
+	}
+}
+
+func TestMemTaintRange(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x2000, 8, Contacts)
+	if m.GetRange(0x2000, 8) != Contacts {
+		t.Error("range roundtrip failed")
+	}
+	if m.GetRange(0x2008, 4) != Clear {
+		t.Error("adjacent range should be clear")
+	}
+	if m.TaintedBytes() != 8 {
+		t.Errorf("TaintedBytes = %d, want 8", m.TaintedBytes())
+	}
+	if m.Get32(0x2004) != Contacts {
+		t.Error("Get32 should see the taint")
+	}
+}
+
+func TestMemTaintCrossesPages(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x1ffe, 4, SMS) // straddles a 4K page boundary
+	for i := uint32(0); i < 4; i++ {
+		if m.Get(0x1ffe+i) != SMS {
+			t.Errorf("byte %d lost across page boundary", i)
+		}
+	}
+}
+
+func TestMemTaintCopy(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x100, 4, IMEI)
+	m.Copy(0x200, 0x100, 8)
+	if m.GetRange(0x200, 4) != IMEI {
+		t.Error("copy should move taint")
+	}
+	if m.GetRange(0x204, 4) != Clear {
+		t.Error("copy should also move clear-ness")
+	}
+	// Overlapping forward copy (memmove semantics).
+	m.Reset()
+	m.Set(0x300, Contacts)
+	m.Copy(0x302, 0x300, 4)
+	if m.Get(0x302) != Contacts {
+		t.Error("overlapping copy lost taint")
+	}
+}
+
+func TestMemTaintCountInvariant(t *testing.T) {
+	// Property: after arbitrary Set operations, TaintedBytes matches a scan.
+	f := func(ops []struct {
+		Addr uint32
+		Tag  uint16
+	}) bool {
+		m := NewMemTaint()
+		ref := map[uint32]Tag{}
+		for _, op := range ops {
+			addr := op.Addr % 16384
+			tag := Tag(op.Tag) & 0xffff
+			m.Set(addr, tag)
+			if tag == Clear {
+				delete(ref, addr)
+			} else {
+				ref[addr] = tag
+			}
+		}
+		if m.TaintedBytes() != len(ref) {
+			return false
+		}
+		for a, want := range ref {
+			if m.Get(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordTaint(t *testing.T) {
+	w := NewWordTaint()
+	w.Add(0x1001, IMEI)
+	if w.Get(0x1002) != IMEI {
+		t.Error("word-granular map should alias within the word")
+	}
+	if w.Get(0x1004) != Clear {
+		t.Error("next word should be clear")
+	}
+	w.Set(0x1000, Clear)
+	if w.Get(0x1001) != Clear {
+		t.Error("Set(Clear) should erase the word")
+	}
+}
