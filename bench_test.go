@@ -312,13 +312,17 @@ func BenchmarkMultilevelHookingOnOff(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// §V-C ablation (E17): the hot-instruction cache.
+// §V-C ablation (E17): translation caching, three ways — no caching at all,
+// the per-instruction decode cache (NDroid's hot-instruction cache), and the
+// basic-block translation engine (the TCG analog, DESIGN.md §4 ablation 3).
+// Cache hit/miss counters are reported as metrics.
 // ---------------------------------------------------------------------------
 
-func benchDecodeCache(b *testing.B, useCache bool) {
+func benchDecodeCache(b *testing.B, decodeCache, blockCache bool) {
 	m := mem.New()
 	cpu := arm.New(m)
-	cpu.UseDecodeCache = useCache
+	cpu.UseDecodeCache = decodeCache
+	cpu.UseBlockCache = blockCache
 	prog := arm.MustAssemble(`
 	MOV R0, #0
 	MOV R2, #200
@@ -339,11 +343,21 @@ loop:
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	if decodeCache && !blockCache {
+		b.ReportMetric(float64(cpu.CacheHits)/float64(b.N), "insn-hits/op")
+		b.ReportMetric(float64(cpu.CacheMisses)/float64(b.N), "insn-misses/op")
+	}
+	if blockCache {
+		b.ReportMetric(float64(cpu.BlockHits)/float64(b.N), "block-hits/op")
+		b.ReportMetric(float64(cpu.BlockMisses)/float64(b.N), "block-misses/op")
+	}
 }
 
 func BenchmarkDecodeCacheOnOff(b *testing.B) {
-	b.Run("cached", func(b *testing.B) { benchDecodeCache(b, true) })
-	b.Run("uncached", func(b *testing.B) { benchDecodeCache(b, false) })
+	b.Run("uncached", func(b *testing.B) { benchDecodeCache(b, false, false) })
+	b.Run("insn-cache", func(b *testing.B) { benchDecodeCache(b, true, false) })
+	b.Run("block-cache", func(b *testing.B) { benchDecodeCache(b, true, true) })
 }
 
 // ---------------------------------------------------------------------------

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	cfbench                 # full-size run, all four modes
-//	cfbench -scale 10       # quick run
-//	cfbench -repeats 3      # best-of-3 per cell
+//	cfbench                       # full-size run, all four modes
+//	cfbench -scale 10             # quick run
+//	cfbench -repeats 3            # best-of-3 per cell
+//	cfbench -json BENCH_fig10.json # also write machine-readable results
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	repeats := flag.Int("repeats", 3, "measurements per cell (best kept)")
+	jsonPath := flag.String("json", "", "write results as JSON to this file (e.g. BENCH_fig10.json)")
 	flag.Parse()
 
 	modes := []core.Mode{core.ModeVanilla, core.ModeTaintDroid, core.ModeNDroid, core.ModeDroidScope}
@@ -30,6 +32,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(res.Report())
+	if *jsonPath != "" {
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench: marshal:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench: write:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
 	fmt.Println("Paper reference (Fig. 10): NDroid overall 5.45x vs vanilla; DroidScope >= 11x.")
 	fmt.Println("Absolute factors compress on this substrate (interpreter baseline vs QEMU-")
 	fmt.Println("translated code); the orderings are the reproduced result — see EXPERIMENTS.md.")

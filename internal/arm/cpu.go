@@ -75,6 +75,24 @@ type CPU struct {
 	CacheHits   uint64
 	CacheMisses uint64
 
+	// UseBlockCache enables the basic-block translation engine (the TCG
+	// analog; see translate.go): Run/RunUntil execute cached blocks of
+	// pre-resolved step closures instead of the per-instruction
+	// fetch/decode/dispatch loop. Step() always uses the interpreter.
+	UseBlockCache bool
+	blockCache    map[uint32]*Block
+	blocksByPage  map[uint32][]*Block
+	// codePages is a 2^20-bit page bitmap marking pages that hold cached
+	// translations; the Memory write-notify consults it to keep stores to
+	// non-code pages nearly free. Allocated lazily on first translation.
+	codePages   []uint32
+	boundTracer Tracer
+	blockErr    error
+	// BlockHits counts block executions served from the cache (including
+	// chained successors); BlockMisses counts translations.
+	BlockHits   uint64
+	BlockMisses uint64
+
 	Halted    bool
 	ExitCode  int32
 	InsnCount uint64
@@ -84,23 +102,36 @@ type CPU struct {
 // halfword offset; Size == 0 marks an empty slot).
 type decodePage [2048]Insn
 
-// New returns a CPU attached to m with an empty hook table.
+// New returns a CPU attached to m with an empty hook table. The CPU
+// subscribes to m's write notifications so that stores into translated code
+// pages invalidate the decoded-instruction and block caches.
 func New(m *mem.Memory) *CPU {
-	return &CPU{
+	c := &CPU{
 		Mem:         m,
 		addrHooks:   make(map[uint32]AddrHook),
 		decodeCache: make(map[uint32]*decodePage),
 		checkHook:   true,
 		lastPageKey: ^uint32(0),
 	}
+	m.AddWriteNotify(c.onMemWrite)
+	return c
 }
 
 // Hook registers fn at addr (bit 0 ignored). A second registration at the
 // same address replaces the first; composition is the caller's concern.
-func (c *CPU) Hook(addr uint32, fn AddrHook) { c.addrHooks[addr&^1] = fn }
+// Blocks on the affected page are invalidated: translation stops blocks at
+// hooked addresses, and hooks are added mid-run (the multilevel hooking
+// engine and the SourcePolicy entry hooks both do so).
+func (c *CPU) Hook(addr uint32, fn AddrHook) {
+	c.addrHooks[addr&^1] = fn
+	c.invalidatePageBlocks((addr &^ 1) >> 12)
+}
 
-// Unhook removes any hook at addr.
-func (c *CPU) Unhook(addr uint32) { delete(c.addrHooks, addr&^1) }
+// Unhook removes any hook at addr and invalidates the page's blocks.
+func (c *CPU) Unhook(addr uint32) {
+	delete(c.addrHooks, addr&^1)
+	c.invalidatePageBlocks((addr &^ 1) >> 12)
+}
 
 // HookedAddrs reports how many addresses currently carry hooks.
 func (c *CPU) HookedAddrs() int { return len(c.addrHooks) }
@@ -155,6 +186,7 @@ func (c *CPU) fetch(pc uint32) Insn {
 			if !ok {
 				page = new(decodePage)
 				c.decodeCache[pageKey] = page
+				c.markCodePage(pc >> 12)
 			}
 			c.lastPageKey = pageKey
 			c.lastPage = page
@@ -587,6 +619,9 @@ func (c *CPU) RunUntil(stop uint32, maxInsns uint64) error {
 	if maxInsns == 0 {
 		maxInsns = 256 << 20
 	}
+	if c.UseBlockCache {
+		return c.runBlocks(stop, maxInsns)
+	}
 	start := c.InsnCount
 	for !c.Halted && c.R[PC] != stop {
 		if err := c.Step(); err != nil {
@@ -599,11 +634,16 @@ func (c *CPU) RunUntil(stop uint32, maxInsns uint64) error {
 	return nil
 }
 
-// ResetDecodeCache clears the hot-instruction cache and its statistics.
+// ResetDecodeCache clears every translation cache — the hot-instruction
+// cache, the translated-block cache — and their statistics.
 func (c *CPU) ResetDecodeCache() {
 	c.decodeCache = make(map[uint32]*decodePage)
 	c.lastPageKey = ^uint32(0)
 	c.lastPage = nil
 	c.CacheHits = 0
 	c.CacheMisses = 0
+	c.invalidateAllBlocks()
+	c.codePages = nil
+	c.BlockHits = 0
+	c.BlockMisses = 0
 }

@@ -1,0 +1,325 @@
+package arm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// runConfigured assembles src at testBase and runs it to halt under the given
+// cache configuration, returning the CPU for inspection.
+func runConfigured(t *testing.T, src string, dec, blk bool, setup func(*CPU)) *CPU {
+	t.Helper()
+	prog, err := Assemble(src, testBase, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New()
+	m.WriteBytes(prog.Base, prog.Code)
+	c := New(m)
+	c.UseDecodeCache = dec
+	c.UseBlockCache = blk
+	c.R[SP] = 0x80000
+	entry := prog.Base
+	if e, ok := prog.Labels["_start"]; ok {
+		entry = e
+	}
+	c.SetThumbPC(entry)
+	if setup != nil {
+		setup(c)
+	}
+	if err := c.Run(1 << 20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt")
+	}
+	return c
+}
+
+// compareEngines runs src under the plain interpreter and the block engine
+// and requires identical architectural state.
+func compareEngines(t *testing.T, src string) (interp, block *CPU) {
+	t.Helper()
+	interp = runConfigured(t, src, true, false, nil)
+	block = runConfigured(t, src, true, true, nil)
+	if interp.R != block.R {
+		t.Errorf("registers diverge:\ninterp %v\nblock  %v", interp.R, block.R)
+	}
+	if interp.N != block.N || interp.Z != block.Z || interp.C != block.C || interp.V != block.V {
+		t.Errorf("flags diverge: interp NZCV=%v%v%v%v block NZCV=%v%v%v%v",
+			interp.N, interp.Z, interp.C, interp.V, block.N, block.Z, block.C, block.V)
+	}
+	if interp.InsnCount != block.InsnCount {
+		t.Errorf("InsnCount diverges: interp %d, block %d", interp.InsnCount, block.InsnCount)
+	}
+	if interp.Thumb != block.Thumb {
+		t.Errorf("Thumb state diverges: interp %v, block %v", interp.Thumb, block.Thumb)
+	}
+	return interp, block
+}
+
+// A conditional branch terminating a block must take both edges correctly:
+// the taken edge chains to the loop head, the cond-failed edge falls through
+// past endPC. Counts and flags must match the interpreter exactly (including
+// the count-then-check order for condition-failed instructions).
+func TestBlockCondBranchAtBlockEnd(t *testing.T) {
+	_, block := compareEngines(t, `
+_start:
+	MOV R0, #0
+	MOV R2, #20
+loop:
+	ADD R0, R0, R2
+	SUB R2, R2, #1
+	CMP R2, #0
+	BNE loop
+	HLT
+`)
+	if block.R[0] != 210 {
+		t.Errorf("R0 = %d, want 210", block.R[0])
+	}
+	if block.BlockHits == 0 {
+		t.Error("loop never hit the block cache")
+	}
+}
+
+// ARM<->Thumb interworking inside a chained pair: the loop body BLXes into a
+// Thumb callee and returns, so the chain alternates instruction sets. Block
+// keys carry the Thumb bit, so an ARM and a Thumb translation of the same
+// address can never be confused.
+func TestBlockInterworkingChain(t *testing.T) {
+	_, block := compareEngines(t, `
+	.arm
+_start:
+	MOV R0, #0
+	MOV R5, #8
+	LDR R4, =tadd
+aloop:
+	BLX R4
+	SUB R5, R5, #1
+	CMP R5, #0
+	BNE aloop
+	HLT
+	.thumb
+tadd:
+	ADD R0, R0, #3
+	BX LR
+`)
+	if block.R[0] != 24 {
+		t.Errorf("R0 = %d, want 24", block.R[0])
+	}
+	if block.Thumb {
+		t.Error("CPU should end in ARM state")
+	}
+	if block.BlockHits == 0 {
+		t.Error("interworking loop never hit the block cache")
+	}
+}
+
+// A hook registered at an address in the middle of an already-cached block
+// must fire on the next branch to that address: Hook invalidates the page's
+// blocks, so retranslation stops at the hooked boundary and records the
+// startHooked flag. Reaching the address by fall-through must NOT fire the
+// hook — same semantics as the interpreter.
+func TestBlockHookInsideCachedBlock(t *testing.T) {
+	const src = `
+_start:
+	MOV R0, #0
+	MOV R5, #0
+	ADD R0, R0, #1
+mid:
+	ADD R0, R0, #2
+	ADD R0, R0, #4
+	CMP R5, #0
+	BNE done
+	MOV R5, #1
+	B mid
+done:
+	HLT
+`
+	for _, blk := range []bool{false, true} {
+		prog := MustAssemble(src, testBase, nil)
+		m := mem.New()
+		m.WriteBytes(prog.Base, prog.Code)
+		c := New(m)
+		c.UseDecodeCache = true
+		c.UseBlockCache = blk
+		c.SetThumbPC(prog.Base)
+		if err := c.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if c.R[0] != 13 {
+			t.Fatalf("blk=%v: first run R0 = %d, want 13", blk, c.R[0])
+		}
+
+		// Second run on the same (now warm) CPU, with a hook at mid.
+		fired := 0
+		c.Hook(prog.MustLabel("mid"), func(c *CPU) HookAction {
+			fired++
+			return ActionContinue
+		})
+		c.Halted = false
+		c.R = [16]uint32{SP: 0x80000}
+		c.SetThumbPC(prog.Base)
+		if err := c.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if c.R[0] != 13 {
+			t.Errorf("blk=%v: hooked run R0 = %d, want 13", blk, c.R[0])
+		}
+		// The first pass reaches mid by fall-through (no hook), the second
+		// by the explicit B mid (hook fires): exactly one firing.
+		if fired != 1 {
+			t.Errorf("blk=%v: hook fired %d times, want 1", blk, fired)
+		}
+	}
+}
+
+// A block whose instructions straddle a 4 KiB page boundary must be
+// registered on (and invalidated through) both pages: a write that only
+// touches the second page still drops the whole translation.
+func TestBlockSpansPageBoundary(t *testing.T) {
+	const base = 0x10ff0 // last 16 bytes of a page; insns 5+ land on the next
+	prog := MustAssemble(`
+_start:
+	MOV R0, #1
+	ADD R0, R0, #2
+	ADD R0, R0, #4
+	ADD R0, R0, #8
+	ADD R0, R0, #16
+	HLT
+`, base, nil)
+	m := mem.New()
+	m.WriteBytes(prog.Base, prog.Code)
+	c := New(m)
+	c.UseDecodeCache = true
+	c.UseBlockCache = true
+	c.SetThumbPC(base)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[0] != 31 {
+		t.Fatalf("R0 = %d, want 31", c.R[0])
+	}
+
+	// Patch the ADD #16 — it lives on the second page (0x11000).
+	patch := MustAssemble("ADD R0, R0, #32", 0x11000, nil)
+	if 0x11000>>12 == base>>12 {
+		t.Fatal("test bug: patch target is not on the second page")
+	}
+	m.WriteBytes(0x11000, patch.Code)
+	misses := c.BlockMisses
+	c.Halted = false
+	c.SetThumbPC(base)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[0] != 47 {
+		t.Errorf("after second-page patch R0 = %d, want 47 (stale translation survived)", c.R[0])
+	}
+	if c.BlockMisses == misses {
+		t.Error("expected a retranslation after the second-page write")
+	}
+}
+
+// Regression test for the stale decode-cache bug: a host-side rewrite of
+// already-executed (and therefore already-decoded) code must be visible on
+// the next run under every cache configuration. Before write-notify existed,
+// the decoded-instruction cache was never invalidated and replayed the old
+// instruction.
+func TestSelfModifyingCodeHostRewrite(t *testing.T) {
+	const src = `
+_start:
+	MOV R0, #7
+	HLT
+`
+	configs := []struct {
+		name     string
+		dec, blk bool
+	}{
+		{"uncached", false, false},
+		{"insn-cache", true, false},
+		{"block-cache", true, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			prog := MustAssemble(src, testBase, nil)
+			m := mem.New()
+			m.WriteBytes(prog.Base, prog.Code)
+			c := New(m)
+			c.UseDecodeCache = cfg.dec
+			c.UseBlockCache = cfg.blk
+			c.SetThumbPC(testBase)
+			if err := c.Run(1000); err != nil {
+				t.Fatal(err)
+			}
+			if c.R[0] != 7 {
+				t.Fatalf("first run R0 = %d, want 7", c.R[0])
+			}
+			m.WriteBytes(testBase, MustAssemble("MOV R0, #9", testBase, nil).Code)
+			c.Halted = false
+			c.SetThumbPC(testBase)
+			if err := c.Run(1000); err != nil {
+				t.Fatal(err)
+			}
+			if c.R[0] != 9 {
+				t.Errorf("rewritten run R0 = %d, want 9 (stale decode cache)", c.R[0])
+			}
+		})
+	}
+}
+
+// Guest-driven self-modifying code: a store patches an instruction that the
+// *currently executing* block already translated, so the block must bail out
+// mid-run (the stepNext validity check) and the next loop iteration must
+// execute the new encoding. Exercised under every cache configuration.
+func TestSelfModifyingCodeInBlock(t *testing.T) {
+	const src = `
+_start:
+	MOV R5, #2
+target:
+	MOV R0, #7
+	STR R2, [R1]
+	SUB R5, R5, #1
+	CMP R5, #0
+	BNE target
+	HLT
+`
+	// The patch: MOV R0, #42 encoded by our own assembler.
+	patch := MustAssemble("MOV R0, #42", 0, nil)
+	enc := binary.LittleEndian.Uint32(patch.Code)
+
+	configs := []struct {
+		name     string
+		dec, blk bool
+	}{
+		{"uncached", false, false},
+		{"insn-cache", true, false},
+		{"block-cache", true, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			prog := MustAssemble(src, testBase, nil)
+			m := mem.New()
+			m.WriteBytes(prog.Base, prog.Code)
+			c := New(m)
+			c.UseDecodeCache = cfg.dec
+			c.UseBlockCache = cfg.blk
+			c.R[1] = prog.MustLabel("target") // address to patch
+			c.R[2] = enc                      // new encoding
+			c.SetThumbPC(testBase)
+			if err := c.Run(1000); err != nil {
+				t.Fatal(err)
+			}
+			// Pass 1 executes the original MOV R0, #7, then patches it;
+			// pass 2 must observe MOV R0, #42.
+			if c.R[0] != 42 {
+				t.Errorf("R0 = %d, want 42 (pass 2 executed a stale instruction)", c.R[0])
+			}
+			if c.R[5] != 0 {
+				t.Errorf("R5 = %d, want 0", c.R[5])
+			}
+		})
+	}
+}

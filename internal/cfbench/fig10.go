@@ -1,6 +1,7 @@
 package cfbench
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -123,6 +124,41 @@ func (r *Result) RowByName(name string) (Row, bool) {
 		}
 	}
 	return Row{}, false
+}
+
+// JSON serializes the run for machine consumption (the -json flag of
+// cmd/cfbench). Mode-indexed maps are re-keyed by mode name so the output is
+// stable against renumbering of the Mode constants.
+func (r *Result) JSON() ([]byte, error) {
+	type jsonRow struct {
+		Name     string             `json:"name"`
+		Java     bool               `json:"java"`
+		Score    map[string]float64 `json:"score"`
+		Overhead map[string]float64 `json:"overhead"`
+	}
+	var out struct {
+		Modes []string  `json:"modes"`
+		Rows  []jsonRow `json:"rows"`
+	}
+	for _, m := range r.Modes {
+		out.Modes = append(out.Modes, m.String())
+	}
+	for _, row := range r.Rows {
+		jr := jsonRow{
+			Name:     row.Name,
+			Java:     row.Java,
+			Score:    make(map[string]float64, len(row.Score)),
+			Overhead: make(map[string]float64, len(row.Overhead)),
+		}
+		for m, v := range row.Score {
+			jr.Score[m.String()] = v
+		}
+		for m, v := range row.Overhead {
+			jr.Overhead[m.String()] = v
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return json.MarshalIndent(&out, "", "  ")
 }
 
 // Report renders the Fig. 10 table: one line per row, overhead per mode.

@@ -174,6 +174,7 @@ func (a *Analyzer) installNDroid() {
 	a.Tracer.InRange = inNative
 	cpu.Tracer = a.Tracer
 	cpu.UseDecodeCache = true
+	cpu.UseBlockCache = true
 
 	a.installDVMHooks()
 	a.installSysLib()
@@ -212,6 +213,7 @@ func (a *Analyzer) installDroidScope() {
 	a.Tracer.InRange = nil // whole system
 	cpu.Tracer = a.Tracer
 	cpu.UseDecodeCache = true
+	cpu.UseBlockCache = true
 
 	vm := a.Sys.VM
 	vm.JavaStepFn = func(th *dvm.Thread, m *dex.Method, pc int, insn *dex.Insn) {

@@ -42,9 +42,12 @@ func NewSystem() (*System, error) {
 	task := k.NewTask("app_process")
 	c := arm.New(m)
 	c.R[arm.SP] = kernel.NativeStackTop
-	// The decode cache is the analog of QEMU's translation cache and is on
-	// in every mode; NDroid's *handler* cache (§V-C) is a separate knob.
+	// The block translation cache is the analog of QEMU's TCG translation
+	// cache and is on in every mode, with the decoded-instruction cache
+	// backing cold paths (Step) and translation; NDroid's *handler* cache
+	// (§V-C) is a separate knob on the tracer.
 	c.UseDecodeCache = true
+	c.UseBlockCache = true
 	c.SVC = func(c *arm.CPU, num uint32) error { return k.Syscall(task, c, num) }
 	lc, err := libc.New(m, k, task)
 	if err != nil {

@@ -43,7 +43,39 @@ func NewTracer(e *TaintEngine) *Tracer {
 	}
 }
 
-var _ arm.Tracer = (*Tracer)(nil)
+var (
+	_ arm.Tracer     = (*Tracer)(nil)
+	_ arm.InsnBinder = (*Tracer)(nil)
+)
+
+// BindInsn implements arm.InsnBinder: when the CPU translates a basic block,
+// the tracer resolves the range check and the Table V handler once per
+// instruction, so translated code pays neither the per-step handler-map
+// lookup nor the handlerFor switch. With the handler cache disabled (the
+// ablation baseline) it falls back to dynamic TraceInsn dispatch.
+func (tr *Tracer) BindInsn(addr uint32, insn arm.Insn) func(c *arm.CPU) {
+	if !tr.UseHandlerCache {
+		in := insn
+		return func(c *arm.CPU) { tr.TraceInsn(c, addr, in) }
+	}
+	if tr.InRange != nil && !tr.InRange(addr) {
+		return func(*arm.CPU) { tr.Skipped++ }
+	}
+	op := insn.Op
+	h := handlerFor(op)
+	if h == nil {
+		return func(*arm.CPU) {
+			tr.Traced++
+			tr.PerOp[op]++
+		}
+	}
+	in := insn
+	return func(c *arm.CPU) {
+		tr.Traced++
+		tr.PerOp[op]++
+		h(tr, c, in)
+	}
+}
 
 // TraceInsn implements arm.Tracer.
 func (tr *Tracer) TraceInsn(c *arm.CPU, addr uint32, insn arm.Insn) {

@@ -324,3 +324,68 @@ func TestTracerPerOpStats(t *testing.T) {
 		t.Errorf("MOV count = %d, want 1", e.tr.PerOp[arm.OpMOV])
 	}
 }
+
+// TestBlockEngineTracerEquivalence: the block engine pre-binds Table V
+// handlers at translation time (BindInsn); the interpreter resolves them
+// dynamically per instruction. Both paths must produce byte-identical taint
+// state and identical tracer statistics, with and without a trace range.
+func TestBlockEngineTracerEquivalence(t *testing.T) {
+	const src = `
+_start:
+	MOV R2, #50
+loop:
+	ADD R0, R0, R1
+	ADD R0, R0, #3
+	MOV R3, R0
+	MVN R4, R3
+	STR R0, [SP, #-8]
+	LDR R5, [SP, #-8]
+	PUSH {R4, R5}
+	POP {R4, R5}
+	SUB R2, R2, #1
+	CMP R2, #0
+	BNE loop
+	HLT
+`
+	type snapshot struct {
+		regTaint [16]taint.Tag
+		traced   uint64
+		skipped  uint64
+		perOp    [64]uint64
+		tainted  int
+		slot     taint.Tag
+		insns    uint64
+	}
+	run := func(block bool, inRange func(uint32) bool) snapshot {
+		e := newTraceEnv(t)
+		e.cpu.UseBlockCache = block
+		e.tr.InRange = inRange
+		e.cpu.RegTaint[1] = taint.IMEI
+		e.run(t, src, false)
+		return snapshot{
+			regTaint: e.cpu.RegTaint,
+			traced:   e.tr.Traced,
+			skipped:  e.tr.Skipped,
+			perOp:    e.tr.PerOp,
+			tainted:  e.eng.Mem.TaintedBytes(),
+			slot:     e.eng.Mem.Get32(0x90000 - 8),
+			insns:    e.cpu.InsnCount,
+		}
+	}
+	ranges := map[string]func(uint32) bool{
+		"whole":      nil,
+		"restricted": func(addr uint32) bool { return addr < 0x8014 }, // first half of the loop body
+	}
+	for name, inRange := range ranges {
+		t.Run(name, func(t *testing.T) {
+			interp := run(false, inRange)
+			block := run(true, inRange)
+			if interp != block {
+				t.Errorf("tracer state diverges:\ninterp %+v\nblock  %+v", interp, block)
+			}
+			if block.slot == taint.Clear && name == "whole" {
+				t.Error("stack slot should be tainted through STR")
+			}
+		})
+	}
+}

@@ -26,6 +26,15 @@ const (
 type Memory struct {
 	pages   map[uint32]*[pageSize]byte
 	regions []Region
+
+	// lastPN/lastPg memoize the most recently touched page, exploiting the
+	// locality of guest code: straight-line loads/stores land on the same
+	// page almost every time, turning the map lookup into two compares.
+	lastPN uint32
+	lastPg *[pageSize]byte
+
+	// notify holds the write observers; see AddWriteNotify.
+	notify []func(pn uint32)
 }
 
 // Region describes a named address range (a module mapping, a stack, a heap).
@@ -40,16 +49,42 @@ type Region struct {
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+	return &Memory{
+		pages:  make(map[uint32]*[pageSize]byte),
+		lastPN: ^uint32(0), // page numbers fit in 20 bits; ^0 never matches
+	}
+}
+
+// AddWriteNotify registers fn to be called with the page number (addr>>12)
+// of every page touched by a store, after the bytes land. The CPU's block
+// translation cache uses this for page-granular invalidation of translated
+// code (self-modifying code, reloaded library regions). Observers must be
+// cheap: they run on every guest write.
+func (m *Memory) AddWriteNotify(fn func(pn uint32)) {
+	m.notify = append(m.notify, fn)
+}
+
+func (m *Memory) notifyWrite(addr uint32) {
+	pn := addr >> pageShift
+	for _, fn := range m.notify {
+		fn(pn)
+	}
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if pn == m.lastPN {
+		return m.lastPg
+	}
 	p, ok := m.pages[pn]
-	if !ok && create {
+	if !ok {
+		if !create {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPg = pn, p
 	return p
 }
 
@@ -65,6 +100,9 @@ func (m *Memory) Read8(addr uint32) uint8 {
 // Write8 stores one byte at addr.
 func (m *Memory) Write8(addr uint32, v uint8) {
 	m.page(addr, true)[addr&pageMask] = v
+	if len(m.notify) != 0 {
+		m.notifyWrite(addr)
+	}
 }
 
 // Read16 returns the little-endian halfword at addr.
@@ -83,6 +121,9 @@ func (m *Memory) Read16(addr uint32) uint16 {
 func (m *Memory) Write16(addr uint32, v uint16) {
 	if addr&pageMask <= pageSize-2 {
 		binary.LittleEndian.PutUint16(m.page(addr, true)[addr&pageMask:], v)
+		if len(m.notify) != 0 {
+			m.notifyWrite(addr)
+		}
 		return
 	}
 	m.Write8(addr, uint8(v))
@@ -105,6 +146,9 @@ func (m *Memory) Read32(addr uint32) uint32 {
 func (m *Memory) Write32(addr uint32, v uint32) {
 	if addr&pageMask <= pageSize-4 {
 		binary.LittleEndian.PutUint32(m.page(addr, true)[addr&pageMask:], v)
+		if len(m.notify) != 0 {
+			m.notifyWrite(addr)
+		}
 		return
 	}
 	m.Write16(addr, uint16(v))
@@ -150,6 +194,9 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 		}
 		p := m.page(addr+uint32(i), true)
 		copy(p[off:off+uint32(chunk)], b[i:i+chunk])
+		if len(m.notify) != 0 {
+			m.notifyWrite(addr + uint32(i))
+		}
 		i += chunk
 	}
 }

@@ -122,3 +122,36 @@ func TestWordRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkMemAccess measures the data-path cost of loads and stores. The
+// same-page case is the one the lastPN/lastPg memo accelerates (guest code
+// overwhelmingly touches the page it just touched); cross-page alternation
+// defeats the memo and shows the raw map-lookup cost.
+func BenchmarkMemAccess(b *testing.B) {
+	b.Run("same-page", func(b *testing.B) {
+		m := New()
+		m.Write32(0x8000, 1) // map the page
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			addr := 0x8000 + uint32(i%256)*4
+			m.Write32(addr, uint32(i))
+			sink += m.Read32(addr)
+		}
+		_ = sink
+	})
+	b.Run("cross-page", func(b *testing.B) {
+		m := New()
+		m.Write32(0x8000, 1)
+		m.Write32(0x20000, 1)
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			addr := uint32(0x8000)
+			if i&1 != 0 {
+				addr = 0x20000 // alternate pages: every access misses the memo
+			}
+			m.Write32(addr, uint32(i))
+			sink += m.Read32(addr)
+		}
+		_ = sink
+	})
+}

@@ -8,6 +8,13 @@ type MemTaint struct {
 	// count of currently tainted bytes, maintained incrementally so invariant
 	// checks and tests can assert on it without a full scan.
 	tainted int
+
+	// lastPN/lastPg memoize the most recently resolved page (mirroring the
+	// CPU's decode-page memo): the data path hits the same page repeatedly,
+	// so most lookups skip the map. lastPg may be nil for a memoized miss;
+	// the memo is reset whenever a page is created or deleted.
+	lastPN uint32
+	lastPg *taintPage
 }
 
 const (
@@ -23,13 +30,35 @@ type taintPage struct {
 
 // NewMemTaint returns an empty shadow-taint map.
 func NewMemTaint() *MemTaint {
-	return &MemTaint{pages: make(map[uint32]*taintPage)}
+	return &MemTaint{
+		pages:  make(map[uint32]*taintPage),
+		lastPN: ^uint32(0),
+	}
+}
+
+// pageAt resolves a page number through the one-entry memo. The memoized
+// value may be nil (a remembered miss), which is as useful as a hit: clean
+// scans over unmapped pages skip the map too.
+func (m *MemTaint) pageAt(pn uint32) *taintPage {
+	if pn == m.lastPN {
+		return m.lastPg
+	}
+	p := m.pages[pn]
+	m.lastPN, m.lastPg = pn, p
+	return p
+}
+
+func (m *MemTaint) dropPage(pn uint32) {
+	delete(m.pages, pn)
+	if m.lastPN == pn {
+		m.lastPg = nil
+	}
 }
 
 // Get returns the taint of the byte at addr.
 func (m *MemTaint) Get(addr uint32) Tag {
-	p, ok := m.pages[addr>>pageShift]
-	if !ok {
+	p := m.pageAt(addr >> pageShift)
+	if p == nil {
 		return Clear
 	}
 	return p.tags[addr&pageMask]
@@ -38,13 +67,14 @@ func (m *MemTaint) Get(addr uint32) Tag {
 // Set assigns tag to the byte at addr (overwriting, not ORing).
 func (m *MemTaint) Set(addr uint32, tag Tag) {
 	pn := addr >> pageShift
-	p, ok := m.pages[pn]
-	if !ok {
+	p := m.pageAt(pn)
+	if p == nil {
 		if tag == Clear {
 			return
 		}
 		p = &taintPage{}
 		m.pages[pn] = p
+		m.lastPN, m.lastPg = pn, p
 	}
 	old := p.tags[addr&pageMask]
 	if old == tag {
@@ -59,7 +89,7 @@ func (m *MemTaint) Set(addr uint32, tag Tag) {
 		p.used--
 		m.tainted--
 		if p.used == 0 {
-			delete(m.pages, pn)
+			m.dropPage(pn)
 		}
 	}
 }
@@ -83,7 +113,7 @@ func (m *MemTaint) SetRange(addr, n uint32, tag Tag) {
 			if chunk > n-i {
 				chunk = n - i
 			}
-			if p, ok := m.pages[pn]; ok {
+			if p := m.pageAt(pn); p != nil {
 				for j := uint32(0); j < chunk; j++ {
 					if p.tags[off+j] != Clear {
 						p.tags[off+j] = Clear
@@ -92,7 +122,7 @@ func (m *MemTaint) SetRange(addr, n uint32, tag Tag) {
 					}
 				}
 				if p.used == 0 {
-					delete(m.pages, pn)
+					m.dropPage(pn)
 				}
 			}
 			i += chunk
@@ -118,13 +148,13 @@ func (m *MemTaint) GetRange(addr, n uint32) Tag {
 	var t Tag
 	for i := uint32(0); i < n; {
 		pn := (addr + i) >> pageShift
-		p, ok := m.pages[pn]
+		p := m.pageAt(pn)
 		off := (addr + i) & pageMask
 		chunk := pageSize - off
 		if chunk > n-i {
 			chunk = n - i
 		}
-		if ok {
+		if p != nil {
 			for j := uint32(0); j < chunk; j++ {
 				t |= p.tags[off+j]
 			}
@@ -169,6 +199,7 @@ func (m *MemTaint) TaintedBytes() int { return m.tainted }
 func (m *MemTaint) Reset() {
 	m.pages = make(map[uint32]*taintPage)
 	m.tainted = 0
+	m.lastPN, m.lastPg = ^uint32(0), nil
 }
 
 // WordTaint is a coarser, word-granular shadow map used only by the

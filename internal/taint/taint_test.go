@@ -147,3 +147,43 @@ func TestWordTaint(t *testing.T) {
 		t.Error("Set(Clear) should erase the word")
 	}
 }
+
+// BenchmarkTaintAccess measures shadow-map lookups on the tracer's hot path
+// (handleLoad/handleStore run one Get32/Set32 per traced memory access). The
+// same-page pattern is what the lastPN/lastPg memo accelerates; it memoizes
+// misses too, so scanning clean pages also skips the map.
+func BenchmarkTaintAccess(b *testing.B) {
+	b.Run("same-page-tainted", func(b *testing.B) {
+		mt := NewMemTaint()
+		mt.Set(0x8000, IMEI)
+		var sink Tag
+		for i := 0; i < b.N; i++ {
+			addr := 0x8000 + uint32(i%256)*4
+			mt.Set32(addr, IMEI)
+			sink |= mt.Get32(addr)
+		}
+		_ = sink
+	})
+	b.Run("same-page-clean", func(b *testing.B) {
+		mt := NewMemTaint()
+		var sink Tag
+		for i := 0; i < b.N; i++ {
+			sink |= mt.Get32(0x8000 + uint32(i%256)*4)
+		}
+		_ = sink
+	})
+	b.Run("cross-page", func(b *testing.B) {
+		mt := NewMemTaint()
+		mt.Set(0x8000, IMEI)
+		mt.Set(0x20000, SMS)
+		var sink Tag
+		for i := 0; i < b.N; i++ {
+			addr := uint32(0x8000)
+			if i&1 != 0 {
+				addr = 0x20000 // alternate pages: every access misses the memo
+			}
+			sink |= mt.Get32(addr)
+		}
+		_ = sink
+	})
+}
