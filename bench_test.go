@@ -318,11 +318,20 @@ func BenchmarkMultilevelHookingOnOff(b *testing.B) {
 // Cache hit/miss counters are reported as metrics.
 // ---------------------------------------------------------------------------
 
-func benchDecodeCache(b *testing.B, decodeCache, blockCache bool) {
+func benchDecodeCache(b *testing.B, decodeCache, blockCache, gate bool) {
 	m := mem.New()
 	cpu := arm.New(m)
 	cpu.UseDecodeCache = decodeCache
 	cpu.UseBlockCache = blockCache
+	if gate {
+		// The gate only matters when a tracer is bound (otherwise there is
+		// no instrumented variant to skip): attach the real Table V tracer
+		// and a liveness aggregate with zero taint, so every block runs its
+		// bare variant.
+		cpu.Tracer = core.NewTracer(core.NewTaintEngine(cpu))
+		cpu.AttachLiveness(taint.NewLiveness())
+		cpu.UseTaintGate = true
+	}
 	prog := arm.MustAssemble(`
 	MOV R0, #0
 	MOV R2, #200
@@ -352,12 +361,18 @@ loop:
 		b.ReportMetric(float64(cpu.BlockHits)/float64(b.N), "block-hits/op")
 		b.ReportMetric(float64(cpu.BlockMisses)/float64(b.N), "block-misses/op")
 	}
+	if gate {
+		b.ReportMetric(float64(cpu.GateFlips)/float64(b.N), "gate-flips/op")
+		b.ReportMetric(float64(cpu.GateFastBlocks)/float64(b.N), "fast-blocks/op")
+		b.ReportMetric(float64(cpu.GateSlowBlocks)/float64(b.N), "slow-blocks/op")
+	}
 }
 
 func BenchmarkDecodeCacheOnOff(b *testing.B) {
-	b.Run("uncached", func(b *testing.B) { benchDecodeCache(b, false, false) })
-	b.Run("insn-cache", func(b *testing.B) { benchDecodeCache(b, true, false) })
-	b.Run("block-cache", func(b *testing.B) { benchDecodeCache(b, true, true) })
+	b.Run("uncached", func(b *testing.B) { benchDecodeCache(b, false, false, false) })
+	b.Run("insn-cache", func(b *testing.B) { benchDecodeCache(b, true, false, false) })
+	b.Run("block-cache", func(b *testing.B) { benchDecodeCache(b, true, true, false) })
+	b.Run("block-cache+gate", func(b *testing.B) { benchDecodeCache(b, true, true, true) })
 }
 
 // ---------------------------------------------------------------------------
@@ -415,6 +430,44 @@ func BenchmarkJNIRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkJNIBoundary isolates one Java->native->Java round trip under
+// NDroid with the taint-presence gate on. The clean row crosses the boundary
+// with zero live taint anywhere (marshalling walks skipped, native blocks run
+// bare); the tainted row carries IMEI taint through the same machinery. Their
+// ratio is the boundary cost the gate removes. clean-nogate is the PR 1
+// always-instrumented configuration for reference.
+func BenchmarkJNIBoundary(b *testing.B) {
+	bench := func(appName string, gate bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			app, ok := apps.ByName(appName)
+			if !ok {
+				b.Fatalf("no app %s", appName)
+			}
+			sys, err := core.NewSystem()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := app.Install(sys); err != nil {
+				b.Fatal(err)
+			}
+			if gate {
+				core.NewAnalyzer(sys, core.ModeNDroid)
+			} else {
+				core.NewAnalyzerNoGate(sys, core.ModeNDroid)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := app.Run(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("clean", bench("benign", true))
+	b.Run("clean-nogate", bench("benign", false))
+	b.Run("tainted", bench("case1", true))
 }
 
 // BenchmarkGCCompaction measures a mark-compact cycle over a populated heap

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/corpus"
 )
@@ -19,6 +20,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "divide the market size by this factor")
 	seed := flag.Int64("seed", 1, "market generator seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent classification workers")
 	flag.Parse()
 
 	params := corpus.PaperParams()
@@ -27,8 +29,9 @@ func main() {
 	}
 	params.Seed = *seed
 
-	fmt.Printf("Generating market (%d apps, seed %d)...\n\n", params.Total, params.Seed)
-	stats := corpus.Analyze(params)
+	fmt.Printf("Generating market (%d apps, seed %d, %d workers)...\n\n",
+		params.Total, params.Seed, *workers)
+	stats := corpus.AnalyzeParallel(params, *workers)
 	fmt.Println(stats.Report())
 	fmt.Printf("Paper reference: 227,911 apps, 16.46%% Type I, 4,034 Type I without libs\n")
 	fmt.Printf("(48.1%% AdMob), 1,738 Type II (394 loader-capable), 16 Type III (11 game, 5 ent.)\n")

@@ -54,6 +54,13 @@ type CPU struct {
 	Tracer Tracer
 	// BranchFn, when non-nil, is invoked on every taken control transfer.
 	BranchFn BranchFunc
+	// branchWatchLo/Hi, while branchWatchOn, bound the transfer targets
+	// BranchFn cares about: EmitBranch rejects other targets with two
+	// compares instead of two indirect calls. The multilevel hook engine
+	// narrows the watch to the libdvm entry range while its precondition
+	// chain is at level 0 — the steady state in clean native code.
+	branchWatchOn                bool
+	branchWatchLo, branchWatchHi uint32
 	// SVC handles supervisor calls (the kernel syscall interface).
 	SVC func(c *CPU, num uint32) error
 
@@ -85,13 +92,41 @@ type CPU struct {
 	// codePages is a 2^20-bit page bitmap marking pages that hold cached
 	// translations; the Memory write-notify consults it to keep stores to
 	// non-code pages nearly free. Allocated lazily on first translation.
-	codePages   []uint32
+	codePages []uint32
+	// codeExt records, per marked page, the [lo, hi) byte range actually
+	// decoded or translated. Stores to a marked page but outside its code
+	// extent cannot touch cached state, so the notify ignores them — this
+	// is what keeps data that shares a page with code (small images place
+	// .data right after .text) from forcing retranslation on every write.
+	codeExt     map[uint32][2]uint32
 	boundTracer Tracer
 	blockErr    error
 	// BlockHits counts block executions served from the cache (including
 	// chained successors); BlockMisses counts translations.
 	BlockHits   uint64
 	BlockMisses uint64
+
+	// UseTaintGate enables demand-driven instrumentation: blocks translated
+	// under a tracer carry a second, bare variant with no Table V dispatch,
+	// and block dispatch selects it whenever no taint is live anywhere the
+	// tracer could propagate from (the attached Liveness aggregate plus the
+	// shadow register file). Off by default; core.NewAnalyzer turns it on
+	// once the liveness wiring is complete.
+	UseTaintGate bool
+	// Live is the process-wide taint liveness aggregate (attach with
+	// AttachLiveness). The gate consults its SrcMem count; register taint is
+	// scanned directly (16 words) instead of being write-instrumented.
+	Live *taint.Liveness
+	// gateBail is set by a liveness edge (first taint introduced) while a
+	// bare block may be mid-run; the bare step loop checks it so the rest of
+	// the block re-dispatches onto the instrumented variant.
+	gateBail    bool
+	gateWasLive bool
+	// GateFlips counts fast<->slow transitions observed at block dispatch;
+	// GateFastBlocks/GateSlowBlocks count block executions per variant.
+	GateFlips      uint64
+	GateFastBlocks uint64
+	GateSlowBlocks uint64
 
 	Halted    bool
 	ExitCode  int32
@@ -117,6 +152,76 @@ func New(m *mem.Memory) *CPU {
 	return c
 }
 
+// AttachLiveness connects the CPU to the process-wide taint liveness
+// aggregate and subscribes to its edges: the first tag introduced anywhere
+// (source hook, JNI entry marshalling, SetRange from a syscall model) raises
+// gateBail so that a bare fast-path block already executing is abandoned at
+// its next step boundary and the remainder re-dispatches instrumented.
+func (c *CPU) AttachLiveness(l *taint.Liveness) {
+	c.Live = l
+	l.Subscribe(func(s taint.Source, live bool) {
+		if live {
+			c.gateBail = true
+		}
+	})
+}
+
+// TaintedRegs returns how many shadow registers currently carry taint — the
+// register-file analog of MemTaint.TaintedBytes, computed by scanning the 16
+// entries (cheaper at dispatch granularity than write-instrumenting every
+// Table V handler).
+func (c *CPU) TaintedRegs() int {
+	n := 0
+	for _, t := range &c.RegTaint {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// taintLive is the native-side gate predicate: true when any taint exists
+// that Table V propagation could read — tainted native memory or a tainted
+// shadow register. Java-side object tags do not force the slow path: they
+// can only reach native state through boundary marshalling, which raises the
+// mem/register counts itself.
+//
+// The clean state is edge-cached: while the previous dispatch found the
+// machine clean and no bail has been raised since, nothing can have changed
+// — memory/ref/Java introductions fire a liveness edge (which sets
+// gateBail), Table V handlers only run on the slow path, and every non-
+// tracer shadow-register writer goes through SetRegTaint (which sets
+// gateBail for nonzero tags). The slow state is never cached: each
+// instrumented dispatch re-derives liveness so draining taint re-engages
+// the fast path immediately.
+func (c *CPU) taintLive() bool {
+	if !c.gateWasLive && !c.gateBail {
+		return false
+	}
+	c.gateBail = false
+	if c.Live != nil && c.Live.Count(taint.SrcMem) != 0 {
+		return true
+	}
+	var or taint.Tag
+	for _, t := range &c.RegTaint {
+		or |= t
+	}
+	return or != 0
+}
+
+// SetRegTaint writes one shadow register from hook or model context (source
+// policies, JNI marshalling, libc models — anything outside the Table V
+// handlers, which only execute on the instrumented path). Such writers must
+// use it instead of storing into RegTaint directly: a nonzero tag raises
+// gateBail so the gate's cached clean verdict is re-derived at the next
+// block dispatch.
+func (c *CPU) SetRegTaint(i int, t taint.Tag) {
+	c.RegTaint[i] = t
+	if t != 0 {
+		c.gateBail = true
+	}
+}
+
 // Hook registers fn at addr (bit 0 ignored). A second registration at the
 // same address replaces the first; composition is the caller's concern.
 // Blocks on the affected page are invalidated: translation stops blocks at
@@ -140,10 +245,25 @@ func (c *CPU) HookedAddrs() int { return len(c.addrHooks) }
 // this so that calls flowing through host-implemented libdvm functions still
 // appear on the branch stream that multilevel hooking watches.
 func (c *CPU) EmitBranch(from, to uint32) {
-	if c.BranchFn != nil {
-		c.BranchFn(c, from, to)
+	if c.BranchFn == nil {
+		return
 	}
+	if c.branchWatchOn && (to < c.branchWatchLo || to > c.branchWatchHi) {
+		return
+	}
+	c.BranchFn(c, from, to)
 }
+
+// SetBranchWatch narrows branch-event delivery to targets in [lo, hi]. The
+// observer must be able to prove that transfers outside the range cannot
+// change its state (the multilevel chain at level 0 only reacts to JNI-exit
+// entries, which all live inside the watched range).
+func (c *CPU) SetBranchWatch(lo, hi uint32) {
+	c.branchWatchOn, c.branchWatchLo, c.branchWatchHi = true, lo, hi
+}
+
+// ClearBranchWatch restores delivery of every branch event.
+func (c *CPU) ClearBranchWatch() { c.branchWatchOn = false }
 
 // Arg returns the i-th AAPCS argument (R0–R3, then the stack).
 func (c *CPU) Arg(i int) uint32 {
@@ -186,7 +306,6 @@ func (c *CPU) fetch(pc uint32) Insn {
 			if !ok {
 				page = new(decodePage)
 				c.decodeCache[pageKey] = page
-				c.markCodePage(pc >> 12)
 			}
 			c.lastPageKey = pageKey
 			c.lastPage = page
@@ -199,6 +318,9 @@ func (c *CPU) fetch(pc uint32) Insn {
 		c.CacheMisses++
 		insn := c.decodeAt(pc)
 		*slot = insn
+		// Mark only the decoded bytes, not the whole page: the write-notify
+		// extent check then lets data on the same page be stored to freely.
+		c.markCodeRange(pc, pc+uint32(insn.Size))
 		return insn
 	}
 	return c.decodeAt(pc)
@@ -644,6 +766,12 @@ func (c *CPU) ResetDecodeCache() {
 	c.CacheMisses = 0
 	c.invalidateAllBlocks()
 	c.codePages = nil
+	c.codeExt = nil
 	c.BlockHits = 0
 	c.BlockMisses = 0
+	c.GateFlips = 0
+	c.GateFastBlocks = 0
+	c.GateSlowBlocks = 0
+	c.gateBail = false
+	c.gateWasLive = false
 }

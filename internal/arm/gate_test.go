@@ -1,0 +1,249 @@
+package arm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// miniTracer is a Table V-style propagator small enough for arm-level tests:
+// loads pull taint from a memory map, stores push register taint into it, and
+// MOV/ADD union their operands — enough to observe whether the instrumented
+// or the bare block variant executed.
+type miniTracer struct {
+	mt     *taint.MemTaint
+	traced int
+}
+
+func (tr *miniTracer) addrOf(c *CPU, insn Insn) uint32 {
+	if insn.RegOffset {
+		return c.R[insn.Rn] + c.R[insn.Rm]
+	}
+	return c.R[insn.Rn] + uint32(insn.Imm)
+}
+
+func (tr *miniTracer) TraceInsn(c *CPU, addr uint32, insn Insn) {
+	tr.traced++
+	switch insn.Op {
+	case OpLDR:
+		c.RegTaint[insn.Rd] = tr.mt.Get32(tr.addrOf(c, insn))
+	case OpSTR:
+		tr.mt.Set32(tr.addrOf(c, insn), c.RegTaint[insn.Rd])
+	case OpMOV:
+		if insn.HasImm {
+			c.RegTaint[insn.Rd] = 0
+		} else {
+			c.RegTaint[insn.Rd] = c.RegTaint[insn.Rm]
+		}
+	case OpADD:
+		t := c.RegTaint[insn.Rn]
+		if !insn.HasImm {
+			t |= c.RegTaint[insn.Rm]
+		}
+		c.RegTaint[insn.Rd] = t
+	}
+}
+
+// gateProgram: the first instruction's store triggers an external observer
+// that taints [R2] — a source firing mid-block, after the block was already
+// dispatched onto the bare fast path. The rest of the SAME block then loads
+// and propagates that taint, so the bail must redirect mid-run.
+const gateProgram = `
+_start:
+	STR R0, [R1]
+	LDR R3, [R2]
+	MOV R4, R3
+	HLT
+`
+
+func runGateProgram(t *testing.T, gate bool) (*CPU, *miniTracer) {
+	t.Helper()
+	const dataAddr, srcAddr = 0x40000, 0x44000
+	prog := MustAssemble(gateProgram, testBase, nil)
+	m := mem.New()
+	m.WriteBytes(prog.Base, prog.Code)
+
+	live := taint.NewLiveness()
+	mt := taint.NewMemTaint()
+	mt.AttachLiveness(live)
+	tr := &miniTracer{mt: mt}
+
+	c := New(m)
+	c.UseDecodeCache = true
+	c.UseBlockCache = true
+	c.Tracer = tr
+	c.AttachLiveness(live)
+	c.UseTaintGate = gate
+	c.R[1] = dataAddr
+	c.R[2] = srcAddr
+
+	// External taint introduction (the write-notify analog of a source hook
+	// firing from inside a modeled call): the store to dataAddr taints
+	// srcAddr while the block is mid-run.
+	armed := true
+	m.AddWriteNotify(func(addr, n uint32) {
+		if armed && addr>>12 == dataAddr>>12 {
+			armed = false
+			mt.Set32(srcAddr, taint.IMEI)
+		}
+	})
+
+	c.SetThumbPC(prog.Base)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("program did not halt")
+	}
+	return c, tr
+}
+
+// TestGateMidBlockTaintIntroduction: taint introduced by an external observer
+// while a bare block is executing must still be tracked — the liveness edge
+// sets gateBail, the bare loop abandons the block at the next step boundary,
+// and the remainder re-dispatches onto the instrumented variant. The final
+// shadow state must match the always-instrumented run exactly.
+func TestGateMidBlockTaintIntroduction(t *testing.T) {
+	ref, _ := runGateProgram(t, false)
+	got, tr := runGateProgram(t, true)
+
+	if got.RegTaint != ref.RegTaint {
+		t.Errorf("shadow registers diverge:\ngated   %v\nungated %v", got.RegTaint, ref.RegTaint)
+	}
+	if got.RegTaint[3] != taint.IMEI || got.RegTaint[4] != taint.IMEI {
+		t.Errorf("mid-block taint lost: R3=%v R4=%v, want IMEI", got.RegTaint[3], got.RegTaint[4])
+	}
+	if got.R != ref.R {
+		t.Errorf("architectural registers diverge:\ngated   %v\nungated %v", got.R, ref.R)
+	}
+	if got.GateFlips == 0 {
+		t.Error("gate never flipped despite mid-block taint introduction")
+	}
+	if got.GateFastBlocks == 0 {
+		t.Error("block never started on the fast path")
+	}
+	if got.GateSlowBlocks == 0 {
+		t.Error("remainder of the block never re-dispatched instrumented")
+	}
+	// The tracer must have seen everything after the introduction (LDR, MOV,
+	// HLT) and must NOT have seen the STR (pre-introduction, provably clean).
+	if tr.traced != 3 {
+		t.Errorf("traced %d instructions on the gated run, want 3 (LDR+MOV+HLT)", tr.traced)
+	}
+}
+
+// TestGateDrainReengagesFastPath: clearing the last tainted byte drops the
+// liveness count to zero and the very next block dispatch takes the bare
+// fast path again — no invalidation or retranslation required.
+func TestGateDrainReengagesFastPath(t *testing.T) {
+	const src = `
+_start:
+	MOV R5, #3
+loop:
+	ADD R0, R0, #1
+	SUB R5, R5, #1
+	CMP R5, #0
+	BNE loop
+	HLT
+`
+	prog := MustAssemble(src, testBase, nil)
+	m := mem.New()
+	m.WriteBytes(prog.Base, prog.Code)
+
+	live := taint.NewLiveness()
+	mt := taint.NewMemTaint()
+	mt.AttachLiveness(live)
+	tr := &miniTracer{mt: mt}
+
+	c := New(m)
+	c.UseDecodeCache = true
+	c.UseBlockCache = true
+	c.Tracer = tr
+	c.AttachLiveness(live)
+	c.UseTaintGate = true
+
+	// Phase 1: taint live — everything runs instrumented.
+	mt.SetRange(0x50000, 16, taint.SMS)
+	c.SetThumbPC(prog.Base)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.GateFastBlocks != 0 {
+		t.Errorf("fast blocks with taint live: %d, want 0", c.GateFastBlocks)
+	}
+	slow := c.GateSlowBlocks
+	if slow == 0 {
+		t.Fatal("no slow blocks despite live taint")
+	}
+
+	// Phase 2: drain to zero, rerun — the fast path must re-engage.
+	mt.SetRange(0x50000, 16, taint.Clear)
+	if mt.TaintedBytes() != 0 || live.Count(taint.SrcMem) != 0 {
+		t.Fatalf("drain incomplete: bytes=%d live=%d", mt.TaintedBytes(), live.Count(taint.SrcMem))
+	}
+	c.Halted = false
+	c.SetThumbPC(prog.Base)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.GateFastBlocks == 0 {
+		t.Error("fast path did not re-engage after taint drained to zero")
+	}
+	if c.GateSlowBlocks != slow {
+		t.Errorf("slow blocks after drain: %d, want unchanged %d", c.GateSlowBlocks, slow)
+	}
+	if c.R[0] != 6 {
+		t.Errorf("R0 = %d, want 6 (both runs of the loop)", c.R[0])
+	}
+}
+
+// TestGateVariantsAgree: gated and ungated execution must agree on
+// architectural state for an arbitrary mixed workload with taint present
+// from the start (gate selects the slow path throughout).
+func TestGateVariantsAgree(t *testing.T) {
+	const src = `
+_start:
+	MOV R0, #0
+	MOV R2, #10
+loop:
+	ADD R0, R0, R2
+	STR R0, [R6]
+	LDR R7, [R6]
+	SUB R2, R2, #1
+	CMP R2, #0
+	BNE loop
+	HLT
+`
+	run := func(gate bool, seed bool) *CPU {
+		prog := MustAssemble(src, testBase, nil)
+		m := mem.New()
+		m.WriteBytes(prog.Base, prog.Code)
+		live := taint.NewLiveness()
+		mt := taint.NewMemTaint()
+		mt.AttachLiveness(live)
+		c := New(m)
+		c.UseDecodeCache = true
+		c.UseBlockCache = true
+		c.Tracer = &miniTracer{mt: mt}
+		c.AttachLiveness(live)
+		c.UseTaintGate = gate
+		c.R[6] = 0x40000
+		if seed {
+			c.RegTaint[0] = taint.Contacts
+		}
+		c.SetThumbPC(prog.Base)
+		if err := c.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for _, seed := range []bool{false, true} {
+		ref := run(false, seed)
+		got := run(true, seed)
+		if got.R != ref.R || got.RegTaint != ref.RegTaint || got.InsnCount != ref.InsnCount {
+			t.Errorf("seed=%v: state diverges\ngated   R=%v T=%v n=%d\nungated R=%v T=%v n=%d",
+				seed, got.R, got.RegTaint, got.InsnCount, ref.R, ref.RegTaint, ref.InsnCount)
+		}
+	}
+}

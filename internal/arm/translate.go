@@ -49,10 +49,17 @@ const (
 
 type stepFn func(c *CPU) stepRes
 
-// Block is one translated straight-line run of guest code.
+// Block is one translated straight-line run of guest code. Blocks translated
+// under a tracer carry two step variants: the instrumented steps (Table V
+// handler pre-bound per instruction) and bare (no taint dispatch at all).
+// The taint-presence gate picks the variant per execution, so untainted
+// phases run at vanilla speed without retranslation on gate flips.
 type Block struct {
 	key   uint32 // start PC | thumb bit
 	steps []stepFn
+	// bare is the uninstrumented variant of steps; nil when the block was
+	// translated without a tracer (steps is already bare then).
+	bare []stepFn
 	// nexts[i] is the address of the instruction after step i, used to
 	// materialize PC when a write into this block forces a mid-run bail-out.
 	nexts []uint32
@@ -81,29 +88,55 @@ func pcKey(pc uint32, thumb bool) uint32 {
 	return pc
 }
 
-// markCodePage records that a page holds cached translations (decoded
-// instruction pages and/or blocks), allocating the 128 KiB page bitmap on
-// first use so CPUs that never execute stay cheap.
-func (c *CPU) markCodePage(pn uint32) {
+// markCodeRange records that [lo, hi) holds cached translations (decoded
+// instructions and/or translated blocks), allocating the 128 KiB page bitmap
+// on first use so CPUs that never execute stay cheap, and widening each
+// touched page's code extent.
+func (c *CPU) markCodeRange(lo, hi uint32) {
+	if hi <= lo {
+		return
+	}
 	if c.codePages == nil {
 		c.codePages = make([]uint32, 1<<15) // 2^20 pages / 32 bits
+		c.codeExt = make(map[uint32][2]uint32)
 	}
-	c.codePages[pn>>5] |= 1 << (pn & 31)
+	for pn := lo >> 12; pn <= (hi-1)>>12; pn++ {
+		c.codePages[pn>>5] |= 1 << (pn & 31)
+		e, ok := c.codeExt[pn]
+		if !ok {
+			e = [2]uint32{^uint32(0), 0}
+		}
+		if lo < e[0] {
+			e[0] = lo
+		}
+		if hi > e[1] {
+			e[1] = hi
+		}
+		c.codeExt[pn] = e
+	}
 }
 
-// onMemWrite is the Memory write-notify callback: a store into a page that
-// holds translations invalidates them. Pages without translations cost two
-// loads and a mask, which is what keeps the notify surface affordable on the
-// data path.
-func (c *CPU) onMemWrite(pn uint32) {
+// onMemWrite is the Memory write-notify callback: a store into the code
+// extent of a page that holds translations invalidates them. Pages without
+// translations cost two loads and a mask, which is what keeps the notify
+// surface affordable on the data path; stores to a marked page but outside
+// its decoded/translated byte range (data placed next to code in the same
+// image page) are also ignored — no cached state covers those bytes.
+// Memory guarantees the notified range [addr, addr+n) stays on one page.
+func (c *CPU) onMemWrite(addr, n uint32) {
 	if c.codePages == nil {
 		return
 	}
+	pn := addr >> 12
 	w, bit := pn>>5, uint32(1)<<(pn&31)
 	if c.codePages[w]&bit == 0 {
 		return
 	}
+	if e, ok := c.codeExt[pn]; ok && (addr+n <= e[0] || addr >= e[1]) {
+		return
+	}
 	c.codePages[w] &^= bit
+	delete(c.codeExt, pn)
 	c.invalidatePage(pn)
 }
 
@@ -152,6 +185,19 @@ func (c *CPU) InvalidateBlocks() { c.invalidateAllBlocks() }
 
 // runBlocks is the block-engine execution loop behind Run/RunUntil.
 func (c *CPU) runBlocks(stop uint32, maxInsns uint64) error {
+	// Blocks capture tracer bindings at translation time; a replaced tracer
+	// invalidates them all (the epoch check QEMU does with tb_flush). The
+	// check runs here and after every addr-hook invocation in stepBlock —
+	// the only points where foreign code can swap the tracer — instead of
+	// paying an interface comparison on every block dispatch.
+	if c.Tracer != c.boundTracer {
+		c.invalidateAllBlocks()
+		c.boundTracer = c.Tracer
+	}
+	// Shadow state may have been written directly while the CPU was stopped
+	// (tests and benchmarks seed RegTaint between runs); force the gate to
+	// re-derive liveness on the first dispatch.
+	c.gateBail = true
 	start := c.InsnCount
 	var hint *Block
 	for !c.Halted && c.R[PC] != stop {
@@ -178,12 +224,6 @@ func (c *CPU) runBlocks(stop uint32, maxInsns uint64) error {
 // trustworthy because Hook/Unhook invalidate the affected page's blocks.
 func (c *CPU) stepBlock(hint *Block) (*Block, error) {
 	pc := c.R[PC]
-	// Blocks capture tracer bindings at translation time; a replaced tracer
-	// invalidates them all (the epoch check QEMU does with tb_flush).
-	if c.Tracer != c.boundTracer {
-		c.invalidateAllBlocks()
-		c.boundTracer = c.Tracer
-	}
 	key := pcKey(pc, c.Thumb)
 	b := hint
 	if b == nil || b.key != key || !b.valid {
@@ -205,6 +245,11 @@ func (c *CPU) stepBlock(hint *Block) (*Block, error) {
 				if c.Halted || c.R[PC] != pc {
 					// The hook halted the CPU or redirected control itself.
 					return nil, nil
+				}
+				if c.Tracer != c.boundTracer {
+					// The hook swapped the tracer; stale bindings must go.
+					c.invalidateAllBlocks()
+					c.boundTracer = c.Tracer
 				}
 			}
 			if b != nil && !b.valid {
@@ -233,6 +278,18 @@ func (c *CPU) stepBlock(hint *Block) (*Block, error) {
 // order), and nothing reads the counter mid-block: hooks and the RunUntil
 // budget only observe it at dispatch boundaries.
 func (c *CPU) execBlock(b *Block) (*Block, error) {
+	if c.UseTaintGate && b.bare != nil {
+		live := c.taintLive()
+		if live != c.gateWasLive {
+			c.GateFlips++
+			c.gateWasLive = live
+		}
+		if !live {
+			c.GateFastBlocks++
+			return c.execBare(b)
+		}
+		c.GateSlowBlocks++
+	}
 	steps := b.steps
 	for i := 0; i < len(steps); i++ {
 		switch steps[i](c) {
@@ -243,6 +300,45 @@ func (c *CPU) execBlock(b *Block) (*Block, error) {
 			// A store from inside this block invalidated it (self-modifying
 			// code). Materialize PC past the executed instruction and bail to
 			// the dispatcher, which retranslates from the fresh bytes.
+			c.InsnCount += uint64(i + 1)
+			c.R[PC] = b.nexts[i]
+			return nil, nil
+		case stepBranch:
+			c.InsnCount += uint64(i + 1)
+			return c.chase(b, true), nil
+		case stepHalt:
+			c.InsnCount += uint64(i + 1)
+			return nil, nil
+		case stepErr:
+			c.InsnCount += uint64(i + 1)
+			err := c.blockErr
+			c.blockErr = nil
+			return nil, err
+		}
+	}
+	c.InsnCount += uint64(len(steps))
+	c.R[PC] = b.endPC
+	if !b.valid {
+		return nil, nil
+	}
+	return c.chase(b, false), nil
+}
+
+// execBare runs a block's uninstrumented variant. It is execBlock's loop
+// with one extra bail condition: gateBail, raised edge-triggered by the
+// liveness aggregate when the first taint tag is introduced while this block
+// may be mid-run (a write observer, a syscall model). Bailing materializes
+// PC after the already-executed instruction — which ran against a still
+// taint-free machine, so skipping its Table V dispatch was exact — and the
+// dispatcher resumes on the instrumented variant from the next instruction.
+func (c *CPU) execBare(b *Block) (*Block, error) {
+	steps := b.bare
+	for i := 0; i < len(steps); i++ {
+		switch steps[i](c) {
+		case stepNext:
+			if b.valid && !c.gateBail {
+				continue
+			}
 			c.InsnCount += uint64(i + 1)
 			c.R[PC] = b.nexts[i]
 			return nil, nil
@@ -301,11 +397,14 @@ func (c *CPU) translate(startPC uint32) *Block {
 		if insn.Op == OpInvalid {
 			break
 		}
-		fn, ends := c.buildStep(pc, insn, binder)
+		fn, bare, ends := c.buildStep(pc, insn, binder)
 		if fn == nil {
 			break
 		}
 		b.steps = append(b.steps, fn)
+		if c.Tracer != nil {
+			b.bare = append(b.bare, bare)
+		}
 		pc += insn.Size
 		b.nexts = append(b.nexts, pc)
 		if ends || insn.Rd == PC {
@@ -331,19 +430,21 @@ func (c *CPU) translate(startPC uint32) *Block {
 	c.blockCache[b.key] = b
 	for pn := startPC >> 12; pn <= (pc-1)>>12; pn++ {
 		c.blocksByPage[pn] = append(c.blocksByPage[pn], b)
-		c.markCodePage(pn)
 	}
+	c.markCodeRange(startPC, pc)
 	return b
 }
 
-// buildStep assembles the full per-instruction closure: condition gate
+// buildStep assembles the full per-instruction closures: condition gate
 // (pre-elided for AL), pre-bound tracer call, then the specialized executor.
-// ends reports that the instruction must terminate the block. A nil stepFn
-// means the op is not translatable.
-func (c *CPU) buildStep(pc uint32, insn Insn, binder InsnBinder) (stepFn, bool) {
+// It returns both variants — fn with the tracer call, bare without — so each
+// block is translated once and dispatched dual-mode by the taint gate. ends
+// reports that the instruction must terminate the block. A nil fn means the
+// op is not translatable.
+func (c *CPU) buildStep(pc uint32, insn Insn, binder InsnBinder) (fn, bare stepFn, ends bool) {
 	exec, ends, ok := c.buildExec(pc, insn)
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	if refsPC(insn) {
 		// The interpreter keeps R15 equal to the executing instruction's
@@ -352,6 +453,17 @@ func (c *CPU) buildStep(pc uint32, insn Insn, binder InsnBinder) (stepFn, bool) 
 		at := pc
 		exec = func(c *CPU) stepRes {
 			c.R[PC] = at
+			return inner(c)
+		}
+	}
+	cond := insn.Cond
+	bare = exec
+	if cond != CondAL {
+		inner := exec
+		bare = func(c *CPU) stepRes {
+			if !c.condHolds(cond) {
+				return stepNext
+			}
 			return inner(c)
 		}
 	}
@@ -364,24 +476,17 @@ func (c *CPU) buildStep(pc uint32, insn Insn, binder InsnBinder) (stepFn, bool) 
 			trace = func(c *CPU) { tr.TraceInsn(c, at, in) }
 		}
 	}
-	cond := insn.Cond
 	switch {
-	case cond == CondAL && trace == nil:
-		// The common case runs the bare executor: instruction counting is
-		// settled in bulk by execBlock, so no wrapper closure is needed.
-		return exec, ends
+	case trace == nil:
+		// Nothing to instrument (no tracer, or the binder pre-resolved this
+		// address to out-of-range): both variants are the bare executor, and
+		// instruction counting is settled in bulk by the block loop.
+		return bare, bare, ends
 	case cond == CondAL:
 		return func(c *CPU) stepRes {
 			trace(c)
 			return exec(c)
-		}, ends
-	case trace == nil:
-		return func(c *CPU) stepRes {
-			if !c.condHolds(cond) {
-				return stepNext
-			}
-			return exec(c)
-		}, ends
+		}, bare, ends
 	default:
 		return func(c *CPU) stepRes {
 			if !c.condHolds(cond) {
@@ -389,7 +494,7 @@ func (c *CPU) buildStep(pc uint32, insn Insn, binder InsnBinder) (stepFn, bool) 
 			}
 			trace(c)
 			return exec(c)
-		}, ends
+		}, bare, ends
 	}
 }
 

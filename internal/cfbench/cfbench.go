@@ -378,28 +378,56 @@ func (w Workload) NewRunner(mode core.Mode, scale int) (func() error, error) {
 	}, nil
 }
 
+// GateStats captures the taint-presence gate's activity during one measured
+// run: mode flips and how many translated blocks dispatched onto the bare
+// fast path versus the instrumented slow path.
+type GateStats struct {
+	Flips      uint64 `json:"flips"`
+	FastBlocks uint64 `json:"fastBlocks"`
+	SlowBlocks uint64 `json:"slowBlocks"`
+}
+
 // Measure runs one workload under one mode, returning the score (nominal
-// ops per second, like CF-Bench's point scale).
-func Measure(w Workload, mode core.Mode, scale int) (float64, error) {
+// ops per second, like CF-Bench's point scale) and the gate activity.
+func Measure(w Workload, mode core.Mode, scale int) (float64, GateStats, error) {
+	return measure(w, mode, scale, true)
+}
+
+// MeasureNoGate is Measure with the zero-taint fast path disabled — the
+// always-instrumented PR 1 configuration, kept to quantify the gate's win.
+func MeasureNoGate(w Workload, mode core.Mode, scale int) (float64, GateStats, error) {
+	return measure(w, mode, scale, false)
+}
+
+func measure(w Workload, mode core.Mode, scale int, gate bool) (float64, GateStats, error) {
 	sys, err := core.NewSystem()
 	if err != nil {
-		return 0, err
+		return 0, GateStats{}, err
 	}
 	if err := w.install(sys, scale); err != nil {
-		return 0, err
+		return 0, GateStats{}, err
 	}
 	// The disk-read workload needs the data file to exist.
 	sys.Kern.FS.WriteFile("/data/cfbench.dat", make([]byte, 1024*(opsDisk/scale)+1024))
-	core.NewAnalyzer(sys, mode)
+	if gate {
+		core.NewAnalyzer(sys, mode)
+	} else {
+		core.NewAnalyzerNoGate(sys, mode)
+	}
 	start := time.Now()
 	if _, _, thrown, err := sys.VM.InvokeByName(w.entryClass, "run", nil, nil); err != nil {
-		return 0, err
+		return 0, GateStats{}, err
 	} else if thrown != nil {
-		return 0, fmt.Errorf("cfbench: %s threw", w.Name)
+		return 0, GateStats{}, fmt.Errorf("cfbench: %s threw", w.Name)
 	}
 	elapsed := time.Since(start)
 	if elapsed <= 0 {
 		elapsed = time.Nanosecond
 	}
-	return float64(w.Ops/scale) / elapsed.Seconds(), nil
+	gs := GateStats{
+		Flips:      sys.CPU.GateFlips,
+		FastBlocks: sys.CPU.GateFastBlocks,
+		SlowBlocks: sys.CPU.GateSlowBlocks,
+	}
+	return float64(w.Ops/scale) / elapsed.Seconds(), gs, nil
 }

@@ -14,12 +14,22 @@ func TestWorkloadsRunInAllModes(t *testing.T) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			for _, mode := range modes {
-				score, err := Measure(w, mode, 100)
+				score, gs, err := Measure(w, mode, 100)
 				if err != nil {
 					t.Fatalf("%s under %s: %v", w.Name, mode, err)
 				}
 				if score <= 0 {
 					t.Errorf("%s under %s: nonpositive score", w.Name, mode)
+				}
+				// Clean CF-Bench workloads never see taint, so NDroid's
+				// block dispatch must stay entirely on the fast path.
+				if mode == core.ModeNDroid {
+					if !w.Java && gs.FastBlocks == 0 {
+						t.Errorf("%s under ndroid: no fast-path blocks (gate not engaged)", w.Name)
+					}
+					if gs.SlowBlocks != 0 {
+						t.Errorf("%s under ndroid: %d instrumented blocks on a clean run", w.Name, gs.SlowBlocks)
+					}
 				}
 			}
 		})
@@ -34,8 +44,11 @@ func TestFig10Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-based")
 	}
+	// The paper's Fig. 10 measures always-on instrumentation; the taint
+	// gate would let clean workloads skip most of it (see BenchmarkGateOnOff
+	// for that comparison), so the shape assertions use the ungated runner.
 	modes := []core.Mode{core.ModeVanilla, core.ModeNDroid, core.ModeDroidScope}
-	res, err := Run(modes, 5, 3)
+	res, err := RunNoGate(modes, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +101,42 @@ func TestFig10Shape(t *testing.T) {
 	dsOverall := get("Overall Score", ds)
 	if !(ndOverall < dsOverall) {
 		t.Errorf("NDroid overall (%.2f) should be below DroidScope overall (%.2f)", ndOverall, dsOverall)
+	}
+}
+
+// BenchmarkGateOnOff compares NDroid with the taint-presence gate against
+// the always-instrumented configuration on clean native compute rows — the
+// wall-clock win of running untainted phases on bare translated blocks.
+// Setup (system build, assembly, install) happens per iteration in both
+// variants; the reported gated-score/ungated-score metric is computed from
+// the workloads' own timed sections, which exclude setup.
+func BenchmarkGateOnOff(b *testing.B) {
+	for _, name := range []string{"Native MIPS", "Native Memory Read"} {
+		var w Workload
+		for _, cand := range Workloads() {
+			if cand.Name == name {
+				w = cand
+			}
+		}
+		for _, gated := range []bool{true, false} {
+			label := "/gate"
+			if !gated {
+				label = "/nogate"
+			}
+			b.Run(w.Name+label, func(b *testing.B) {
+				best := 0.0
+				for i := 0; i < b.N; i++ {
+					s, _, err := measure(w, core.ModeNDroid, 4, gated)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s > best {
+						best = s
+					}
+				}
+				b.ReportMetric(best, "ops/s")
+			})
+		}
 	}
 }
 

@@ -13,8 +13,9 @@ import (
 type Row struct {
 	Name     string
 	Java     bool
-	Score    map[core.Mode]float64 // nominal ops/second
-	Overhead map[core.Mode]float64 // vanilla score / mode score
+	Score    map[core.Mode]float64   // nominal ops/second
+	Overhead map[core.Mode]float64   // vanilla score / mode score
+	Gate     map[core.Mode]GateStats // taint-gate activity of the best run
 }
 
 // Result is a complete Fig. 10 run.
@@ -27,6 +28,19 @@ type Result struct {
 // nominal operation counts (1 = full run; larger = quicker smoke runs).
 // repeats > 1 keeps the best score per cell to damp scheduler noise.
 func Run(modes []core.Mode, scale, repeats int) (*Result, error) {
+	return run(modes, scale, repeats, true)
+}
+
+// RunNoGate is Run with the taint-presence gate disabled: every mode pays
+// its full instrumentation cost, the configuration the paper's Fig. 10
+// measures (and the one PR 1 shipped). The shape assertions about tracer
+// cost are made against this variant; the gated Run is the production
+// default.
+func RunNoGate(modes []core.Mode, scale, repeats int) (*Result, error) {
+	return run(modes, scale, repeats, false)
+}
+
+func run(modes []core.Mode, scale, repeats int, gated bool) (*Result, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -40,16 +54,18 @@ func Run(modes []core.Mode, scale, repeats int) (*Result, error) {
 			Java:     w.Java,
 			Score:    make(map[core.Mode]float64),
 			Overhead: make(map[core.Mode]float64),
+			Gate:     make(map[core.Mode]GateStats),
 		}
 		for _, mode := range modes {
 			best := 0.0
 			for r := 0; r < repeats; r++ {
-				s, err := Measure(w, mode, scale)
+				s, gs, err := measure(w, mode, scale, gated)
 				if err != nil {
 					return nil, fmt.Errorf("cfbench: %s under %s: %w", w.Name, mode, err)
 				}
 				if s > best {
 					best = s
+					row.Gate[mode] = gs
 				}
 			}
 			row.Score[mode] = best
@@ -131,10 +147,11 @@ func (r *Result) RowByName(name string) (Row, bool) {
 // stable against renumbering of the Mode constants.
 func (r *Result) JSON() ([]byte, error) {
 	type jsonRow struct {
-		Name     string             `json:"name"`
-		Java     bool               `json:"java"`
-		Score    map[string]float64 `json:"score"`
-		Overhead map[string]float64 `json:"overhead"`
+		Name     string               `json:"name"`
+		Java     bool                 `json:"java"`
+		Score    map[string]float64   `json:"score"`
+		Overhead map[string]float64   `json:"overhead"`
+		Gate     map[string]GateStats `json:"gate,omitempty"`
 	}
 	var out struct {
 		Modes []string  `json:"modes"`
@@ -155,6 +172,15 @@ func (r *Result) JSON() ([]byte, error) {
 		}
 		for m, v := range row.Overhead {
 			jr.Overhead[m.String()] = v
+		}
+		for m, gs := range row.Gate {
+			if gs == (GateStats{}) {
+				continue
+			}
+			if jr.Gate == nil {
+				jr.Gate = make(map[string]GateStats)
+			}
+			jr.Gate[m.String()] = gs
 		}
 		out.Rows = append(out.Rows, jr)
 	}
@@ -183,6 +209,20 @@ func (r *Result) Report() string {
 			fmt.Fprintf(&b, " %11.2fx", row.Overhead[m])
 		}
 		fmt.Fprintln(&b)
+	}
+	for _, m := range r.Modes {
+		var total GateStats
+		for _, row := range r.Rows {
+			gs := row.Gate[m]
+			total.Flips += gs.Flips
+			total.FastBlocks += gs.FastBlocks
+			total.SlowBlocks += gs.SlowBlocks
+		}
+		if total == (GateStats{}) {
+			continue
+		}
+		fmt.Fprintf(&b, "taint gate (%s): %d flips, %d fast blocks, %d instrumented blocks\n",
+			m, total.Flips, total.FastBlocks, total.SlowBlocks)
 	}
 	return b.String()
 }

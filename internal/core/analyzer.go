@@ -101,6 +101,10 @@ type Analyzer struct {
 	ML       *Multilevel
 	Recon    *Reconstructor
 
+	// Live is the process-wide taint-presence aggregate behind the
+	// demand-driven fast path; nil when the gate is disabled.
+	Live *taint.Liveness
+
 	Leaks []Leak
 	Log   FlowLog
 
@@ -112,16 +116,41 @@ type Analyzer struct {
 	javaVMIWalks uint64
 }
 
-// NewAnalyzer attaches an analysis mode to a system. Call after the app's
-// classes and native libraries are loaded (hook placement consults the
-// OS-level view reconstructor for module ranges).
+// NewAnalyzer attaches an analysis mode to a system, with the zero-taint
+// fast path (gate) enabled. Call after the app's classes and native
+// libraries are loaded (hook placement consults the OS-level view
+// reconstructor for module ranges).
 func NewAnalyzer(sys *System, mode Mode) *Analyzer {
+	return newAnalyzer(sys, mode, true)
+}
+
+// NewAnalyzerNoGate builds the same stack always-instrumented (the PR 1
+// configuration), kept for A/B soundness tests and the ablation bench.
+func NewAnalyzerNoGate(sys *System, mode Mode) *Analyzer {
+	return newAnalyzer(sys, mode, false)
+}
+
+func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 	a := &Analyzer{
 		Sys:      sys,
 		Mode:     mode,
 		Engine:   NewTaintEngine(sys.CPU),
 		Policies: NewPolicyMap(),
 		Recon:    &Reconstructor{Mem: sys.Mem, InitTaskAddr: sys.Kern.InitTaskAddr},
+	}
+	if gate {
+		a.Live = taint.NewLiveness()
+		a.Engine.AttachLiveness(a.Live)
+		sys.VM.AttachLiveness(a.Live)
+		sys.VM.GateJava = true
+		sys.CPU.AttachLiveness(a.Live)
+		// The native block gate is enabled per-mode: NDroid gets it
+		// (installNDroid); the DroidScope baseline deliberately keeps
+		// trace-everything semantics, and vanilla has no tracer to skip.
+		sys.CPU.UseTaintGate = mode == ModeNDroid
+	} else {
+		sys.VM.GateJava = false
+		sys.CPU.UseTaintGate = false
 	}
 	switch mode {
 	case ModeVanilla:
@@ -139,6 +168,14 @@ func NewAnalyzer(sys *System, mode Mode) *Analyzer {
 		a.installDroidScope()
 	}
 	return a
+}
+
+// crossingClean reports that a JNI crossing may skip its taint walks
+// entirely: the gate is on, no counted taint exists in any layer (memory
+// bytes, reference shadow entries, the Java-side latch), and the CPU's
+// shadow registers are all clear — so every walk input is provably zero.
+func (a *Analyzer) crossingClean() bool {
+	return a.Live != nil && a.Live.Total() == 0 && a.Sys.CPU.TaintedRegs() == 0
 }
 
 // hookJavaSink collects TaintDroid's Java-context sink reports.
@@ -168,6 +205,7 @@ func (a *Analyzer) installNDroid() {
 	// Multilevel hooking over the branch stream; the instruction tracer over
 	// the instruction stream.
 	a.ML = NewMultilevel(vm, inNative)
+	a.ML.BindCPU(cpu)
 	cpu.BranchFn = func(_ *arm.CPU, from, to uint32) { a.ML.OnBranch(from, to) }
 
 	a.Tracer = NewTracer(a.Engine)

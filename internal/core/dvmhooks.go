@@ -129,19 +129,24 @@ func (a *Analyzer) onJNIEntry(ctx *dvm.CallCtx) {
 	}
 
 	// Taint-map entries for object arguments at their direct addresses and
-	// shadow entries keyed by the indirect refs native code receives.
-	for i, o := range ctx.ArgObjs {
-		t := get(i)
-		if o == nil {
-			continue
+	// shadow entries keyed by the indirect refs native code receives. A
+	// clean crossing skips the walk: with the latch off, every argument
+	// taint and object tag is provably zero, so no entry would be written
+	// and no line logged.
+	if !a.crossingClean() {
+		for i, o := range ctx.ArgObjs {
+			t := get(i)
+			if o == nil {
+				continue
+			}
+			t |= o.Taint
+			if t == 0 {
+				continue
+			}
+			a.Engine.Mem.Set32(o.Addr, t)
+			a.Engine.AddRefTaint(ctx.CPUArgs[i], t)
+			a.Log.Addf("args[%d]@0x%x taint: %v", i, o.Addr, t)
 		}
-		t |= o.Taint
-		if t == 0 {
-			continue
-		}
-		a.Engine.Mem.Set32(o.Addr, t)
-		a.Engine.AddRefTaint(ctx.CPUArgs[i], t)
-		a.Log.Addf("args[%d]@0x%x taint: %v", i, o.Addr, t)
 	}
 
 	a.Policies.Put(p)
@@ -163,7 +168,9 @@ func (a *Analyzer) installMethodEntryHook(addr uint32) {
 // precise tracking that replaces TaintDroid's any-parameter policy.
 func (a *Analyzer) onJNIReturn(ctx *dvm.CallCtx) {
 	t := ctx.RetTaint // R0/R1 shadow captured by the bridge
-	if ctx.Method.Shorty[0] == 'L' {
+	// The object walk is skipped only when the captured shadow is already
+	// clear AND no counted taint exists anywhere (ObjectTaint would be 0).
+	if ctx.Method.Shorty[0] == 'L' && (t != 0 || !a.crossingClean()) {
 		ref := uint32(ctx.Ret)
 		if o := a.Sys.VM.DecodeRef(ref); o != nil {
 			t |= a.Engine.ObjectTaint(o, ref)
@@ -181,6 +188,15 @@ func (a *Analyzer) onJNIReturn(ctx *dvm.CallCtx) {
 func (a *Analyzer) onCallMethod(ctx *dvm.CallCtx) {
 	a.InstrumentationCalls++
 	cpu := a.Sys.CPU
+	if a.crossingClean() {
+		// Shadow registers, taint map, and ref shadow are all provably
+		// empty: every recovered taint would be zero, and JavaTaints
+		// already is.
+		if ctx.JavaMethod != nil {
+			a.Log.Addf("%s Begin: method=%s shorty=%s", ctx.Name, ctx.JavaMethod.Name, ctx.JavaMethod.Shorty)
+		}
+		return
+	}
 	for i := range ctx.JavaTaints {
 		var t taint.Tag
 		if i < len(ctx.JavaArgSrc) {
@@ -216,6 +232,9 @@ func (a *Analyzer) onInterpret(ctx *dvm.CallCtx) {
 		if t == 0 {
 			continue
 		}
+		// This raw write bypasses the interpreter's setRegTaint, so it must
+		// flip the Java-side latch itself.
+		a.Sys.VM.NoteTaint(t)
 		slot := ctx.FrameAddr + uint32(8*(first+i)) + 4
 		a.Sys.Mem.Write32(slot, uint32(t))
 		a.Log.Addf("dvmInterpret: add taint to new method frame t[%x] = %v", slot, t)
@@ -233,20 +252,23 @@ func (a *Analyzer) onNewString(ctx *dvm.CallCtx, utf bool) {
 	}
 	a.InstrumentationCalls++
 	var t taint.Tag
-	if utf {
-		n := uint32(len(o.Str)) + 1
-		t = a.Engine.Mem.GetRange(ctx.CStrAddr, n)
-	} else {
-		t = a.Engine.Mem.GetRange(ctx.UTF16Addr, ctx.UTF16Len*2)
+	if !a.crossingClean() {
+		if utf {
+			n := uint32(len(o.Str)) + 1
+			t = a.Engine.Mem.GetRange(ctx.CStrAddr, n)
+		} else {
+			t = a.Engine.Mem.GetRange(ctx.UTF16Addr, ctx.UTF16Len*2)
+		}
 	}
 	if t == 0 {
 		a.Log.Addf("%s End (untainted)", ctx.Name)
 		return
 	}
 	o.Taint |= t
+	a.Sys.VM.NoteTaint(t)
 	a.Engine.Mem.Set32(o.Addr, t)
 	a.Engine.AddRefTaint(ctx.ResultRef, t)
-	a.Sys.CPU.RegTaint[0] = t
+	a.Sys.CPU.SetRegTaint(0, t)
 	a.Log.Addf("realStringAddr:0x%x", o.Addr)
 	a.Log.Addf("add taint %v to new string object@0x%x", t, o.Addr)
 	a.Log.Addf("t(%x) := %v", o.Addr, t)
@@ -263,12 +285,15 @@ func (a *Analyzer) onGetStringChars(ctx *dvm.CallCtx) {
 	}
 	a.InstrumentationCalls++
 	ref := uint32(ctx.Value)
-	t := a.Engine.ObjectTaint(o, ref)
+	var t taint.Tag
+	if !a.crossingClean() {
+		t = a.Engine.ObjectTaint(o, ref)
+	}
 	a.Log.Addf("jstring taint:%v", t)
 	if t != 0 {
 		buf := uint32(ctx.Ret)
 		a.Engine.Mem.SetRange(buf, uint32(len(o.Str))+1, t)
-		a.Sys.CPU.RegTaint[0] = t
+		a.Sys.CPU.SetRegTaint(0, t)
 		a.Log.Addf("t(%x) := %v", buf, t)
 	}
 	a.Log.Addf("TrustCallHandler[GetStringUTFChars] end")
@@ -280,12 +305,15 @@ func (a *Analyzer) onArrayToNative(ctx *dvm.CallCtx) {
 	if o == nil {
 		return
 	}
+	if a.crossingClean() {
+		return // o.Taint is provably zero while the latch is off
+	}
 	t := o.Taint
 	if t == 0 {
 		return
 	}
 	a.Engine.Mem.SetRange(uint32(ctx.Ret), ctx.UTF16Len, t)
-	a.Sys.CPU.RegTaint[0] |= t
+	a.Sys.CPU.SetRegTaint(0, a.Sys.CPU.RegTaint[0]|t)
 	a.Log.Addf("%s: t(%x..+%d) := %v", ctx.Name, uint32(ctx.Ret), ctx.UTF16Len, t)
 }
 
@@ -295,11 +323,15 @@ func (a *Analyzer) onArrayFromNative(ctx *dvm.CallCtx) {
 	if o == nil {
 		return
 	}
+	if a.crossingClean() {
+		return // the taint map is empty, GetRange would be zero
+	}
 	t := a.Engine.Mem.GetRange(uint32(ctx.Ret), ctx.UTF16Len)
 	if t == 0 {
 		return
 	}
 	o.Taint |= t
+	a.Sys.VM.NoteTaint(t)
 	a.Log.Addf("%s: array@0x%x taint |= %v", ctx.Name, o.Addr, t)
 }
 
@@ -307,6 +339,9 @@ func (a *Analyzer) onArrayFromNative(ctx *dvm.CallCtx) {
 // (Table IV, "get a field's taint after executing Get*Field").
 func (a *Analyzer) onGetField(ctx *dvm.CallCtx, isObj bool) {
 	a.InstrumentationCalls++
+	if a.crossingClean() {
+		return // field tags and object taints are provably zero
+	}
 	t := ctx.ValueTag
 	if isObj {
 		if o := a.Sys.VM.DecodeRef(ctx.ResultRef); o != nil {
@@ -316,7 +351,7 @@ func (a *Analyzer) onGetField(ctx *dvm.CallCtx, isObj bool) {
 	if t == 0 {
 		return
 	}
-	a.Sys.CPU.RegTaint[0] = t
+	a.Sys.CPU.SetRegTaint(0, t)
 	if ctx.ResultRef != 0 {
 		a.Engine.AddRefTaint(ctx.ResultRef, t)
 	}
@@ -331,6 +366,9 @@ func (a *Analyzer) onSetField(ctx *dvm.CallCtx, wide, isObj bool) {
 		return
 	}
 	a.InstrumentationCalls++
+	if a.crossingClean() {
+		return // shadow registers and taint map are provably clear
+	}
 	cpu := a.Sys.CPU
 	t := cpu.RegTaint[3]
 	if wide {
@@ -343,6 +381,7 @@ func (a *Analyzer) onSetField(ctx *dvm.CallCtx, wide, isObj bool) {
 	if t == 0 {
 		return
 	}
+	a.Sys.VM.NoteTaint(t)
 	fld := ctx.Field
 	if ctx.FieldObj != nil {
 		ctx.FieldObj.FieldTaints[fld.Index] |= t
@@ -367,12 +406,16 @@ func (a *Analyzer) onInitException(ctx *dvm.CallCtx) {
 	if msg == nil || exc == nil {
 		return
 	}
+	if a.crossingClean() {
+		return // taint map and shadow registers are provably clear
+	}
 	n := uint32(len(msg.Str)) + 1
 	t := a.Engine.Mem.GetRange(ctx.CStrAddr, n) | a.Sys.CPU.RegTaint[2]
 	if t == 0 {
 		return
 	}
 	msg.Taint |= t
+	a.Sys.VM.NoteTaint(t)
 	exc.Taint |= t
 	if len(exc.FieldTaints) > 0 {
 		exc.FieldTaints[0] |= t

@@ -15,6 +15,9 @@ type TaintEngine struct {
 	CPU *arm.CPU
 	Mem *taint.MemTaint
 	Ref map[uint32]taint.Tag
+	// Live, when attached, aggregates this engine's taint presence (memory
+	// bytes via Mem, reference shadow entries via SrcRef) for the gate.
+	Live *taint.Liveness
 }
 
 // NewTaintEngine creates an empty engine bound to the CPU's shadow registers.
@@ -26,9 +29,22 @@ func NewTaintEngine(c *arm.CPU) *TaintEngine {
 	}
 }
 
+// AttachLiveness wires the engine's taint presence into the process-wide
+// aggregate, contributing any taint already present.
+func (e *TaintEngine) AttachLiveness(l *taint.Liveness) {
+	e.Live = l
+	e.Mem.AttachLiveness(l)
+	if n := len(e.Ref); n != 0 {
+		l.Adjust(taint.SrcRef, n)
+	}
+}
+
 // Reset drops all native-context taint.
 func (e *TaintEngine) Reset() {
 	e.Mem.Reset()
+	if e.Live != nil {
+		e.Live.Adjust(taint.SrcRef, -len(e.Ref))
+	}
 	e.Ref = make(map[uint32]taint.Tag)
 	for i := range e.CPU.RegTaint {
 		e.CPU.RegTaint[i] = 0
@@ -42,6 +58,9 @@ func (e *TaintEngine) RefTaint(ref uint32) taint.Tag { return e.Ref[ref] }
 func (e *TaintEngine) AddRefTaint(ref uint32, tag taint.Tag) {
 	if tag == 0 || ref == 0 {
 		return
+	}
+	if _, ok := e.Ref[ref]; !ok && e.Live != nil {
+		e.Live.Adjust(taint.SrcRef, 1)
 	}
 	e.Ref[ref] |= tag
 }

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/dvm"
+import (
+	"repro/internal/arm"
+	"repro/internal/dvm"
+)
 
 // Multilevel implements the multilevel hooking technique of §V-B / Fig. 5:
 // a chain of preconditions T1..T6 evaluated over the branch-event stream so
@@ -28,6 +31,19 @@ type Multilevel struct {
 	jniExitEntries map[uint32]bool
 	callMethodAddr map[uint32]bool // dvmCallMethod{,V,A} entries
 	interpAddr     uint32
+
+	// watchLo/watchHi bound every watched entry address (all live inside the
+	// emulated libdvm image), so the level-0 common case — a branch that
+	// stays inside third-party native code — is rejected with two compares
+	// instead of a map probe per taken branch.
+	watchLo, watchHi uint32
+
+	// cpu, when bound, mirrors the level-0 watch range into the CPU's
+	// branch-watch filter so out-of-range events are rejected before the
+	// BranchFn indirect call is even made. At level >= 1 the chain watches
+	// return sites (A+4, B+4, C+4) outside the libdvm range, so the filter
+	// is lifted until the chain unwinds back to level 0.
+	cpu *arm.CPU
 
 	level      int    // 0 none, 1 after T1, 2 after T2, 3 after T3
 	aSite      uint32 // the native call-site address (A of Fig. 5)
@@ -66,7 +82,45 @@ func NewMultilevel(vm *dvm.VM, inNative func(addr uint32) bool) *Multilevel {
 	for _, n := range []string{"dvmCallMethod", "dvmCallMethodV", "dvmCallMethodA", "initException"} {
 		ml.callMethodAddr[vm.InternalAddr(n)] = true
 	}
+	ml.watchLo, ml.watchHi = ^uint32(0), 0
+	watch := func(a uint32) {
+		if a == 0 {
+			return
+		}
+		if a < ml.watchLo {
+			ml.watchLo = a
+		}
+		if a > ml.watchHi {
+			ml.watchHi = a
+		}
+	}
+	for a := range ml.jniExitEntries {
+		watch(a)
+	}
+	for a := range ml.callMethodAddr {
+		watch(a)
+	}
+	watch(ml.interpAddr)
 	return ml
+}
+
+// BindCPU mirrors the watch range into cpu's branch filter (see the cpu
+// field). Call after NewMultilevel, before execution starts.
+func (ml *Multilevel) BindCPU(cpu *arm.CPU) {
+	ml.cpu = cpu
+	ml.syncWatch()
+}
+
+// syncWatch narrows the CPU filter at level 0 and lifts it otherwise.
+func (ml *Multilevel) syncWatch() {
+	if ml.cpu == nil {
+		return
+	}
+	if ml.level == 0 {
+		ml.cpu.SetBranchWatch(ml.watchLo, ml.watchHi)
+	} else {
+		ml.cpu.ClearBranchWatch()
+	}
 }
 
 // OnBranch consumes one control-transfer event.
@@ -76,10 +130,14 @@ func (ml *Multilevel) OnBranch(from, to uint32) {
 	}
 	switch {
 	case ml.level == 0:
+		if to < ml.watchLo || to > ml.watchHi {
+			return
+		}
 		if ml.jniExitEntries[to] && ml.inNative != nil && ml.inNative(from) {
 			ml.level = 1
 			ml.aSite = from
 			ml.Transitions++
+			ml.syncWatch()
 		}
 	case ml.level == 1:
 		switch {
@@ -90,6 +148,7 @@ func (ml *Multilevel) OnBranch(from, to uint32) {
 		case to == ml.aSite+4: // T6: returned to native code
 			ml.level = 0
 			ml.Transitions++
+			ml.syncWatch()
 		}
 	case ml.level == 2:
 		switch {
@@ -119,4 +178,7 @@ func (ml *Multilevel) T3() bool { return !ml.Enabled || ml.level >= 3 }
 func (ml *Multilevel) Level() int { return ml.level }
 
 // Reset clears the chain state.
-func (ml *Multilevel) Reset() { ml.level = 0 }
+func (ml *Multilevel) Reset() {
+	ml.level = 0
+	ml.syncWatch()
+}

@@ -68,10 +68,10 @@ func (pm *PolicyMap) Len() int { return len(pm.m) }
 // Hook Engine.
 func defaultHandler(e *TaintEngine) func(*SourcePolicy, *arm.CPU) {
 	return func(p *SourcePolicy, c *arm.CPU) {
-		c.RegTaint[0] = p.TR0
-		c.RegTaint[1] = p.TR1
-		c.RegTaint[2] = p.TR2
-		c.RegTaint[3] = p.TR3
+		c.SetRegTaint(0, p.TR0)
+		c.SetRegTaint(1, p.TR1)
+		c.SetRegTaint(2, p.TR2)
+		c.SetRegTaint(3, p.TR3)
 		for i := 0; i < p.StackArgsNum && i < len(p.StackArgsTaints); i++ {
 			e.Mem.SetRange(c.R[arm.SP]+uint32(4*i), 4, p.StackArgsTaints[i])
 		}

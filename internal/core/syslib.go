@@ -159,9 +159,9 @@ func libmModel(arity int, wide bool) modelFunc {
 			t |= c.RegTaint[i]
 		}
 		a.callImpl(name, c)
-		c.RegTaint[0] = t
+		c.SetRegTaint(0, t)
 		if wide {
-			c.RegTaint[1] = t
+			c.SetRegTaint(1, t)
 		}
 	}
 }
@@ -217,21 +217,21 @@ func modelMemset(a *Analyzer, c *arm.CPU, name string) {
 func modelCmpN(a *Analyzer, c *arm.CPU, name string) {
 	t := a.Engine.Mem.GetRange(c.R[0], c.R[2]) | a.Engine.Mem.GetRange(c.R[1], c.R[2])
 	a.callImpl(name, c)
-	c.RegTaint[0] = t
+	c.SetRegTaint(0, t)
 }
 
 func modelCmpStr(a *Analyzer, c *arm.CPU, name string) {
 	t := a.Engine.Mem.GetRange(c.R[0], a.cstrLen(c.R[0])) |
 		a.Engine.Mem.GetRange(c.R[1], a.cstrLen(c.R[1]))
 	a.callImpl(name, c)
-	c.RegTaint[0] = t
+	c.SetRegTaint(0, t)
 }
 
 func modelCmpStrN(a *Analyzer, c *arm.CPU, name string) {
 	n := c.R[2]
 	t := a.Engine.Mem.GetRange(c.R[0], n) | a.Engine.Mem.GetRange(c.R[1], n)
 	a.callImpl(name, c)
-	c.RegTaint[0] = t
+	c.SetRegTaint(0, t)
 }
 
 // modelRetFromString taints the return value from the bytes of the string
@@ -240,8 +240,8 @@ func modelRetFromString(arg int) modelFunc {
 	return func(a *Analyzer, c *arm.CPU, name string) {
 		t := a.Engine.Mem.GetRange(c.R[arg], a.cstrLen(c.R[arg]))
 		a.callImpl(name, c)
-		c.RegTaint[0] = t
-		c.RegTaint[1] = t // wide returns (strtod)
+		c.SetRegTaint(0, t)
+		c.SetRegTaint(1, t) // wide returns (strtod)
 	}
 }
 
@@ -249,13 +249,13 @@ func modelPtrIntoString(a *Analyzer, c *arm.CPU, name string) {
 	t := a.Engine.Mem.GetRange(c.R[0], a.cstrLen(c.R[0]))
 	a.callImpl(name, c)
 	// The returned pointer indexes into the (possibly tainted) buffer.
-	c.RegTaint[0] = t
+	c.SetRegTaint(0, t)
 }
 
 func modelMemchr(a *Analyzer, c *arm.CPU, name string) {
 	t := a.Engine.Mem.GetRange(c.R[0], c.R[2])
 	a.callImpl(name, c)
-	c.RegTaint[0] = t
+	c.SetRegTaint(0, t)
 }
 
 func modelClearRet(a *Analyzer, c *arm.CPU, name string) {

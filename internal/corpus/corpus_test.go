@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/dex"
@@ -141,6 +142,21 @@ func containsStr(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestAnalyzeParallelMatchesSequential: the worker-pool scan must reproduce
+// the sequential aggregate exactly — every counter and every histogram —
+// regardless of worker count, so the Fig. 2 / §III numbers are unchanged.
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	p := Scaled(100)
+	want := Analyze(p)
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		got := AnalyzeParallel(p, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel scan diverges from sequential\ngot:  %+v\nwant: %+v",
+				workers, got, want)
+		}
+	}
 }
 
 func TestGenerateDeterministic(t *testing.T) {

@@ -2,8 +2,10 @@ package corpus
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Stats aggregates the §III study results.
@@ -30,16 +32,83 @@ type Stats struct {
 	NativeDeclClasses map[string]int
 }
 
-// Analyze runs the static analysis over a generated market.
-func Analyze(p MarketParams) *Stats {
-	s := &Stats{
+func newStats() *Stats {
+	return &Stats{
 		TypeIIICategories: make(map[string]int),
 		CategoryDist:      make(map[string]int),
 		LibCounts:         make(map[string]int),
 		NativeDeclClasses: make(map[string]int),
 	}
+}
+
+// Analyze runs the static analysis over a generated market.
+func Analyze(p MarketParams) *Stats {
+	s := newStats()
 	Generate(p, func(a *APK) { s.Add(a) })
 	return s
+}
+
+// AnalyzeParallel is Analyze with the per-app classification fanned out to a
+// bounded worker pool. Generation stays on the caller's goroutine — the
+// generator's RNG and category quotas are stateful, so emission order is part
+// of the market definition — but Classify/Add are pure per-app work and Add's
+// aggregation is commutative, so each worker accumulates a private Stats and
+// the shards merge order-independently. workers <= 0 means GOMAXPROCS.
+func AnalyzeParallel(p MarketParams, workers int) *Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Analyze(p)
+	}
+	apks := make(chan *APK, 4*workers)
+	shards := make([]*Stats, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := newStats()
+		shards[i] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range apks {
+				s.Add(a)
+			}
+		}()
+	}
+	// Generate builds a fresh APK per emit, so handing the pointer to a
+	// worker is safe despite the no-retention note on Generate.
+	Generate(p, func(a *APK) { apks <- a })
+	close(apks)
+	wg.Wait()
+	total := newStats()
+	for _, s := range shards {
+		total.Merge(s)
+	}
+	return total
+}
+
+// Merge folds another shard into s. All Stats fields are sums or
+// sum-valued maps, so merging is commutative and associative.
+func (s *Stats) Merge(o *Stats) {
+	s.Total += o.Total
+	s.TypeI += o.TypeI
+	s.TypeII += o.TypeII
+	s.TypeIII += o.TypeIII
+	s.TypeINoLibs += o.TypeINoLibs
+	s.TypeINoLibsAdMob += o.TypeINoLibsAdMob
+	s.TypeIIWithLoader += o.TypeIIWithLoader
+	for k, v := range o.TypeIIICategories {
+		s.TypeIIICategories[k] += v
+	}
+	for k, v := range o.CategoryDist {
+		s.CategoryDist[k] += v
+	}
+	for k, v := range o.LibCounts {
+		s.LibCounts[k] += v
+	}
+	for k, v := range o.NativeDeclClasses {
+		s.NativeDeclClasses[k] += v
+	}
 }
 
 // Add classifies one app into the aggregate.

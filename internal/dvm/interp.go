@@ -19,6 +19,17 @@ func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Ta
 	vm.curThread = th
 	defer func() { vm.curThread = prev }()
 
+	// Taint handed in from outside the interpreter (entry-point taints, hook
+	// writes) must flip the latch before any frame slot holds a nonzero tag.
+	if !vm.taintSeen {
+		for _, t := range taints {
+			if t != 0 {
+				vm.NoteTaint(t)
+				break
+			}
+		}
+	}
+
 	if m.Builtin != nil {
 		b, ok := m.Builtin.(Builtin)
 		if !ok {
@@ -28,6 +39,7 @@ func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Ta
 		if !vm.TaintJava {
 			rt = 0
 		}
+		vm.NoteTaint(rt)
 		return ret, rt, thrown, nil
 	}
 	if m.IsNative() {
@@ -71,12 +83,16 @@ func (vm *VM) InvokeByName(class, method string, args []uint32, taints []taint.T
 // run interprets the method of frame f until it returns or throws.
 func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 	m := f.Method
-	tainting := vm.TaintJava
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(m.Insns) {
 			return 0, 0, nil, vm.errorf("%s: pc %d out of range", m.FullName(), pc)
 		}
+		// Both recomputed per instruction: an invoke below can run a source
+		// method that flips the latch mid-frame. While clean, every taint
+		// slot is provably zero, so tag clears (not just merges) are skipped.
+		clean := vm.GateJava && !vm.taintSeen
+		tainting := vm.TaintJava && !clean
 		insn := &m.Insns[pc]
 		vm.JavaInsnCount++
 		m.InsnCount++
@@ -91,15 +107,21 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 
 		case dex.Const:
 			th.setReg(f, insn.A, uint32(insn.Lit))
-			th.setRegTaint(f, insn.A, 0)
+			if !clean {
+				th.setRegTaint(f, insn.A, 0)
+			}
 		case dex.ConstWide:
 			th.setRegWide(f, insn.A, uint64(insn.Lit))
-			th.setRegTaint(f, insn.A, 0)
-			th.setRegTaint(f, insn.A+1, 0)
+			if !clean {
+				th.setRegTaint(f, insn.A, 0)
+				th.setRegTaint(f, insn.A+1, 0)
+			}
 		case dex.ConstString:
 			o := vm.NewString(insn.Str)
 			th.setReg(f, insn.A, o.Addr)
-			th.setRegTaint(f, insn.A, 0)
+			if !clean {
+				th.setRegTaint(f, insn.A, 0)
+			}
 
 		case dex.Move:
 			th.setReg(f, insn.A, th.reg(f, insn.B))
@@ -148,7 +170,9 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 			}
 			o := vm.NewInstance(c)
 			th.setReg(f, insn.A, o.Addr)
-			th.setRegTaint(f, insn.A, 0)
+			if !clean {
+				th.setRegTaint(f, insn.A, 0)
+			}
 		case dex.NewArray:
 			n := int(int32(th.reg(f, insn.B)))
 			if n < 0 {
@@ -157,7 +181,9 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 			}
 			o := vm.NewArray(insn.Str[0], n)
 			th.setReg(f, insn.A, o.Addr)
-			th.setRegTaint(f, insn.A, 0)
+			if !clean {
+				th.setRegTaint(f, insn.A, 0)
+			}
 		case dex.ArrayLength:
 			arr, err := vm.arrayAt(m, th.reg(f, insn.B))
 			if err != nil {
@@ -311,7 +337,10 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 				break
 			}
 			th.RetVal = ret
-			if !tainting {
+			// Re-evaluated (not the cached `tainting`): the invoke itself may
+			// have run the first source and flipped the latch, and its return
+			// taint must then survive.
+			if !vm.tainting() {
 				rt = 0
 			}
 			th.RetTaint = rt
@@ -585,6 +614,13 @@ func (vm *VM) prepareInvoke(th *Thread, f *Frame, insn *dex.Insn) (*dex.Method, 
 	}
 	args := make([]uint32, len(insn.Args))
 	taints := make([]taint.Tag, len(insn.Args))
+	if vm.GateJava && !vm.taintSeen {
+		// Clean frame: every taint slot is zero, skip the shadow reads.
+		for i, r := range insn.Args {
+			args[i] = th.reg(f, r)
+		}
+		return target, args, taints, nil
+	}
 	for i, r := range insn.Args {
 		args[i] = th.reg(f, r)
 		taints[i] = th.regTaint(f, r)

@@ -153,6 +153,8 @@ func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []t
 	if !vm.TaintJava {
 		retTaint = 0
 	}
+	// A tainted JNI return is taint entering the Java world.
+	vm.NoteTaint(retTaint)
 
 	var ret uint64
 	switch m.Shorty[0] {

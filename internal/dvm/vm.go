@@ -165,6 +165,18 @@ type VM struct {
 
 	// TaintJava enables TaintDroid's in-DVM propagation. Off = stock Android.
 	TaintJava bool
+	// GateJava enables the demand-driven fast path: while no taint has ever
+	// been introduced on the Java side (taintSeen latch off), the interpreter
+	// skips tag merging and the JNI bridge skips taint marshalling. Sound
+	// because all Java-side taint state is provably zero until the first
+	// NoteTaint — frames are pushed with zeroed slots, and every skipped
+	// write would have written zero.
+	GateJava bool
+	// Live, when attached, receives the SrcJava contribution of the latch.
+	Live *taint.Liveness
+	// taintSeen latches up on the first nonzero tag entering the Java world
+	// and is released only by ResetTaintLatch (conservative but sound).
+	taintSeen bool
 	// InterpretHookAll fires the dvmInterpret hooks on *every* interpreted
 	// invocation, not just native-originated ones — the costly baseline that
 	// multilevel hooking exists to avoid (§V-B: "the overhead will be high
@@ -237,6 +249,53 @@ func New(m *mem.Memory, c *arm.CPU, k *kernel.Kernel, t *kernel.Task, lc *libc.L
 	vm.MainThread = vm.NewThread("main")
 	registerFramework(vm)
 	return vm
+}
+
+// AttachLiveness wires the VM's Java-side taint latch into the process-wide
+// liveness aggregate.
+func (vm *VM) AttachLiveness(l *taint.Liveness) {
+	vm.Live = l
+	if vm.taintSeen {
+		l.Adjust(taint.SrcJava, 1)
+	}
+}
+
+// NoteTaint records that a nonzero tag became observable in the Java world
+// (builtin source return, JNI return taint, argument taint, hook write).
+// Every code path that can make Java-side taint state nonzero funnels
+// through a NoteTaint call, which is what makes the GateJava fast path
+// sound: while the latch is off, all frame slots, object tags, and field
+// tags are zero.
+func (vm *VM) NoteTaint(t taint.Tag) {
+	if t == 0 || vm.taintSeen {
+		return
+	}
+	vm.taintSeen = true
+	if vm.Live != nil {
+		vm.Live.Adjust(taint.SrcJava, 1)
+	}
+}
+
+// TaintSeen reports whether the Java-side latch has fired.
+func (vm *VM) TaintSeen() bool { return vm.taintSeen }
+
+// ResetTaintLatch releases the latch between analysis runs. The caller must
+// guarantee all Java-side taint state has actually been discarded.
+func (vm *VM) ResetTaintLatch() {
+	if !vm.taintSeen {
+		return
+	}
+	vm.taintSeen = false
+	if vm.Live != nil {
+		vm.Live.Adjust(taint.SrcJava, -1)
+	}
+}
+
+// tainting reports whether the interpreter must run taint propagation for
+// the current instruction: TaintJava is on and either the gate is disabled
+// or some taint has already entered the Java world.
+func (vm *VM) tainting() bool {
+	return vm.TaintJava && (vm.taintSeen || !vm.GateJava)
 }
 
 // NewThread allocates an interpreter thread with a guest stack region.

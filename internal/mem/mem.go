@@ -34,7 +34,7 @@ type Memory struct {
 	lastPg *[pageSize]byte
 
 	// notify holds the write observers; see AddWriteNotify.
-	notify []func(pn uint32)
+	notify []func(addr, n uint32)
 }
 
 // Region describes a named address range (a module mapping, a stack, a heap).
@@ -55,19 +55,19 @@ func New() *Memory {
 	}
 }
 
-// AddWriteNotify registers fn to be called with the page number (addr>>12)
-// of every page touched by a store, after the bytes land. The CPU's block
-// translation cache uses this for page-granular invalidation of translated
-// code (self-modifying code, reloaded library regions). Observers must be
-// cheap: they run on every guest write.
-func (m *Memory) AddWriteNotify(fn func(pn uint32)) {
+// AddWriteNotify registers fn to be called with the address and byte length
+// of every store, after the bytes land. The notified range [addr, addr+n)
+// never crosses a page boundary: wide and bulk writes notify once per page
+// chunk. The CPU's block translation cache uses this for sub-page
+// invalidation of translated code (self-modifying code, reloaded library
+// regions). Observers must be cheap: they run on every guest write.
+func (m *Memory) AddWriteNotify(fn func(addr, n uint32)) {
 	m.notify = append(m.notify, fn)
 }
 
-func (m *Memory) notifyWrite(addr uint32) {
-	pn := addr >> pageShift
+func (m *Memory) notifyWrite(addr, n uint32) {
 	for _, fn := range m.notify {
-		fn(pn)
+		fn(addr, n)
 	}
 }
 
@@ -101,7 +101,7 @@ func (m *Memory) Read8(addr uint32) uint8 {
 func (m *Memory) Write8(addr uint32, v uint8) {
 	m.page(addr, true)[addr&pageMask] = v
 	if len(m.notify) != 0 {
-		m.notifyWrite(addr)
+		m.notifyWrite(addr, 1)
 	}
 }
 
@@ -122,7 +122,7 @@ func (m *Memory) Write16(addr uint32, v uint16) {
 	if addr&pageMask <= pageSize-2 {
 		binary.LittleEndian.PutUint16(m.page(addr, true)[addr&pageMask:], v)
 		if len(m.notify) != 0 {
-			m.notifyWrite(addr)
+			m.notifyWrite(addr, 2)
 		}
 		return
 	}
@@ -147,7 +147,7 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 	if addr&pageMask <= pageSize-4 {
 		binary.LittleEndian.PutUint32(m.page(addr, true)[addr&pageMask:], v)
 		if len(m.notify) != 0 {
-			m.notifyWrite(addr)
+			m.notifyWrite(addr, 4)
 		}
 		return
 	}
@@ -195,7 +195,7 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 		p := m.page(addr+uint32(i), true)
 		copy(p[off:off+uint32(chunk)], b[i:i+chunk])
 		if len(m.notify) != 0 {
-			m.notifyWrite(addr + uint32(i))
+			m.notifyWrite(addr+uint32(i), uint32(chunk))
 		}
 		i += chunk
 	}

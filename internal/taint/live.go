@@ -1,0 +1,92 @@
+package taint
+
+// Liveness is the process-wide taint-presence aggregate behind the
+// demand-driven fast path (DESIGN.md "Dual-mode execution"). Each layer that
+// can hold taint contributes a per-source count of live tags; execution
+// layers consult Live() (one integer compare) to decide whether the
+// expensive instrumented path can be skipped, and subscribers get an
+// edge-triggered callback whenever a source transitions between "no taint"
+// and "some taint" so an in-flight fast-path block can be redirected
+// mid-run.
+//
+// Liveness is deliberately not goroutine-safe: like the rest of the emulated
+// stack it runs on the single analysis thread.
+type Liveness struct {
+	counts [numSources]int
+	total  int
+	subs   []func(s Source, live bool)
+}
+
+// Source identifies one layer's contribution to the aggregate.
+type Source uint8
+
+const (
+	// SrcMem counts tainted bytes in the native byte-granular shadow map
+	// (MemTaint mirrors its incremental TaintedBytes counter here).
+	SrcMem Source = iota
+	// SrcRef counts tainted indirect-reference shadow entries (§V-E's
+	// object-taint map at the JNI boundary).
+	SrcRef
+	// SrcJava counts Java-side taint: frame taint slots, object and field
+	// tags, and static-field tags. The DVM maintains it as an edge-up latch
+	// (see dvm.VM.NoteTaint) — precise on the first introduction, released
+	// only on explicit reset — which is conservative but sound.
+	SrcJava
+	// SrcWord counts tainted words in the ablation-only word-granular map.
+	SrcWord
+	numSources
+)
+
+var sourceNames = [numSources]string{"mem", "ref", "java", "word"}
+
+// String names the source for logs and bench reports.
+func (s Source) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return "unknown"
+}
+
+// NewLiveness returns an empty aggregate (no taint anywhere).
+func NewLiveness() *Liveness { return &Liveness{} }
+
+// Adjust adds delta to one source's count. Subscribers are notified when the
+// source crosses zero in either direction. Counts never go negative; a
+// drain below zero indicates a bookkeeping bug and panics loudly rather
+// than silently disabling instrumentation.
+func (l *Liveness) Adjust(s Source, delta int) {
+	if delta == 0 {
+		return
+	}
+	old := l.counts[s]
+	now := old + delta
+	if now < 0 {
+		panic("taint: liveness count for source " + s.String() + " went negative")
+	}
+	l.counts[s] = now
+	l.total += delta
+	if (old == 0) != (now == 0) {
+		for _, fn := range l.subs {
+			fn(s, now != 0)
+		}
+	}
+}
+
+// Count returns one source's live-tag count.
+func (l *Liveness) Count(s Source) int { return l.counts[s] }
+
+// Total returns the sum over all sources.
+func (l *Liveness) Total() int { return l.total }
+
+// Live reports whether any counted taint exists anywhere in the process.
+// Native CPU register taint is not counted here (the CPU scans its 16
+// shadow registers directly, which is cheaper than write-instrumenting
+// every Table V handler); callers gating native work must also consult
+// arm.CPU.TaintedRegs.
+func (l *Liveness) Live() bool { return l.total != 0 }
+
+// Subscribe registers an edge callback: fn(s, true) when source s gains its
+// first live tag, fn(s, false) when it drains back to zero.
+func (l *Liveness) Subscribe(fn func(s Source, live bool)) {
+	l.subs = append(l.subs, fn)
+}

@@ -1,0 +1,118 @@
+package taint
+
+import "testing"
+
+// TestClearDropsPages: Set(addr, Clear) and SetRange(..., Clear) must drop
+// fully-cleared pages so the incremental counter — and therefore the
+// liveness aggregate gating the fast path — can reach exactly zero.
+func TestClearDropsPages(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x40000, 64, IMEI)
+	m.Set(0x50000, SMS)
+	if m.TaintedBytes() != 65 {
+		t.Fatalf("TaintedBytes = %d, want 65", m.TaintedBytes())
+	}
+	if len(m.pages) != 2 {
+		t.Fatalf("pages = %d, want 2", len(m.pages))
+	}
+
+	m.SetRange(0x40000, 64, Clear)
+	m.Set(0x50000, Clear)
+	if m.TaintedBytes() != 0 {
+		t.Errorf("TaintedBytes after clear = %d, want 0", m.TaintedBytes())
+	}
+	if len(m.pages) != 0 {
+		t.Errorf("pages after clear = %d, want 0 (fully-cleared pages must drop)", len(m.pages))
+	}
+
+	// Clearing a range that straddles pages, set via individual bytes.
+	for i := uint32(0); i < 32; i++ {
+		m.Set(0x60ff0+i, Contacts)
+	}
+	m.SetRange(0x60ff0, 32, Clear)
+	if m.TaintedBytes() != 0 || len(m.pages) != 0 {
+		t.Errorf("straddling clear left bytes=%d pages=%d", m.TaintedBytes(), len(m.pages))
+	}
+}
+
+// TestLivenessEdges: Adjust must notify subscribers exactly on 0<->nonzero
+// transitions, per source.
+func TestLivenessEdges(t *testing.T) {
+	l := NewLiveness()
+	type edge struct {
+		s    Source
+		live bool
+	}
+	var edges []edge
+	l.Subscribe(func(s Source, live bool) { edges = append(edges, edge{s, live}) })
+
+	l.Adjust(SrcMem, 3)  // 0 -> 3: edge up
+	l.Adjust(SrcMem, 2)  // 3 -> 5: no edge
+	l.Adjust(SrcJava, 1) // 0 -> 1: edge up
+	l.Adjust(SrcMem, -5) // 5 -> 0: edge down
+	l.Adjust(SrcMem, 0)  // no-op
+
+	want := []edge{{SrcMem, true}, {SrcJava, true}, {SrcMem, false}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	if !l.Live() || l.Total() != 1 || l.Count(SrcJava) != 1 {
+		t.Errorf("state: live=%v total=%d java=%d", l.Live(), l.Total(), l.Count(SrcJava))
+	}
+}
+
+// TestLivenessNegativePanics: draining a source below zero is a bookkeeping
+// bug and must fail loudly rather than silently disable instrumentation.
+func TestLivenessNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative liveness count did not panic")
+		}
+	}()
+	l := NewLiveness()
+	l.Adjust(SrcRef, -1)
+}
+
+// TestMemTaintLivenessMirror: a MemTaint attached to a Liveness mirrors its
+// byte count into SrcMem, including taint present before attachment, and
+// Reset drains it to zero.
+func TestMemTaintLivenessMirror(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x1000, 10, IMEI)
+	l := NewLiveness()
+	m.AttachLiveness(l)
+	if l.Count(SrcMem) != 10 {
+		t.Errorf("pre-attach taint not contributed: %d, want 10", l.Count(SrcMem))
+	}
+	m.Set(0x2000, SMS)
+	if l.Count(SrcMem) != 11 {
+		t.Errorf("count = %d, want 11", l.Count(SrcMem))
+	}
+	m.Reset()
+	if l.Count(SrcMem) != 0 || l.Live() {
+		t.Errorf("after Reset: count=%d live=%v", l.Count(SrcMem), l.Live())
+	}
+}
+
+// TestWordTaintLiveness: the ablation-only word map contributes SrcWord.
+func TestWordTaintLiveness(t *testing.T) {
+	w := NewWordTaint()
+	l := NewLiveness()
+	w.AttachLiveness(l)
+	w.Add(0x1000, IMEI)
+	w.Add(0x1002, SMS) // same word
+	w.Set(0x2000, Contacts)
+	if w.TaintedWords() != 2 || l.Count(SrcWord) != 2 {
+		t.Errorf("words=%d live=%d, want 2/2", w.TaintedWords(), l.Count(SrcWord))
+	}
+	w.Set(0x1000, Clear)
+	w.Set(0x2000, Clear)
+	if w.TaintedWords() != 0 || l.Count(SrcWord) != 0 {
+		t.Errorf("after clear: words=%d live=%d", w.TaintedWords(), l.Count(SrcWord))
+	}
+}

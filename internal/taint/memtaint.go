@@ -15,6 +15,11 @@ type MemTaint struct {
 	// the memo is reset whenever a page is created or deleted.
 	lastPN uint32
 	lastPg *taintPage
+
+	// live, when attached, mirrors the tainted counter into the process-wide
+	// liveness aggregate so the execution layers' zero-taint fast path can
+	// flip edge-triggered on the first Set/SetRange.
+	live *Liveness
 }
 
 const (
@@ -33,6 +38,24 @@ func NewMemTaint() *MemTaint {
 	return &MemTaint{
 		pages:  make(map[uint32]*taintPage),
 		lastPN: ^uint32(0),
+	}
+}
+
+// AttachLiveness mirrors the map's tainted-byte count into l's SrcMem
+// source, contributing any taint already present.
+func (m *MemTaint) AttachLiveness(l *Liveness) {
+	m.live = l
+	if m.tainted != 0 {
+		l.Adjust(SrcMem, m.tainted)
+	}
+}
+
+// bump moves the tainted-byte counter and propagates the delta to the
+// attached liveness aggregate.
+func (m *MemTaint) bump(delta int) {
+	m.tainted += delta
+	if m.live != nil {
+		m.live.Adjust(SrcMem, delta)
 	}
 }
 
@@ -84,10 +107,10 @@ func (m *MemTaint) Set(addr uint32, tag Tag) {
 	switch {
 	case old == Clear && tag != Clear:
 		p.used++
-		m.tainted++
+		m.bump(1)
 	case old != Clear && tag == Clear:
 		p.used--
-		m.tainted--
+		m.bump(-1)
 		if p.used == 0 {
 			m.dropPage(pn)
 		}
@@ -114,12 +137,16 @@ func (m *MemTaint) SetRange(addr, n uint32, tag Tag) {
 				chunk = n - i
 			}
 			if p := m.pageAt(pn); p != nil {
+				cleared := 0
 				for j := uint32(0); j < chunk; j++ {
 					if p.tags[off+j] != Clear {
 						p.tags[off+j] = Clear
 						p.used--
-						m.tainted--
+						cleared++
 					}
+				}
+				if cleared != 0 {
+					m.bump(-cleared)
 				}
 				if p.used == 0 {
 					m.dropPage(pn)
@@ -198,7 +225,7 @@ func (m *MemTaint) TaintedBytes() int { return m.tainted }
 // Reset drops all taint.
 func (m *MemTaint) Reset() {
 	m.pages = make(map[uint32]*taintPage)
-	m.tainted = 0
+	m.bump(-m.tainted)
 	m.lastPN, m.lastPg = ^uint32(0), nil
 }
 
@@ -206,10 +233,26 @@ func (m *MemTaint) Reset() {
 // granularity-ablation benchmark (DESIGN.md §4.4).
 type WordTaint struct {
 	tags map[uint32]Tag // keyed by addr>>2
+	live *Liveness
 }
 
 // NewWordTaint returns an empty word-granular map.
 func NewWordTaint() *WordTaint { return &WordTaint{tags: make(map[uint32]Tag)} }
+
+// AttachLiveness mirrors the map's tainted-word count into l's SrcWord
+// source.
+func (w *WordTaint) AttachLiveness(l *Liveness) {
+	w.live = l
+	if n := len(w.tags); n != 0 {
+		l.Adjust(SrcWord, n)
+	}
+}
+
+func (w *WordTaint) bump(delta int) {
+	if w.live != nil {
+		w.live.Adjust(SrcWord, delta)
+	}
+}
 
 // Get returns the taint of the word containing addr.
 func (w *WordTaint) Get(addr uint32) Tag { return w.tags[addr>>2] }
@@ -219,14 +262,29 @@ func (w *WordTaint) Add(addr uint32, tag Tag) {
 	if tag == Clear {
 		return
 	}
-	w.tags[addr>>2] |= tag
+	k := addr >> 2
+	if w.tags[k] == Clear {
+		w.bump(1)
+	}
+	w.tags[k] |= tag
 }
 
 // Set assigns tag to the word containing addr.
 func (w *WordTaint) Set(addr uint32, tag Tag) {
+	k := addr >> 2
 	if tag == Clear {
-		delete(w.tags, addr>>2)
+		if w.tags[k] != Clear {
+			w.bump(-1)
+		}
+		delete(w.tags, k)
 		return
 	}
-	w.tags[addr>>2] = tag
+	if w.tags[k] == Clear {
+		w.bump(1)
+	}
+	w.tags[k] = tag
 }
+
+// TaintedWords returns how many words currently carry taint — the
+// word-granular analog of TaintedBytes.
+func (w *WordTaint) TaintedWords() int { return len(w.tags) }
