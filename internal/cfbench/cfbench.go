@@ -380,26 +380,41 @@ func (w Workload) NewRunner(mode core.Mode, scale int) (func() error, error) {
 
 // GateStats captures the taint-presence gate's activity during one measured
 // run: mode flips and how many translated blocks dispatched onto the bare
-// fast path versus the instrumented slow path.
+// fast path versus the instrumented slow path, plus the DVM translation
+// engine's method/frame/bail/deopt counters for the Java rows.
 type GateStats struct {
 	Flips      uint64 `json:"flips"`
 	FastBlocks uint64 `json:"fastBlocks"`
 	SlowBlocks uint64 `json:"slowBlocks"`
+
+	JavaTransMethods uint64 `json:"javaTransMethods,omitempty"`
+	JavaCleanFrames  uint64 `json:"javaCleanFrames,omitempty"`
+	JavaTaintFrames  uint64 `json:"javaTaintFrames,omitempty"`
+	JavaGateBails    uint64 `json:"javaGateBails,omitempty"`
+	JavaDeopts       uint64 `json:"javaDeopts,omitempty"`
 }
 
 // Measure runs one workload under one mode, returning the score (nominal
 // ops per second, like CF-Bench's point scale) and the gate activity.
 func Measure(w Workload, mode core.Mode, scale int) (float64, GateStats, error) {
-	return measure(w, mode, scale, true)
+	return measure(w, mode, scale, true, false)
 }
 
 // MeasureNoGate is Measure with the zero-taint fast path disabled — the
 // always-instrumented PR 1 configuration, kept to quantify the gate's win.
 func MeasureNoGate(w Workload, mode core.Mode, scale int) (float64, GateStats, error) {
-	return measure(w, mode, scale, false)
+	return measure(w, mode, scale, false, false)
 }
 
-func measure(w Workload, mode core.Mode, scale int, gate bool) (float64, GateStats, error) {
+// MeasureNoJavaTranslate is Measure with the DVM's method-granular
+// translation engine disabled, forcing the per-instruction interpreter — the
+// Java-row ablation quantifying the translation win (cmd/cfbench
+// -java-ablation).
+func MeasureNoJavaTranslate(w Workload, mode core.Mode, scale int) (float64, GateStats, error) {
+	return measure(w, mode, scale, true, true)
+}
+
+func measure(w Workload, mode core.Mode, scale int, gate, noTranslate bool) (float64, GateStats, error) {
 	sys, err := core.NewSystem()
 	if err != nil {
 		return 0, GateStats{}, err
@@ -414,6 +429,7 @@ func measure(w Workload, mode core.Mode, scale int, gate bool) (float64, GateSta
 	} else {
 		core.NewAnalyzerNoGate(sys, mode)
 	}
+	sys.VM.NoJavaTranslate = noTranslate
 	start := time.Now()
 	if _, _, thrown, err := sys.VM.InvokeByName(w.entryClass, "run", nil, nil); err != nil {
 		return 0, GateStats{}, err
@@ -428,6 +444,12 @@ func measure(w Workload, mode core.Mode, scale int, gate bool) (float64, GateSta
 		Flips:      sys.CPU.GateFlips,
 		FastBlocks: sys.CPU.GateFastBlocks,
 		SlowBlocks: sys.CPU.GateSlowBlocks,
+
+		JavaTransMethods: sys.VM.JavaTransMethods,
+		JavaCleanFrames:  sys.VM.JavaCleanFrames,
+		JavaTaintFrames:  sys.VM.JavaTaintFrames,
+		JavaGateBails:    sys.VM.JavaGateBails,
+		JavaDeopts:       sys.VM.JavaDeopts,
 	}
 	return float64(w.Ops/scale) / elapsed.Seconds(), gs, nil
 }

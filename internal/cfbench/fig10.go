@@ -59,7 +59,7 @@ func run(modes []core.Mode, scale, repeats int, gated bool) (*Result, error) {
 		for _, mode := range modes {
 			best := 0.0
 			for r := 0; r < repeats; r++ {
-				s, gs, err := measure(w, mode, scale, gated)
+				s, gs, err := measure(w, mode, scale, gated, false)
 				if err != nil {
 					return nil, fmt.Errorf("cfbench: %s under %s: %w", w.Name, mode, err)
 				}
@@ -217,12 +217,21 @@ func (r *Result) Report() string {
 			total.Flips += gs.Flips
 			total.FastBlocks += gs.FastBlocks
 			total.SlowBlocks += gs.SlowBlocks
+			total.JavaTransMethods += gs.JavaTransMethods
+			total.JavaCleanFrames += gs.JavaCleanFrames
+			total.JavaTaintFrames += gs.JavaTaintFrames
+			total.JavaGateBails += gs.JavaGateBails
+			total.JavaDeopts += gs.JavaDeopts
 		}
-		if total == (GateStats{}) {
-			continue
+		if total.Flips+total.FastBlocks+total.SlowBlocks != 0 {
+			fmt.Fprintf(&b, "taint gate (%s): %d flips, %d fast blocks, %d instrumented blocks\n",
+				m, total.Flips, total.FastBlocks, total.SlowBlocks)
 		}
-		fmt.Fprintf(&b, "taint gate (%s): %d flips, %d fast blocks, %d instrumented blocks\n",
-			m, total.Flips, total.FastBlocks, total.SlowBlocks)
+		if total.JavaTransMethods+total.JavaCleanFrames+total.JavaTaintFrames != 0 {
+			fmt.Fprintf(&b, "java translation (%s): %d methods, %d clean frames, %d taint frames, %d bails, %d deopts\n",
+				m, total.JavaTransMethods, total.JavaCleanFrames, total.JavaTaintFrames,
+				total.JavaGateBails, total.JavaDeopts)
+		}
 	}
 	return b.String()
 }

@@ -254,7 +254,10 @@ func (a *Analyzer) installDroidScope() {
 	cpu.UseBlockCache = true
 
 	vm := a.Sys.VM
-	vm.JavaStepFn = func(th *dvm.Thread, m *dex.Method, pc int, insn *dex.Insn) {
+	// Installing the observer also bumps the VM's translation epoch, so every
+	// Dalvik method drops back to the per-instruction interpreter — DroidScope
+	// pays the full reconstruction cost by construction.
+	vm.SetJavaStepFn(func(th *dvm.Thread, m *dex.Method, pc int, insn *dex.Insn) {
 		// Reconstruct the Dalvik-level view from raw guest memory: walk the
 		// task list to find the process, then read the current frame's save
 		// area — the work DroidScope re-derives from machine state (§II, §V-F).
@@ -263,7 +266,7 @@ func (a *Analyzer) installDroidScope() {
 			_ = a.Sys.Mem.Read32(f.FP + uint32(8*m.NumRegs)) // prev frame ptr
 			_ = a.Sys.Mem.Read32(a.Recon.InitTaskAddr)       // task list head
 		}
-	}
+	})
 }
 
 // report records a native-context leak.

@@ -278,6 +278,21 @@ func (mb *MethodBuilder) DoubleToInt(a, bReg int) *MethodBuilder {
 	return mb.add(Insn{Op: DoubleToInt, A: a, B: bReg})
 }
 
+// IntToLong sign-extends vB into (vA, vA+1).
+func (mb *MethodBuilder) IntToLong(a, bReg int) *MethodBuilder {
+	return mb.add(Insn{Op: IntToLong, A: a, B: bReg})
+}
+
+// LongToInt truncates (vB, vB+1) into vA.
+func (mb *MethodBuilder) LongToInt(a, bReg int) *MethodBuilder {
+	return mb.add(Insn{Op: LongToInt, A: a, B: bReg})
+}
+
+// CmpLongOp compares longs on register pairs: vA := -1/0/1.
+func (mb *MethodBuilder) CmpLongOp(a, bReg, c int) *MethodBuilder {
+	return mb.add(Insn{Op: CmpLong, A: a, B: bReg, C: c})
+}
+
 // CmpFloatOp compares floats: vA := -1/0/1.
 func (mb *MethodBuilder) CmpFloatOp(a, bReg, c int) *MethodBuilder {
 	return mb.add(Insn{Op: CmpFloat, A: a, B: bReg, C: c})

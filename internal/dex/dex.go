@@ -210,8 +210,21 @@ type Method struct {
 	// Framework builtins (host Go):
 	Builtin interface{} // set by the VM layer; kept opaque here
 
+	// Compiled holds the VM's translated form of the instruction stream
+	// (a *compiledMethod on the dvm side); kept opaque here like Builtin.
+	// The slot is a cache: the VM validates ownership and its translation
+	// epoch before trusting it, so a stale value is only ever retranslated,
+	// never executed.
+	Compiled interface{}
+
 	InsnCount uint64 // executed-instruction counter (profiling)
 }
+
+// InvalidateCompiled drops the translated form. Anything that mutates the
+// method after first execution (Insns, Tries, NumRegs, flags) must call this
+// so the next invocation retranslates; epoch bumps on the VM side handle
+// environment changes (hooks, step functions) without touching each method.
+func (m *Method) InvalidateCompiled() { m.Compiled = nil }
 
 // IsStatic reports whether the method is static.
 func (m *Method) IsStatic() bool { return m.Flags&AccStatic != 0 }

@@ -41,6 +41,11 @@ func (vm *VM) RunGC() int {
 	for _, o := range vm.irt {
 		push(o)
 	}
+	// Roots: interned const-string objects (the interpreter and compiled
+	// code return them across collections).
+	for _, o := range vm.internedStrings {
+		push(o)
+	}
 	// Roots: class static fields.
 	for _, c := range vm.classes {
 		for _, v := range c.StaticData {

@@ -14,12 +14,14 @@ func TestGCAutoTrigger(t *testing.T) {
 	vm.GCThreshold = 32
 
 	cb := dex.NewClass("Lcom/gc/Churn;")
-	// Allocate many short-lived strings in a loop while holding one live one.
+	// Allocate many short-lived arrays in a loop while holding one live string
+	// (const-strings are interned per site and would not churn the heap).
 	cb.Method("churn", "LI", dex.AccStatic, 2).
 		ConstString(0, "survivor").
 		Label("loop").
 		IfZ(2, dex.Le, "done").
-		ConstString(1, "short-lived").
+		Const(1, 4).
+		NewArray(1, 1, "I").
 		BinLit(dex.Sub, 2, 2, 1).
 		Goto("loop").
 		Label("done").

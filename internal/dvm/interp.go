@@ -80,10 +80,30 @@ func (vm *VM) InvokeByName(class, method string, args []uint32, taints []taint.T
 	return vm.Invoke(vm.MainThread, m, args, taints)
 }
 
-// run interprets the method of frame f until it returns or throws.
+// run executes the method of frame f until it returns or throws: through the
+// translated form when eligible — no per-instruction observer installed and
+// translation not ablated away — and the classic interpreter otherwise.
+// DroidScope-style analyses install a step function and therefore always pay
+// the per-instruction path, preserving the Fig. 10 cost model.
 func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
+	// The translated variants cover two of the interpreter's three taint
+	// behaviours: skip (gate clean) and full propagation. The third —
+	// TaintJava off while nonzero tags exist (externally injected arg
+	// taints flip the latch even without TaintJava) — clears tags on write
+	// instead of propagating, so those rare frames take the interpreter.
+	if vm.javaStepFn == nil && !vm.NoJavaTranslate && (vm.TaintJava || !vm.taintSeen) {
+		return vm.runTranslated(th, f, vm.compiledFor(f.Method))
+	}
+	return vm.interpret(th, f, 0)
+}
+
+// interpret runs frame f from startPC through the per-instruction switch
+// loop. It is the translation engine's reference semantics and its deopt
+// target: a mid-method epoch bump (hook or step-function installation under
+// a running translated frame) resumes here at the next instruction.
+func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *Object, error) {
 	m := f.Method
-	pc := 0
+	pc := startPC
 	for {
 		if pc < 0 || pc >= len(m.Insns) {
 			return 0, 0, nil, vm.errorf("%s: pc %d out of range", m.FullName(), pc)
@@ -96,8 +116,8 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 		insn := &m.Insns[pc]
 		vm.JavaInsnCount++
 		m.InsnCount++
-		if vm.JavaStepFn != nil {
-			vm.JavaStepFn(th, m, pc, insn)
+		if vm.javaStepFn != nil {
+			vm.javaStepFn(th, m, pc, insn)
 		}
 
 		var thrown *Object
@@ -117,7 +137,7 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 				th.setRegTaint(f, insn.A+1, 0)
 			}
 		case dex.ConstString:
-			o := vm.NewString(insn.Str)
+			o := vm.internString(insn)
 			th.setReg(f, insn.A, o.Addr)
 			if !clean {
 				th.setRegTaint(f, insn.A, 0)
@@ -329,6 +349,7 @@ func (vm *VM) run(th *Thread, f *Frame) (uint64, taint.Tag, *Object, error) {
 				break
 			}
 			ret, rt, threw, err := vm.Invoke(th, target, args, taints)
+			vm.putScratch(args, taints)
 			if err != nil {
 				return 0, 0, nil, err
 			}
@@ -612,10 +633,10 @@ func (vm *VM) prepareInvoke(th *Thread, f *Frame, insn *dex.Insn) (*dex.Method, 
 	if target == nil {
 		return nil, nil, nil, fmt.Errorf("unresolvable method %s.%s", insn.ClassName, insn.MemberName)
 	}
-	args := make([]uint32, len(insn.Args))
-	taints := make([]taint.Tag, len(insn.Args))
+	args, taints := vm.getScratch(len(insn.Args))
 	if vm.GateJava && !vm.taintSeen {
-		// Clean frame: every taint slot is zero, skip the shadow reads.
+		// Clean frame: every taint slot is zero, skip the shadow reads
+		// (pooled scratch is handed out with zeroed taints).
 		for i, r := range insn.Args {
 			args[i] = th.reg(f, r)
 		}

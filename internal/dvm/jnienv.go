@@ -362,10 +362,16 @@ func (vm *VM) jniCallMethod(c *arm.CPU, ctx *CallCtx, retKind byte, variant byte
 		dvmName = "dvmCallMethodA"
 	}
 
+	// Pooled pair: decoded argument words plus the mutable taint slots the
+	// JNI-exit hooks fill in. Both are dead once the outer call returns (all
+	// their consumers are dvmCallMethod*/dvmInterpret hooks, which run inside
+	// it), so they go back to the freelist below.
+	decoded, javaTaints := vm.getScratch(len(rawArgs))
+
 	ctx.JavaMethod = m
 	ctx.JavaArgRefs = rawRefs
 	ctx.JavaArgSrc = reader.srcs
-	ctx.JavaTaints = make([]taint.Tag, len(rawArgs))
+	ctx.JavaTaints = javaTaints
 
 	th := vm.thread()
 	var ret uint64
@@ -374,7 +380,6 @@ func (vm *VM) jniCallMethod(c *arm.CPU, ctx *CallCtx, retKind byte, variant byte
 	vm.internalCall(dvmName, vm.callsiteOf(ctx.Name), ctx, func() {
 		// Decode indirect references to direct pointers, as dvmCallMethod*
 		// does through dvmDecodeIndirectRef.
-		decoded := make([]uint32, len(rawArgs))
 		copy(decoded, rawArgs)
 		for i, ref := range rawRefs {
 			if ref == 0 {
@@ -418,6 +423,9 @@ func (vm *VM) jniCallMethod(c *arm.CPU, ctx *CallCtx, retKind byte, variant byte
 		})
 		th.popFrame()
 	})
+
+	vm.putScratch(decoded, javaTaints)
+	ctx.JavaArgs, ctx.JavaTaints = nil, nil
 
 	if thrown != nil {
 		th.Exception = thrown

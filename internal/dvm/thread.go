@@ -1,6 +1,8 @@
 package dvm
 
 import (
+	"encoding/binary"
+
 	"repro/internal/dex"
 	"repro/internal/taint"
 )
@@ -12,6 +14,22 @@ import (
 type Frame struct {
 	Method *dex.Method
 	FP     uint32 // guest address of v0's value word
+
+	// win aliases the frame's register slots ([FP, FP+8*NumRegs)) directly in
+	// the backing page when the frame does not cross a page boundary. Guest
+	// memory stays the authoritative store — hooks that raw-write taint into
+	// frame slots (core's onInterpret, Fig. 9) and VMI walks that read the
+	// save area observe every access, because the window is the same bytes.
+	win []byte
+
+	// Translated-run scratch (see translate.go): step closures communicate
+	// control transfers through the frame so the per-invocation execution
+	// state allocates nothing.
+	tpc    int     // branch target for jsJump
+	tret   uint64  // return value for jsReturn
+	trt    taint.Tag
+	thrown *Object // pending throw for jsThrow
+	terr   error   // emulator fault for jsErr
 }
 
 // saveAreaSize is the StackSaveArea footprint.
@@ -44,39 +62,56 @@ type Thread struct {
 	Exception *Object
 }
 
+// zeroFrame is the bulk-clear source for frame slots without a window.
+var zeroFrame [512]byte
+
 // pushFrame allocates a frame for m and stores args (with taints interleaved)
 // into the argument registers, exactly as TaintDroid stores parameters and
-// their tags on the Dalvik stack.
+// their tags on the Dalvik stack. Frame structs come from the VM's freelist;
+// the register slots themselves always live in guest memory.
 func (th *Thread) pushFrame(m *dex.Method, args []uint32, taints []taint.Tag) *Frame {
 	size := uint32(m.NumRegs*8) + saveAreaSize
 	fp := th.cur - size
 	if fp < th.StackBase {
 		panic("dvm: thread stack overflow")
 	}
-	mem := th.VM.Mem
+	vm := th.VM
+	f := vm.getFrame()
+	f.Method, f.FP = m, fp
+	regBytes := uint32(m.NumRegs * 8)
+	f.win = vm.Mem.Window(fp, regBytes)
 	// Zero the register slots.
-	for i := 0; i < m.NumRegs; i++ {
-		mem.Write32(fp+uint32(8*i), 0)
-		mem.Write32(fp+uint32(8*i)+4, 0)
+	if f.win != nil {
+		for i := range f.win {
+			f.win[i] = 0
+		}
+	} else {
+		for off := uint32(0); off < regBytes; {
+			chunk := regBytes - off
+			if chunk > uint32(len(zeroFrame)) {
+				chunk = uint32(len(zeroFrame))
+			}
+			vm.Mem.WriteBytes(fp+off, zeroFrame[:chunk])
+			off += chunk
+		}
 	}
 	// Argument registers occupy the high end of the frame.
 	first := m.NumRegs - m.InsSize()
 	for i, v := range args {
-		mem.Write32(fp+uint32(8*(first+i)), v)
-		if i < len(taints) {
-			mem.Write32(fp+uint32(8*(first+i))+4, uint32(taints[i]))
+		th.setReg(f, first+i, v)
+		if i < len(taints) && taints[i] != 0 {
+			th.setRegTaint(f, first+i, taints[i])
 		}
 	}
 	// StackSaveArea: previous frame pointer and a marker.
-	mem.Write32(fp+uint32(m.NumRegs*8), th.cur)
-	mem.Write32(fp+uint32(m.NumRegs*8)+4, objHeaderMagic)
+	vm.Mem.Write32(fp+uint32(m.NumRegs*8), th.cur)
+	vm.Mem.Write32(fp+uint32(m.NumRegs*8)+4, objHeaderMagic)
 	th.cur = fp
-	f := &Frame{Method: m, FP: fp}
 	th.Frames = append(th.Frames, f)
 	return f
 }
 
-// popFrame releases the top frame.
+// popFrame releases the top frame back to the VM's freelist.
 func (th *Thread) popFrame() {
 	n := len(th.Frames)
 	if n == 0 {
@@ -85,6 +120,7 @@ func (th *Thread) popFrame() {
 	f := th.Frames[n-1]
 	th.cur = f.FP + uint32(f.Method.NumRegs*8) + saveAreaSize
 	th.Frames = th.Frames[:n-1]
+	th.VM.putFrame(f)
 }
 
 // CurrentFrame returns the innermost frame, if any.
@@ -96,18 +132,36 @@ func (th *Thread) CurrentFrame() *Frame {
 }
 
 // reg reads register i of frame f.
-func (th *Thread) reg(f *Frame, i int) uint32 { return th.VM.Mem.Read32(f.RegAddr(i)) }
+func (th *Thread) reg(f *Frame, i int) uint32 {
+	if f.win != nil {
+		return binary.LittleEndian.Uint32(f.win[8*i:])
+	}
+	return th.VM.Mem.Read32(f.RegAddr(i))
+}
 
 // setReg writes register i of frame f.
-func (th *Thread) setReg(f *Frame, i int, v uint32) { th.VM.Mem.Write32(f.RegAddr(i), v) }
+func (th *Thread) setReg(f *Frame, i int, v uint32) {
+	if f.win != nil {
+		binary.LittleEndian.PutUint32(f.win[8*i:], v)
+		return
+	}
+	th.VM.Mem.Write32(f.RegAddr(i), v)
+}
 
 // regTaint reads register i's taint tag.
 func (th *Thread) regTaint(f *Frame, i int) taint.Tag {
+	if f.win != nil {
+		return taint.Tag(binary.LittleEndian.Uint32(f.win[8*i+4:]))
+	}
 	return taint.Tag(th.VM.Mem.Read32(f.TaintAddr(i)))
 }
 
 // setRegTaint writes register i's taint tag.
 func (th *Thread) setRegTaint(f *Frame, i int, t taint.Tag) {
+	if f.win != nil {
+		binary.LittleEndian.PutUint32(f.win[8*i+4:], uint32(t))
+		return
+	}
 	th.VM.Mem.Write32(f.TaintAddr(i), uint32(t))
 }
 

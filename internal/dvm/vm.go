@@ -182,14 +182,51 @@ type VM struct {
 	// multilevel hooking exists to avoid (§V-B: "the overhead will be high
 	// if we hook these two functions whenever they are called").
 	InterpretHookAll bool
-	// JavaStepFn observes every interpreted instruction (profiling and the
-	// DroidScope semantic-reconstruction cost model).
-	JavaStepFn func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)
+	// javaStepFn observes every interpreted instruction (profiling and the
+	// DroidScope semantic-reconstruction cost model). Install via
+	// SetJavaStepFn: the setter bumps the translation epoch so compiled
+	// methods (which hoist the per-instruction nil check) are invalidated.
+	javaStepFn func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)
 	// JavaLeakFn receives Java-context sink reports (TaintDroid sinks).
 	JavaLeakFn func(JavaLeak)
 
+	// NoJavaTranslate disables the method-granular translation engine and
+	// forces the per-instruction switch interpreter — the ablation knob for
+	// the Java rows of Fig. 10 and the reference side of parity tests.
+	NoJavaTranslate bool
+	// transEpoch is the Java translation epoch. Compiled methods record the
+	// epoch they were built under and are retranslated on mismatch; anything
+	// that changes what a translated step would have to observe per
+	// instruction or per resolution (step functions, internal hooks, class
+	// registration) bumps it — the DVM analog of the ARM engine's
+	// tracer-epoch check.
+	transEpoch uint64
+
 	// JavaInsnCount counts interpreted Dalvik instructions.
 	JavaInsnCount uint64
+	// JavaTransMethods counts method translations (first invocations plus
+	// epoch retranslations).
+	JavaTransMethods uint64
+	// JavaCleanFrames / JavaTaintFrames count translated frame entries that
+	// selected the clean (gate fast path) / tainting variant.
+	JavaCleanFrames uint64
+	JavaTaintFrames uint64
+	// JavaGateBails counts mid-method clean→tainting switches (the latch
+	// flipped inside a clean run).
+	JavaGateBails uint64
+	// JavaDeopts counts mid-method falls back to the interpreter after an
+	// epoch bump (a hook or step function appeared under a running frame).
+	JavaDeopts uint64
+
+	// internedStrings interns one string object per const-string site, so
+	// loops stop allocating; entries are GC roots (interpreter and compiled
+	// code hold them across collections).
+	internedStrings map[*dex.Insn]*Object
+
+	// framePool recycles Frame structs; scratchPool recycles the arg/taint
+	// word slices of the interpreted invoke path, keyed by register count.
+	framePool   []*Frame
+	scratchPool [maxPooledArgs + 1][]invokeScratch
 
 	MainThread *Thread
 	threads    []*Thread
@@ -235,6 +272,8 @@ func New(m *mem.Memory, c *arm.CPU, k *kernel.Kernel, t *kernel.Task, lc *libc.L
 		internalAddrs: make(map[string]uint32),
 		internalNames: make(map[uint32]string),
 		hooks:         make(map[string][]InternalHook),
+
+		internedStrings: make(map[*dex.Insn]*Object),
 	}
 
 	// Assign libdvm addresses: 16 bytes per internal function.
@@ -317,8 +356,12 @@ func (vm *VM) NewThread(name string) *Thread {
 	return th
 }
 
-// RegisterClass adds a class to the VM.
-func (vm *VM) RegisterClass(c *dex.Class) { vm.classes[c.Name] = c }
+// RegisterClass adds a class to the VM. Translated methods bake class and
+// method resolutions in, so registration starts a new translation epoch.
+func (vm *VM) RegisterClass(c *dex.Class) {
+	vm.classes[c.Name] = c
+	vm.transEpoch++
+}
 
 // Class looks up a registered class.
 func (vm *VM) Class(name string) (*dex.Class, bool) {
@@ -339,13 +382,98 @@ func (vm *VM) Classes() []string {
 // LoadedLibs reports libraries loaded via System.loadLibrary.
 func (vm *VM) LoadedLibs() []string { return vm.loadedLibs }
 
-// HookInternal registers a hook on a libdvm-internal or JNI function.
+// HookInternal registers a hook on a libdvm-internal or JNI function and
+// invalidates compiled methods (via the epoch) so running frames observe the
+// hook before their next instruction.
 func (vm *VM) HookInternal(name string, h InternalHook) {
 	vm.hooks[name] = append(vm.hooks[name], h)
+	vm.transEpoch++
 }
 
 // ClearInternalHooks removes all hooks (between analysis runs).
-func (vm *VM) ClearInternalHooks() { vm.hooks = make(map[string][]InternalHook) }
+func (vm *VM) ClearInternalHooks() {
+	vm.hooks = make(map[string][]InternalHook)
+	vm.transEpoch++
+}
+
+// SetJavaStepFn installs (or, with nil, clears) the per-instruction observer.
+// The translated fast path hoists the nil check out of the hot loop, so the
+// setter starts a new translation epoch; a running translated frame deopts to
+// the interpreter at its next post-call check, before the next instruction of
+// any frame entered afterwards.
+func (vm *VM) SetJavaStepFn(fn func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)) {
+	vm.javaStepFn = fn
+	vm.transEpoch++
+}
+
+// TransEpoch reports the current Java translation epoch (test hook).
+func (vm *VM) TransEpoch() uint64 { return vm.transEpoch }
+
+// --- frame and invoke-scratch pooling ------------------------------------
+
+// maxPooledArgs bounds the per-count freelists for invoke argument slices;
+// calls with more words fall back to plain allocation.
+const maxPooledArgs = 16
+
+// invokeScratch is one pooled pair of invoke argument arrays.
+type invokeScratch struct {
+	args   []uint32
+	taints []taint.Tag
+}
+
+func (vm *VM) getFrame() *Frame {
+	if n := len(vm.framePool); n > 0 {
+		f := vm.framePool[n-1]
+		vm.framePool = vm.framePool[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+func (vm *VM) putFrame(f *Frame) {
+	f.Method = nil
+	f.win = nil
+	f.thrown = nil
+	f.terr = nil
+	vm.framePool = append(vm.framePool, f)
+}
+
+// getScratch hands out zeroed arg/taint slices of length n. Release with
+// putScratch once the invoke has returned; pushFrame copies the words into
+// guest memory, so nothing retains the slices past the call.
+func (vm *VM) getScratch(n int) ([]uint32, []taint.Tag) {
+	if n <= maxPooledArgs {
+		if l := len(vm.scratchPool[n]); l > 0 {
+			s := vm.scratchPool[n][l-1]
+			vm.scratchPool[n] = vm.scratchPool[n][:l-1]
+			for i := range s.taints {
+				s.taints[i] = 0
+			}
+			return s.args, s.taints
+		}
+	}
+	return make([]uint32, n), make([]taint.Tag, n)
+}
+
+func (vm *VM) putScratch(args []uint32, taints []taint.Tag) {
+	n := len(args)
+	if n > maxPooledArgs || len(taints) != n {
+		return
+	}
+	vm.scratchPool[n] = append(vm.scratchPool[n], invokeScratch{args: args, taints: taints})
+}
+
+// internString returns the per-site interned string object for a const-string
+// instruction, allocating it on first execution. Interned objects are GC
+// roots (see RunGC) — the moving collector updates their addresses in place.
+func (vm *VM) internString(insn *dex.Insn) *Object {
+	if o, ok := vm.internedStrings[insn]; ok {
+		return o
+	}
+	o := vm.NewString(insn.Str)
+	vm.internedStrings[insn] = o
+	return o
+}
 
 // InternalAddr returns the guest address of an internal/JNI function.
 func (vm *VM) InternalAddr(name string) uint32 { return vm.internalAddrs[name] }

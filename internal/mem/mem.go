@@ -201,6 +201,22 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 	}
 }
 
+// Window returns a direct byte slice aliasing [addr, addr+n) when the range
+// fits inside one page, allocating the page on demand; nil otherwise. The
+// window stays coherent with Read*/Write* (both touch the same backing
+// array), but stores through it DO NOT fire write-notify observers. Callers
+// must guarantee the range can never hold translated guest code — the DVM
+// uses windows for interpreter stack frames, which live in a dedicated
+// non-executable region.
+func (m *Memory) Window(addr, n uint32) []byte {
+	off := addr & pageMask
+	if off+n > pageSize {
+		return nil
+	}
+	p := m.page(addr, true)
+	return p[off : off+n : off+n]
+}
+
 // ReadCString reads a NUL-terminated string starting at addr, up to max
 // bytes (0 means a 64 KiB safety cap).
 func (m *Memory) ReadCString(addr uint32, max int) string {
