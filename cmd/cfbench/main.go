@@ -39,6 +39,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(res.Report())
+	res.Verdicts = cfbench.VerdictSweep(0)
+	fmt.Println("Contained corpus sweep:", res.Verdicts)
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {

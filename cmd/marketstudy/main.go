@@ -3,10 +3,19 @@
 // over every app, and prints the Type I/II/III statistics, the Fig. 2
 // category distribution, and the library-popularity inventory.
 //
+// It then runs the dynamic corpus — the Table I evaluation apps plus the
+// hostile robustness apps — under full fault containment: every app gets a
+// fresh System per attempt, watchdog instruction budgets bound runaway
+// guests, and native-side analysis faults degrade one mode down
+// (NDroid -> TaintDroid -> vanilla) with the chain recorded. A hostile app
+// ends as a per-app Fault or Timeout row, never as a crash of the study.
+//
 // Usage:
 //
-//	marketstudy            # full 227,911-app market
-//	marketstudy -scale 10  # 1/10th-size market, same proportions
+//	marketstudy                # full 227,911-app market + dynamic corpus
+//	marketstudy -scale 10      # 1/10th-size market, same proportions
+//	marketstudy -dynamic=false # static study only
+//	marketstudy -budget 1000000 # tighter watchdog budget (instructions)
 package main
 
 import (
@@ -14,6 +23,8 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/corpus"
 )
 
@@ -21,6 +32,8 @@ func main() {
 	scale := flag.Int("scale", 1, "divide the market size by this factor")
 	seed := flag.Int64("seed", 1, "market generator seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent classification workers")
+	dynamic := flag.Bool("dynamic", true, "run the dynamic corpus under contained analysis")
+	budget := flag.Uint64("budget", 0, "watchdog instruction budget per run (0 = default)")
 	flag.Parse()
 
 	params := corpus.PaperParams()
@@ -35,4 +48,21 @@ func main() {
 	fmt.Println(stats.Report())
 	fmt.Printf("Paper reference: 227,911 apps, 16.46%% Type I, 4,034 Type I without libs\n")
 	fmt.Printf("(48.1%% AdMob), 1,738 Type II (394 loader-capable), 16 Type III (11 game, 5 ent.)\n")
+
+	if !*dynamic {
+		return
+	}
+
+	fmt.Printf("\nDynamic corpus under contained analysis (mode ndroid, budget %d):\n\n",
+		effectiveBudget(*budget))
+	rep := apps.RunStudy(apps.StudyOptions{Budget: *budget, FlowLog: true})
+	fmt.Print(rep.String())
+	fmt.Println("\nEvery hostile app resolved to a per-app verdict; the study process survived.")
+}
+
+func effectiveBudget(b uint64) uint64 {
+	if b == 0 {
+		return core.DefaultBudget
+	}
+	return b
 }

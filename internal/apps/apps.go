@@ -31,11 +31,40 @@ type App struct {
 	// (per §IV, only case 1).
 	DetectedByTaintDroid bool
 
+	// Hostile marks the robustness corpus: apps constructed to hang or crash
+	// the analysis rather than leak.
+	Hostile bool
+	// ExpectVerdict is the verdict core.AnalyzeApp should reach under the
+	// default (NDroid) mode; zero means "derive from ExpectTag" (leak when a
+	// tag is expected, clean otherwise).
+	ExpectVerdict core.Verdict
+
 	install func(sys *core.System) error
 }
 
 // Install loads the app's classes and native library into a system.
 func (a *App) Install(sys *core.System) error { return a.install(sys) }
+
+// Spec adapts the app to the core layer's contained-analysis entry point.
+func (a *App) Spec() core.AppSpec {
+	return core.AppSpec{
+		Name:        a.Name,
+		EntryClass:  a.EntryClass,
+		EntryMethod: a.EntryMethod,
+		Install:     a.install,
+	}
+}
+
+// ExpectedVerdict is the verdict the app should produce under NDroid.
+func (a *App) ExpectedVerdict() core.Verdict {
+	if a.ExpectVerdict != 0 {
+		return a.ExpectVerdict
+	}
+	if a.ExpectTag != 0 {
+		return core.VerdictLeak
+	}
+	return core.VerdictClean
+}
 
 // Run invokes the app's entry point.
 func (a *App) Run(sys *core.System) error {
@@ -63,9 +92,26 @@ func Registry() []*App {
 	}
 }
 
-// ByName finds an app in the registry.
+// HostileRegistry returns the robustness corpus: apps built to take the
+// analyzer down (runaway native loops, wild pointers, malformed bytecode).
+// The market study runs them alongside the benign registry to prove fault
+// containment.
+func HostileRegistry() []*App {
+	return []*App{
+		HostileSpinApp(),
+		HostileWildApp(),
+		HostileDexApp(),
+	}
+}
+
+// AllApps returns the benign registry followed by the hostile corpus.
+func AllApps() []*App {
+	return append(Registry(), HostileRegistry()...)
+}
+
+// ByName finds an app in the combined registry.
 func ByName(name string) (*App, bool) {
-	for _, a := range Registry() {
+	for _, a := range AllApps() {
 		if a.Name == name {
 			return a, true
 		}

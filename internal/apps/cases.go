@@ -599,3 +599,143 @@ host:
 		},
 	}
 }
+
+// --- hostile corpus ----------------------------------------------------------
+//
+// The market study's operating assumption is that native code is adversarial.
+// These three apps each attack a different layer: the first never terminates,
+// the second dereferences a wild pointer, the third ships structurally broken
+// bytecode. A correct analyzer reports Timeout/Fault verdicts with the
+// partial flow log gathered so far; it never hangs or crashes.
+
+// HostileSpinApp enters a native infinite loop: `while(1);` after the JNI
+// crossing. The deterministic instruction budget is the only thing that can
+// stop it, so its expected verdict is Timeout.
+func HostileSpinApp() *App {
+	const cls = "Lcom/hostile/spin/Main;"
+	return &App{
+		Name:          "hostile-spin",
+		Desc:          "hostile: native infinite loop (watchdog budget must fire)",
+		Case:          "hostile",
+		EntryClass:    cls,
+		EntryMethod:   "run",
+		Hostile:       true,
+		ExpectVerdict: core.VerdictTimeout,
+		install: func(sys *core.System) error {
+			prog, err := sys.VM.LoadNativeLib("libspin.so", `
+; void spin(JNIEnv*, jclass) — never returns
+Java_spin:
+	MOV R0, #0
+spin_loop:
+	ADD R0, R0, #1
+	B spin_loop
+`)
+			if err != nil {
+				return err
+			}
+			cb := dex.NewClass(cls)
+			cb.NativeMethod("spin", "V", dex.AccStatic, 0)
+			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+				MoveResult(0).
+				InvokeStatic(cls, "spin", "V").
+				ReturnVoid().
+				Done()
+			sys.VM.RegisterClass(cb.Build())
+			return sys.VM.BindNative(cls, "spin", prog, "Java_spin")
+		},
+	}
+}
+
+// HostileWildApp stores through a NULL pointer from native code. The guard
+// window around the mapped guest layout turns the store into an
+// UnmappedAccess fault raised by the ARM layer, which walks the whole
+// degradation ladder (the store faults identically under every mode that
+// executes native code) and ends in a Fault verdict.
+func HostileWildApp() *App {
+	const cls = "Lcom/hostile/wild/Main;"
+	return &App{
+		Name:          "hostile-wild",
+		Desc:          "hostile: native NULL-pointer store (UnmappedAccess fault)",
+		Case:          "hostile",
+		EntryClass:    cls,
+		EntryMethod:   "run",
+		Hostile:       true,
+		ExpectVerdict: core.VerdictFault,
+		install: func(sys *core.System) error {
+			prog, err := sys.VM.LoadNativeLib("libwild.so", `
+; void smash(JNIEnv*, jclass) — *(int*)0 = 42
+Java_smash:
+	PUSH {R4, LR}
+	MOV R0, #0
+	MOV R1, #42
+	STR R1, [R0]
+	POP {R4, PC}
+`)
+			if err != nil {
+				return err
+			}
+			cb := dex.NewClass(cls)
+			cb.NativeMethod("smash", "V", dex.AccStatic, 0)
+			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+				MoveResult(0).
+				InvokeStatic(cls, "smash", "V").
+				ReturnVoid().
+				Done()
+			sys.VM.RegisterClass(cb.Build())
+			return sys.VM.BindNative(cls, "smash", prog, "Java_smash")
+		},
+	}
+}
+
+// HostileDexApp registers a class whose "broken" method body has been
+// truncated after building — its bytecode falls off the end of the
+// instruction stream, the static shape dex.Method.Validate rejects. The
+// entry method does one observable JNI call first (so a partial flow log
+// exists), then invokes the broken method; execution reaches the truncation
+// and raises MalformedDex. A dvm/dex-layer fault is a property of the app,
+// not of the instrumentation, so no mode degradation is attempted.
+func HostileDexApp() *App {
+	const cls = "Lcom/hostile/dex/Main;"
+	return &App{
+		Name:          "hostile-dex",
+		Desc:          "hostile: truncated method body (MalformedDex fault)",
+		Case:          "hostile",
+		EntryClass:    cls,
+		EntryMethod:   "run",
+		Hostile:       true,
+		ExpectVerdict: core.VerdictFault,
+		install: func(sys *core.System) error {
+			prog, err := sys.VM.LoadNativeLib("libtrunc.so", `
+; void touch(JNIEnv*, jclass)
+Java_touch:
+	PUSH {R4, LR}
+	POP {R4, PC}
+`)
+			if err != nil {
+				return err
+			}
+			cb := dex.NewClass(cls)
+			cb.NativeMethod("touch", "V", dex.AccStatic, 0)
+			cb.Method("broken", "V", dex.AccStatic, 1).
+				ConstString(0, "never-reached").
+				ReturnVoid().
+				Done()
+			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic(cls, "touch", "V").
+				InvokeStatic(cls, "broken", "V").
+				ReturnVoid().
+				Done()
+			built := cb.Build()
+			// Truncate the trailing return: the method now falls off the end
+			// of its instruction stream, like a bit-rotted or deliberately
+			// malformed dex file.
+			if m, ok := built.Method("broken"); ok {
+				m.Insns = m.Insns[:len(m.Insns)-1]
+			}
+			sys.VM.RegisterClass(built)
+			return sys.VM.BindNative(cls, "touch", prog, "Java_touch")
+		},
+	}
+}

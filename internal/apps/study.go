@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// StudyOptions configures a market-study sweep over a corpus.
+type StudyOptions struct {
+	// Mode is the starting analysis mode (default ModeNDroid); hostile apps
+	// may degrade below it.
+	Mode core.Mode
+	// Budget overrides core.DefaultBudget when nonzero.
+	Budget uint64
+	// FlowLog captures per-app flow logs.
+	FlowLog bool
+	// Apps is the corpus; nil means AllApps() (benign + hostile).
+	Apps []*App
+}
+
+// StudyRow is one app's contained outcome.
+type StudyRow struct {
+	App    *App
+	Report core.AppReport
+}
+
+// StudyReport aggregates a sweep: per-app rows plus the fault/timeout and
+// degradation statistics the market study reports.
+type StudyReport struct {
+	Rows []StudyRow
+
+	Clean    int
+	Leaks    int
+	Faults   int
+	Timeouts int
+
+	// Degraded counts apps that finished below their starting mode;
+	// Attempts counts analysis runs including retries and degradation steps.
+	Degraded int
+	Attempts int
+}
+
+// RunStudy analyzes every app in the corpus under per-app isolation: each
+// app (and each attempt within an app) gets a fresh System, and any fault it
+// raises is contained to its own report. A corpus with hostile members
+// always completes.
+func RunStudy(opts StudyOptions) *StudyReport {
+	corpus := opts.Apps
+	if corpus == nil {
+		corpus = AllApps()
+	}
+	rep := &StudyReport{}
+	for _, app := range corpus {
+		r := core.AnalyzeApp(app.Spec(), core.AnalyzeOptions{
+			Mode:    opts.Mode,
+			Budget:  opts.Budget,
+			FlowLog: opts.FlowLog,
+		})
+		rep.Rows = append(rep.Rows, StudyRow{App: app, Report: r})
+		rep.Attempts += len(r.Chain)
+		if r.Degraded {
+			rep.Degraded++
+		}
+		switch r.Verdict() {
+		case core.VerdictClean:
+			rep.Clean++
+		case core.VerdictLeak:
+			rep.Leaks++
+		case core.VerdictFault:
+			rep.Faults++
+		case core.VerdictTimeout:
+			rep.Timeouts++
+		}
+	}
+	return rep
+}
+
+// String renders the study as the per-app verdict table plus totals.
+func (r *StudyReport) String() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		res := row.Report.Final.Result
+		fmt.Fprintf(&b, "%-14s %-8s chain=[%s]", row.App.Name, r.verdictCell(row), row.Report.ChainString())
+		if res.Fault != nil {
+			fmt.Fprintf(&b, " fault=%v", res.Fault)
+		}
+		fmt.Fprintf(&b, " java=%d native=%d log=%d\n", res.JavaInsns, res.NativeInsns, len(res.LogLines))
+	}
+	fmt.Fprintf(&b, "apps=%d clean=%d leak=%d fault=%d timeout=%d degraded=%d attempts=%d\n",
+		len(r.Rows), r.Clean, r.Leaks, r.Faults, r.Timeouts, r.Degraded, r.Attempts)
+	return b.String()
+}
+
+func (r *StudyReport) verdictCell(row StudyRow) string {
+	return row.Report.Verdict().String()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/taint"
 )
@@ -327,10 +328,22 @@ func (c *CPU) fetch(pc uint32) Insn {
 }
 
 func (c *CPU) decodeAt(pc uint32) Insn {
+	// An all-zero word on an unmapped page is the signature of a wild branch:
+	// sparse memory reads back zeroes, which happen to decode as valid
+	// instructions (ARM: ANDEQ, Thumb: MOVS). Mapped is only consulted for
+	// zero words, so well-formed code never pays the page probe.
 	if c.Thumb {
-		return DecodeThumb(c.Mem.Read16(pc), c.Mem.Read16(pc+2))
+		w0 := c.Mem.Read16(pc)
+		if w0 == 0 && !c.Mem.Mapped(pc) {
+			return Insn{Op: OpInvalid, Size: 2}
+		}
+		return DecodeThumb(w0, c.Mem.Read16(pc+2))
 	}
-	return Decode(c.Mem.Read32(pc))
+	w := c.Mem.Read32(pc)
+	if w == 0 && !c.Mem.Mapped(pc) {
+		return Insn{Op: OpInvalid, Size: 4}
+	}
+	return Decode(w)
 }
 
 func (c *CPU) condHolds(cond Cond) bool {
@@ -393,7 +406,7 @@ func (c *CPU) Step() error {
 	}
 	insn := c.fetch(pc)
 	if insn.Op == OpInvalid {
-		return fmt.Errorf("arm: invalid instruction at 0x%08x (thumb=%v)", pc, c.Thumb)
+		return c.fetchFault(pc)
 	}
 	c.InsnCount++
 	if !c.condHolds(insn.Cond) {
@@ -558,6 +571,9 @@ func (c *CPU) exec(pc uint32, insn Insn) error {
 		c.setNZ(c.R[insn.Rn] ^ c.operand2(insn))
 	case OpLDR, OpLDRB, OpLDRH:
 		addr := c.memAddr(insn)
+		if badAddr(addr) {
+			return c.memFault(pc, addr)
+		}
 		switch insn.Op {
 		case OpLDR:
 			c.R[insn.Rd] = c.Mem.Read32(addr)
@@ -568,6 +584,9 @@ func (c *CPU) exec(pc uint32, insn Insn) error {
 		}
 	case OpSTR, OpSTRB, OpSTRH:
 		addr := c.memAddr(insn)
+		if badAddr(addr) {
+			return c.memFault(pc, addr)
+		}
 		switch insn.Op {
 		case OpSTR:
 			c.Mem.Write32(addr, c.R[insn.Rd])
@@ -581,6 +600,13 @@ func (c *CPU) exec(pc uint32, insn Insn) error {
 		base := c.R[insn.Rn]
 		if insn.Writeback { // push semantics: descending
 			base -= 4 * count
+		}
+		if badAddr(base) {
+			// Checked before the writeback lands so a faulting push leaves the
+			// base register unchanged (deopt contract: no partial state).
+			return c.memFault(pc, base)
+		}
+		if insn.Writeback {
 			c.R[insn.Rn] = base
 		}
 		addr := base
@@ -592,6 +618,9 @@ func (c *CPU) exec(pc uint32, insn Insn) error {
 		}
 	case OpLDM:
 		addr := c.R[insn.Rn]
+		if badAddr(addr) {
+			return c.memFault(pc, addr)
+		}
 		for r := 0; r < 16; r++ {
 			if insn.RegList&(1<<r) == 0 {
 				continue
@@ -687,7 +716,7 @@ func (c *CPU) exec(pc uint32, insn Insn) error {
 	case OpDTOSI:
 		c.R[insn.Rd] = uint32(int32(c.readF64(insn.Rm)))
 	default:
-		return fmt.Errorf("arm: unimplemented op %s at 0x%08x", insn.Op, pc)
+		return c.undefFault(pc, insn)
 	}
 
 	if branched {
@@ -746,11 +775,14 @@ func (c *CPU) RunUntil(stop uint32, maxInsns uint64) error {
 	}
 	start := c.InsnCount
 	for !c.Halted && c.R[PC] != stop {
+		if f := fault.Hit(SiteDispatch, c.R[PC]); f != nil {
+			return f
+		}
 		if err := c.Step(); err != nil {
 			return err
 		}
 		if c.InsnCount-start > maxInsns {
-			return fmt.Errorf("arm: instruction budget %d exhausted at 0x%08x", maxInsns, c.R[PC])
+			return c.budgetFault(maxInsns)
 		}
 	}
 	return nil

@@ -21,6 +21,8 @@ package arm
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fault"
 )
 
 // InsnBinder is an optional extension of Tracer: a tracer that can pre-bind
@@ -201,13 +203,16 @@ func (c *CPU) runBlocks(stop uint32, maxInsns uint64) error {
 	start := c.InsnCount
 	var hint *Block
 	for !c.Halted && c.R[PC] != stop {
+		if f := fault.Hit(SiteDispatch, c.R[PC]); f != nil {
+			return f
+		}
 		nb, err := c.stepBlock(hint)
 		if err != nil {
 			return err
 		}
 		hint = nb
 		if c.InsnCount-start > maxInsns {
-			return fmt.Errorf("arm: instruction budget %d exhausted at 0x%08x", maxInsns, c.R[PC])
+			return c.budgetFault(maxInsns)
 		}
 	}
 	return nil
@@ -683,31 +688,82 @@ func (c *CPU) buildExec(pc uint32, insn Insn) (fn stepFn, ends, ok bool) {
 		return func(c *CPU) stepRes { c.setNZ(c.R[rn] ^ op2(c)); return stepNext }, false, true
 	case OpLDR, OpLDRB, OpLDRH:
 		ea := eaFunc(rn, rm, imm, insn.RegOffset)
+		at := pc
 		switch insn.Op {
 		case OpLDR:
-			return func(c *CPU) stepRes { c.R[rd] = c.Mem.Read32(ea(c)); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.R[rd] = c.Mem.Read32(a)
+				return stepNext
+			}, false, true
 		case OpLDRB:
-			return func(c *CPU) stepRes { c.R[rd] = uint32(c.Mem.Read8(ea(c))); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.R[rd] = uint32(c.Mem.Read8(a))
+				return stepNext
+			}, false, true
 		default:
-			return func(c *CPU) stepRes { c.R[rd] = uint32(c.Mem.Read16(ea(c))); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.R[rd] = uint32(c.Mem.Read16(a))
+				return stepNext
+			}, false, true
 		}
 	case OpSTR, OpSTRB, OpSTRH:
 		ea := eaFunc(rn, rm, imm, insn.RegOffset)
+		at := pc
 		switch insn.Op {
 		case OpSTR:
-			return func(c *CPU) stepRes { c.Mem.Write32(ea(c), c.R[rd]); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.Mem.Write32(a, c.R[rd])
+				return stepNext
+			}, false, true
 		case OpSTRB:
-			return func(c *CPU) stepRes { c.Mem.Write8(ea(c), uint8(c.R[rd])); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.Mem.Write8(a, uint8(c.R[rd]))
+				return stepNext
+			}, false, true
 		default:
-			return func(c *CPU) stepRes { c.Mem.Write16(ea(c), uint16(c.R[rd])); return stepNext }, false, true
+			return func(c *CPU) stepRes {
+				a := ea(c)
+				if badAddr(a) {
+					return c.memFaultStep(at, a)
+				}
+				c.Mem.Write16(a, uint16(c.R[rd]))
+				return stepNext
+			}, false, true
 		}
 	case OpSTM:
 		list, wb := insn.RegList, insn.Writeback
 		count := popCount(list)
+		at := pc
 		return func(c *CPU) stepRes {
 			base := c.R[rn]
 			if wb { // push semantics: descending
 				base -= 4 * count
+			}
+			if badAddr(base) {
+				// Fault before the writeback lands (deopt contract).
+				return c.memFaultStep(at, base)
+			}
+			if wb {
 				c.R[rn] = base
 			}
 			addr := base
@@ -721,9 +777,13 @@ func (c *CPU) buildExec(pc uint32, insn Insn) (fn stepFn, ends, ok bool) {
 		}, false, true
 	case OpLDM:
 		list, wb := insn.RegList, insn.Writeback
+		at := pc
 		if list&(1<<PC) == 0 {
 			return func(c *CPU) stepRes {
 				addr := c.R[rn]
+				if badAddr(addr) {
+					return c.memFaultStep(at, addr)
+				}
 				for r := 0; r < 16; r++ {
 					if list&(1<<r) != 0 {
 						c.R[r] = c.Mem.Read32(addr)
@@ -740,6 +800,9 @@ func (c *CPU) buildExec(pc uint32, insn Insn) (fn stepFn, ends, ok bool) {
 		from := pc
 		return func(c *CPU) stepRes {
 			addr := c.R[rn]
+			if badAddr(addr) {
+				return c.memFaultStep(at, addr)
+			}
 			var to uint32
 			for r := 0; r < 16; r++ {
 				if list&(1<<r) == 0 {

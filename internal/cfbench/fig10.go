@@ -22,6 +22,10 @@ type Row struct {
 type Result struct {
 	Rows  []Row // thirteen measured rows + Native/Java/Overall scores
 	Modes []core.Mode
+
+	// Verdicts carries the contained-corpus robustness counters when the
+	// caller ran a VerdictSweep alongside the benchmark (cfbench -json).
+	Verdicts *VerdictCounts
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -154,9 +158,11 @@ func (r *Result) JSON() ([]byte, error) {
 		Gate     map[string]GateStats `json:"gate,omitempty"`
 	}
 	var out struct {
-		Modes []string  `json:"modes"`
-		Rows  []jsonRow `json:"rows"`
+		Modes    []string       `json:"modes"`
+		Rows     []jsonRow      `json:"rows"`
+		Verdicts *VerdictCounts `json:"verdicts,omitempty"`
 	}
+	out.Verdicts = r.Verdicts
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}

@@ -105,6 +105,12 @@ type Analyzer struct {
 	// demand-driven fast path; nil when the gate is disabled.
 	Live *taint.Liveness
 
+	// Budget caps guest work per Run: it bounds both the Java instruction
+	// count and each JNI call's native instruction count. 0 means
+	// DefaultBudget. Exhaustion surfaces as a BudgetExceeded fault, which Run
+	// classifies as VerdictTimeout.
+	Budget uint64
+
 	Leaks []Leak
 	Log   FlowLog
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/arm"
+	"repro/internal/fault"
 	"repro/internal/libc"
 	"repro/internal/taint"
 )
@@ -51,8 +52,14 @@ var libmSigs = map[string]struct {
 type modelFunc func(a *Analyzer, c *arm.CPU, name string)
 
 func (a *Analyzer) callImpl(name string, c *arm.CPU) {
+	// Models run inside a CPU hook, which has no error return; faults unwind
+	// as panics and are converted back at the Analyzer.Run containment point.
+	if f := fault.Hit(SiteSysLibModel, c.R[arm.PC]); f != nil {
+		f.Detail = "injected at libc model " + name
+		panic(f)
+	}
 	if err := a.Sys.Libc.CallImpl(name, c); err != nil {
-		panic(err)
+		panic(fault.AsFault(err, "core"))
 	}
 }
 

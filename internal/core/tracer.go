@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/arm"
+	"repro/internal/fault"
 	"repro/internal/taint"
 )
 
@@ -54,6 +55,23 @@ var (
 // lookup nor the handlerFor switch. With the handler cache disabled (the
 // ablation baseline) it falls back to dynamic TraceInsn dispatch.
 func (tr *Tracer) BindInsn(addr uint32, insn arm.Insn) func(c *arm.CPU) {
+	fn := tr.bindInsn(addr, insn)
+	if fault.Enabled() {
+		// Injection armed at translation time: wrap the bound closure with the
+		// probe. The production path (nothing armed when blocks are built)
+		// binds the raw closure and pays nothing per instruction.
+		at := addr
+		return func(c *arm.CPU) {
+			if f := fault.Hit(SiteTracerInsn, at); f != nil {
+				panic(f)
+			}
+			fn(c)
+		}
+	}
+	return fn
+}
+
+func (tr *Tracer) bindInsn(addr uint32, insn arm.Insn) func(c *arm.CPU) {
 	if !tr.UseHandlerCache {
 		in := insn
 		return func(c *arm.CPU) { tr.TraceInsn(c, addr, in) }
@@ -79,6 +97,9 @@ func (tr *Tracer) BindInsn(addr uint32, insn arm.Insn) func(c *arm.CPU) {
 
 // TraceInsn implements arm.Tracer.
 func (tr *Tracer) TraceInsn(c *arm.CPU, addr uint32, insn arm.Insn) {
+	if f := fault.Hit(SiteTracerInsn, addr); f != nil {
+		panic(f)
+	}
 	if tr.InRange != nil && !tr.InRange(addr) {
 		tr.Skipped++
 		return

@@ -1,0 +1,62 @@
+package dex
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Validate structurally checks every interpreted method body in the class,
+// returning a MalformedDex fault for the first defect found. It is the
+// load-time counterpart of the interpreter's runtime range checks: a batch
+// analyzer can reject a truncated or bit-rotted class before spending any
+// execution budget on it. Native and builtin methods carry no bytecode and
+// are skipped.
+func (c *Class) Validate() error {
+	for _, m := range c.Methods {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate structurally checks one method body (see Class.Validate).
+func (m *Method) Validate() error {
+	if m.IsNative() || m.Builtin != nil {
+		return nil
+	}
+	n := len(m.Insns)
+	if n == 0 {
+		return m.malformed("empty bytecode body")
+	}
+	switch m.Insns[n-1].Op {
+	case ReturnVoid, Return, ReturnWide, Goto, Throw:
+	default:
+		// Any other final instruction falls through past the end of the
+		// stream — the static form of the interpreter's "pc out of range".
+		return m.malformed(fmt.Sprintf("body falls off the end (last op %s)", m.Insns[n-1].Op))
+	}
+	for pc := range m.Insns {
+		insn := &m.Insns[pc]
+		switch insn.Op {
+		case Goto, IfTest, IfTestZ:
+			if insn.Tgt < 0 || insn.Tgt >= n {
+				return m.malformed(fmt.Sprintf("branch at pc %d targets %d, outside [0,%d)", pc, insn.Tgt, n))
+			}
+		}
+	}
+	for _, t := range m.Tries {
+		if t.Start < 0 || t.End > n || t.Start >= t.End || t.Handler < 0 || t.Handler >= n {
+			return m.malformed(fmt.Sprintf("try range [%d,%d) handler %d invalid for %d insns", t.Start, t.End, t.Handler, n))
+		}
+	}
+	return nil
+}
+
+func (m *Method) malformed(detail string) error {
+	return &fault.Fault{
+		Kind: fault.MalformedDex, Layer: "dex",
+		Method: m.FullName(), Detail: detail,
+	}
+}

@@ -1,0 +1,63 @@
+package dex
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func buildValid(t *testing.T) *Class {
+	t.Helper()
+	cb := NewClass("Lcom/test/V;")
+	cb.Method("ok", "V", AccStatic, 1).
+		ConstString(0, "x").
+		ReturnVoid().
+		Done()
+	return cb.Build()
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := buildValid(t).Validate(); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsTruncatedBody(t *testing.T) {
+	c := buildValid(t)
+	m, _ := c.Method("ok")
+	m.Insns = m.Insns[:len(m.Insns)-1] // drop the trailing return
+	err := c.Validate()
+	f, ok := fault.Of(err)
+	if !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("err = %v, want malformed-dex fault", err)
+	}
+	if f.Method != "Lcom/test/V;.ok" {
+		t.Errorf("fault method = %q", f.Method)
+	}
+}
+
+func TestValidateRejectsWildBranch(t *testing.T) {
+	c := buildValid(t)
+	m, _ := c.Method("ok")
+	m.Insns = append(m.Insns, Insn{Op: Goto, Tgt: 99})
+	if f, ok := fault.Of(c.Validate()); !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("wild branch not rejected: %v", c.Validate())
+	}
+}
+
+func TestValidateRejectsEmptyBody(t *testing.T) {
+	c := buildValid(t)
+	m, _ := c.Method("ok")
+	m.Insns = nil
+	if f, ok := fault.Of(c.Validate()); !ok || f.Kind != fault.MalformedDex {
+		t.Fatal("empty body not rejected")
+	}
+}
+
+func TestValidateSkipsNative(t *testing.T) {
+	cb := NewClass("Lcom/test/N;")
+	cb.NativeMethod("nat", "V", AccStatic, 0)
+	if err := cb.Build().Validate(); err != nil {
+		t.Fatalf("native method should be skipped: %v", err)
+	}
+}

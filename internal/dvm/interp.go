@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/taint"
 )
 
@@ -15,6 +16,10 @@ import (
 // exception object if the method completed abruptly, and an execution error
 // for genuine emulator faults.
 func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	if f := fault.Hit(SiteInvoke, 0); f != nil {
+		f.Method = m.FullName()
+		return 0, 0, nil, f
+	}
 	prev := vm.curThread
 	vm.curThread = th
 	defer func() { vm.curThread = prev }()
@@ -33,7 +38,7 @@ func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Ta
 	if m.Builtin != nil {
 		b, ok := m.Builtin.(Builtin)
 		if !ok {
-			return 0, 0, nil, vm.errorf("method %s has invalid builtin", m.FullName())
+			return 0, 0, nil, vm.faultf(fault.InternalError, m, "invalid builtin binding")
 		}
 		ret, rt, thrown := b(vm, th, args, taints)
 		if !vm.TaintJava {
@@ -46,9 +51,12 @@ func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Ta
 		return vm.callJNIMethod(th, m, args, taints)
 	}
 	if len(args) != m.InsSize() {
-		return 0, 0, nil, vm.errorf("%s expects %d arg words, got %d", m.FullName(), m.InsSize(), len(args))
+		return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "expects %d arg words, got %d", m.InsSize(), len(args))
 	}
-	f := th.pushFrame(m, args, taints)
+	f, ferr := th.pushFrame(m, args, taints)
+	if ferr != nil {
+		return 0, 0, nil, ferr
+	}
 	defer th.popFrame()
 	if vm.InterpretHookAll {
 		ctx := &CallCtx{Thread: th, JavaMethod: m, FrameAddr: f.FP, JavaTaints: taints}
@@ -65,14 +73,26 @@ func (vm *VM) Invoke(th *Thread, m *dex.Method, args []uint32, taints []taint.Ta
 }
 
 // InvokeByName resolves class.method and invokes it (entry-point helper).
-func (vm *VM) InvokeByName(class, method string, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+// As the top of the thread's call stack it is also the containment boundary:
+// a panic escaping any layer below — including ones deliberately raised from
+// contexts without an error return (heap exhaustion, hook invariants) — is
+// converted to a typed fault instead of crashing batch callers. The deferred
+// frame/local-ref/pad cleanups of the unwound calls all run before the
+// recover, so the VM is left structurally consistent (faulting runs are
+// discarded by the analyzer regardless).
+func (vm *VM) InvokeByName(class, method string, args []uint32, taints []taint.Tag) (ret uint64, rt taint.Tag, thrown *Object, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.FromPanic("dvm", r)
+		}
+	}()
 	c, ok := vm.classes[class]
 	if !ok {
-		return 0, 0, nil, vm.errorf("unknown class %s", class)
+		return 0, 0, nil, vm.faultf(fault.MalformedDex, nil, "unknown class %s", class)
 	}
 	m, ok := c.Method(method)
 	if !ok {
-		return 0, 0, nil, vm.errorf("unknown method %s.%s", class, method)
+		return 0, 0, nil, vm.faultf(fault.MalformedDex, nil, "unknown method %s.%s", class, method)
 	}
 	if taints == nil {
 		taints = make([]taint.Tag, len(args))
@@ -106,7 +126,7 @@ func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *
 	pc := startPC
 	for {
 		if pc < 0 || pc >= len(m.Insns) {
-			return 0, 0, nil, vm.errorf("%s: pc %d out of range", m.FullName(), pc)
+			return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "pc %d out of range", pc)
 		}
 		// Both recomputed per instruction: an invoke below can run a source
 		// method that flips the latch mid-frame. While clean, every taint
@@ -116,6 +136,9 @@ func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *
 		insn := &m.Insns[pc]
 		vm.JavaInsnCount++
 		m.InsnCount++
+		if vm.JavaBudget != 0 && vm.JavaInsnCount > vm.JavaBudget {
+			return 0, 0, nil, vm.javaBudgetFault(m)
+		}
 		if vm.javaStepFn != nil {
 			vm.javaStepFn(th, m, pc, insn)
 		}
@@ -167,7 +190,7 @@ func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *
 			}
 		case dex.MoveException:
 			if th.Exception == nil {
-				return 0, 0, nil, vm.errorf("%s: move-exception with no pending exception", m.FullName())
+				return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "move-exception with no pending exception at pc %d", pc)
 			}
 			th.setReg(f, insn.A, th.Exception.Addr)
 			if tainting {
@@ -186,7 +209,7 @@ func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *
 		case dex.NewInstance:
 			c, ok := vm.classes[insn.ClassName]
 			if !ok {
-				return 0, 0, nil, vm.errorf("%s: unknown class %s", m.FullName(), insn.ClassName)
+				return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "unknown class %s", insn.ClassName)
 			}
 			o := vm.NewInstance(c)
 			th.setReg(f, insn.A, o.Addr)
@@ -512,7 +535,7 @@ func (vm *VM) interpret(th *Thread, f *Frame, startPC int) (uint64, taint.Tag, *
 			thrown = o
 
 		default:
-			return 0, 0, nil, vm.errorf("%s: unimplemented op %s at pc %d", m.FullName(), insn.Op, pc)
+			return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "unimplemented op %s at pc %d", insn.Op, pc)
 		}
 
 		if thrown != nil {
@@ -582,12 +605,12 @@ func (vm *VM) instanceField(m *dex.Method, addr uint32, insn *dex.Insn) (*Object
 func (vm *VM) staticField(insn *dex.Insn) (*dex.Class, *dex.Field, error) {
 	cls, ok := vm.classes[insn.ClassName]
 	if !ok {
-		return nil, nil, vm.errorf("unknown class %s", insn.ClassName)
+		return nil, nil, vm.faultf(fault.MalformedDex, nil, "unknown class %s", insn.ClassName)
 	}
 	if insn.ResolvedField == nil {
 		fld, ok := cls.FieldByName(insn.MemberName)
 		if !ok || !fld.Static {
-			return nil, nil, vm.errorf("unknown static field %s.%s", insn.ClassName, insn.MemberName)
+			return nil, nil, vm.faultf(fault.MalformedDex, nil, "unknown static field %s.%s", insn.ClassName, insn.MemberName)
 		}
 		insn.ResolvedField = fld
 	}

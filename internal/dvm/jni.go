@@ -3,6 +3,7 @@ package dvm
 import (
 	"repro/internal/arm"
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/taint"
 )
@@ -63,7 +64,11 @@ func (vm *VM) callNative(addr uint32, args []uint32) (r0, r1 uint32, sh0, sh1 ta
 	}
 	c.R[arm.LR] = pad
 	c.SetThumbPC(addr)
-	err = c.RunUntil(pad, 64<<20)
+	budget := vm.NativeBudget
+	if budget == 0 {
+		budget = 64 << 20
+	}
+	err = c.RunUntil(pad, budget)
 	r0, r1 = c.R[0], c.R[1]
 	sh0, sh1 = c.RegTaint[0], c.RegTaint[1]
 	restoreCPU(c, saved)
@@ -76,6 +81,16 @@ func (vm *VM) callNative(addr uint32, args []uint32) (r0, r1 uint32, sh0, sh1 ta
 // TaintDroid's "return tainted iff any parameter tainted" unless an NDroid
 // hook overrides it (§V-B "JNI Entry").
 func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	if f := fault.Hit(SiteJNIBridge, m.NativeAddr); f != nil {
+		f.Method = m.FullName()
+		return 0, 0, nil, f
+	}
+	if m.NativeAddr == 0 {
+		// Declared native but never bound (RegisterNatives/dlsym failed): on a
+		// device this is the UnsatisfiedLinkError path; misusing it from the
+		// bridge is a guest fault, not a crash.
+		return 0, 0, nil, vm.faultf(fault.JNIMisuse, m, "native method has no bound implementation")
+	}
 	vm.pushLocalFrame()
 	defer vm.popLocalFrame()
 

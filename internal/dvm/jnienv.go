@@ -3,6 +3,7 @@ package dvm
 import (
 	"repro/internal/arm"
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/taint"
 )
@@ -407,7 +408,10 @@ func (vm *VM) jniCallMethod(c *arm.CPU, ctx *CallCtx, retKind byte, variant byte
 			return
 		}
 
-		frame := th.pushFrame(m, decoded, ctx.JavaTaints)
+		frame, ferr := th.pushFrame(m, decoded, ctx.JavaTaints)
+		if ferr != nil {
+			panic(ferr)
+		}
 		ctx.FrameAddr = frame.FP
 		vm.internalCall("dvmInterpret", vm.callsiteOf(dvmName), ctx, func() {
 			r, rt, threw, err := vm.run(th, frame)
@@ -539,9 +543,17 @@ func jniNewObjectArray(vm *VM, c *arm.CPU, ctx *CallCtx) {
 
 func jniGetStringUTFChars(vm *VM, c *arm.CPU, ctx *CallCtx) {
 	o := vm.DecodeRef(c.R[1])
-	if o == nil || !o.IsString {
+	if o == nil {
+		// NULL jstring: lenient, as on-device (returns NULL).
 		c.R[0] = 0
 		return
+	}
+	if !o.IsString {
+		// A live non-string reference passed as jstring is undefined behavior
+		// on a device (often a SIGSEGV inside libdvm); here it is a contained
+		// guest fault. JNI table functions have no error return, so it panics
+		// a typed fault to the containment boundary.
+		panic(vm.faultf(fault.JNIMisuse, nil, "GetStringUTFChars on non-string reference %#x", c.R[1]))
 	}
 	ctx.FieldObj = o
 	buf := vm.Libc.Malloc(uint32(len(o.Str)) + 1)

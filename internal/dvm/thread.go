@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/taint"
 )
 
@@ -68,12 +69,17 @@ var zeroFrame [512]byte
 // pushFrame allocates a frame for m and stores args (with taints interleaved)
 // into the argument registers, exactly as TaintDroid stores parameters and
 // their tags on the Dalvik stack. Frame structs come from the VM's freelist;
-// the register slots themselves always live in guest memory.
-func (th *Thread) pushFrame(m *dex.Method, args []uint32, taints []taint.Tag) *Frame {
+// the register slots themselves always live in guest memory. Exhausting the
+// thread's stack region is a guest fault (runaway recursion in app bytecode),
+// raised before any state changes so the caller unwinds cleanly.
+func (th *Thread) pushFrame(m *dex.Method, args []uint32, taints []taint.Tag) (*Frame, error) {
 	size := uint32(m.NumRegs*8) + saveAreaSize
 	fp := th.cur - size
-	if fp < th.StackBase {
-		panic("dvm: thread stack overflow")
+	if fp < th.StackBase || fp > th.cur {
+		return nil, &fault.Fault{
+			Kind: fault.StackOverflow, Layer: "dvm", Method: m.FullName(),
+			Detail: "thread stack overflow",
+		}
 	}
 	vm := th.VM
 	f := vm.getFrame()
@@ -108,7 +114,7 @@ func (th *Thread) pushFrame(m *dex.Method, args []uint32, taints []taint.Tag) *F
 	vm.Mem.Write32(fp+uint32(m.NumRegs*8)+4, objHeaderMagic)
 	th.cur = fp
 	th.Frames = append(th.Frames, f)
-	return f
+	return f, nil
 }
 
 // popFrame releases the top frame back to the VM's freelist.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/taint"
 )
 
@@ -102,9 +103,14 @@ func (vm *VM) runTranslated(th *Thread, f *Frame, cm *compiledMethod) (uint64, t
 		if pc < 0 || pc >= len(steps) {
 			vm.JavaInsnCount += executed
 			m.InsnCount += executed
-			return 0, 0, nil, vm.errorf("%s: pc %d out of range", m.FullName(), pc)
+			return 0, 0, nil, vm.faultf(fault.MalformedDex, m, "pc %d out of range", pc)
 		}
 		executed++
+		if vm.JavaBudget != 0 && vm.JavaInsnCount+executed > vm.JavaBudget {
+			vm.JavaInsnCount += executed
+			m.InsnCount += executed
+			return 0, 0, nil, vm.javaBudgetFault(m)
+		}
 		switch steps[pc](vm, th, f) {
 		case jsNext:
 			pc++

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/arm"
 	"repro/internal/dex"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/libc"
 	"repro/internal/mem"
@@ -201,6 +202,15 @@ type VM struct {
 	// registration) bumps it — the DVM analog of the ARM engine's
 	// tracer-epoch check.
 	transEpoch uint64
+
+	// NativeBudget bounds the instruction count of each JNI native call
+	// (0 = the 64M default). JavaBudget is an absolute ceiling on
+	// JavaInsnCount for the whole run (0 = unlimited). Both are deterministic
+	// step counts, never wall-clock: the analyzer's watchdog sets them so
+	// runaway guest loops surface as BudgetExceeded faults (Timeout verdict)
+	// at reproducible points.
+	NativeBudget uint64
+	JavaBudget   uint64
 
 	// JavaInsnCount counts interpreted Dalvik instructions.
 	JavaInsnCount uint64
@@ -513,6 +523,13 @@ func (vm *VM) internalCall(name string, from uint32, ctx *CallCtx, body func()) 
 // --- heap ---------------------------------------------------------------
 
 func (vm *VM) allocAddr(payload uint32) uint32 {
+	// Allocation has no error return (it is called from deep inside the
+	// interpreter, builtins, and JNI marshalling), so faults here — organic
+	// heap exhaustion or an injected one — travel as panics carrying a typed
+	// fault; the InvokeByName containment boundary converts them back.
+	if f := fault.Hit(SiteHeapAlloc, 0); f != nil {
+		panic(f)
+	}
 	vm.allocCount++
 	if vm.GCThreshold > 0 && vm.allocCount >= vm.GCThreshold {
 		vm.allocCount = 0
@@ -524,7 +541,9 @@ func (vm *VM) allocAddr(payload uint32) uint32 {
 		vm.RunGC()
 		addr = vm.heapCursor
 		if addr+size >= kernel.DvmHeapLimit {
-			panic("dvm: heap exhausted")
+			// An allocation-hungry guest exhausting the fixed heap window is a
+			// resource-budget condition, same verdict class as a loop budget.
+			panic(vm.faultf(fault.BudgetExceeded, nil, "heap exhausted (%d-byte allocation)", size))
 		}
 	}
 	vm.heapCursor += size

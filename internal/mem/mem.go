@@ -88,6 +88,13 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	return p
 }
 
+// Mapped reports whether the page containing addr has been materialized.
+// The CPU's fetch path uses it to tell a genuine all-zeroes instruction on a
+// mapped page apart from a wild branch into unmapped space (both read as 0).
+func (m *Memory) Mapped(addr uint32) bool {
+	return m.page(addr, false) != nil
+}
+
 // Read8 returns the byte at addr.
 func (m *Memory) Read8(addr uint32) uint8 {
 	p := m.page(addr, false)

@@ -1,5 +1,7 @@
 package taint
 
+import "repro/internal/fault"
+
 // Liveness is the process-wide taint-presence aggregate behind the
 // demand-driven fast path (DESIGN.md "Dual-mode execution"). Each layer that
 // can hold taint contributes a per-source count of live tags; execution
@@ -61,7 +63,13 @@ func (l *Liveness) Adjust(s Source, delta int) {
 	old := l.counts[s]
 	now := old + delta
 	if now < 0 {
-		panic("taint: liveness count for source " + s.String() + " went negative")
+		// Still a loud stop — disabling instrumentation silently would be
+		// unsound — but typed, so the top-level containment reports it as an
+		// InternalError fault instead of a process crash.
+		panic(&fault.Fault{
+			Kind: fault.InternalError, Layer: "taint",
+			Detail: "liveness count for source " + s.String() + " went negative",
+		})
 	}
 	l.counts[s] = now
 	l.total += delta
