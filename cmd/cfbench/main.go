@@ -41,6 +41,14 @@ func main() {
 	fmt.Println(res.Report())
 	res.Verdicts = cfbench.VerdictSweep(0)
 	fmt.Println("Contained corpus sweep:", res.Verdicts)
+	pins, err := cfbench.PinSweep(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfbench: pin sweep:", err)
+		os.Exit(1)
+	}
+	res.Pins = pins
+	fmt.Println("Static pin precision:")
+	fmt.Println(cfbench.PinReport(pins))
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/static"
 )
 
 func main() {
@@ -53,11 +54,43 @@ func main() {
 		return
 	}
 
+	fmt.Println("\nStatic JNI lint over the dynamic corpus:")
+	fmt.Println()
+	printLintTable()
+
 	fmt.Printf("\nDynamic corpus under contained analysis (mode ndroid, budget %d):\n\n",
 		effectiveBudget(*budget))
-	rep := apps.RunStudy(apps.StudyOptions{Budget: *budget, FlowLog: true})
+	rep := apps.RunStudy(apps.StudyOptions{Budget: *budget, FlowLog: true, Static: static.PinLevel})
 	fmt.Print(rep.String())
 	fmt.Println("\nEvery hostile app resolved to a per-app verdict; the study process survived.")
+}
+
+// printLintTable runs the static pre-analysis over every corpus app and
+// prints the lint verdict beside the pin-precision numbers — the static
+// complement to the dynamic verdict table below it.
+func printLintTable() {
+	fmt.Printf("%-14s %8s %8s %8s  %s\n", "app", "methods", "pinned", "findings", "lint details")
+	for _, app := range apps.AllApps() {
+		sys, err := core.NewSystem()
+		if err != nil {
+			fmt.Printf("%-14s  system boot failed: %v\n", app.Name, err)
+			continue
+		}
+		if err := app.Install(sys); err != nil {
+			fmt.Printf("%-14s  install failed: %v\n", app.Name, err)
+			continue
+		}
+		r := static.Analyze(sys.VM, app.EntryClass, app.EntryMethod)
+		detail := "clean"
+		if len(r.Findings) > 0 {
+			detail = r.Findings[0].Detail
+			if len(r.Findings) > 1 {
+				detail = fmt.Sprintf("%s (+%d more)", detail, len(r.Findings)-1)
+			}
+		}
+		fmt.Printf("%-14s %8d %8d %8d  %s\n",
+			app.Name, r.Methods, r.PinnedMethods, len(r.Findings), detail)
+	}
 }
 
 func effectiveBudget(b uint64) uint64 {

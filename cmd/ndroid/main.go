@@ -7,6 +7,7 @@
 //
 //	ndroid -list
 //	ndroid -app qqphonebook [-mode ndroid|taintdroid|vanilla|droidscope] [-quiet]
+//	ndroid -app case1 -static pin
 //	ndroid -all
 package main
 
@@ -17,17 +18,26 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/static"
 )
 
 func main() {
 	var (
-		appName = flag.String("app", "", "app to analyze (see -list)")
-		mode    = flag.String("mode", "ndroid", "analysis mode: vanilla, taintdroid, ndroid, droidscope")
-		list    = flag.Bool("list", false, "list available apps")
-		all     = flag.Bool("all", false, "run the full Table I detection matrix")
-		quiet   = flag.Bool("quiet", false, "suppress the flow log")
+		appName   = flag.String("app", "", "app to analyze (see -list)")
+		mode      = flag.String("mode", "ndroid", "analysis mode: vanilla, taintdroid, ndroid, droidscope")
+		staticLvl = flag.String("static", "off", "static pre-analysis: off, lint (diagnose), pin (apply pins)")
+		list      = flag.Bool("list", false, "list available apps")
+		all       = flag.Bool("all", false, "run the full Table I detection matrix")
+		quiet     = flag.Bool("quiet", false, "suppress the flow log")
 	)
 	flag.Parse()
+
+	level, err := static.ParseLevel(*staticLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndroid:", err)
+		os.Exit(2)
+	}
+	staticLevel = level
 
 	if *list {
 		for _, a := range apps.Registry() {
@@ -65,6 +75,9 @@ func parseMode(s string) core.Mode {
 	}
 }
 
+// staticLevel is the -static flag, applied by analyze to every run.
+var staticLevel static.Level
+
 func analyze(name string, mode core.Mode, logging bool) (*core.Analyzer, *apps.App, error) {
 	app, ok := apps.ByName(name)
 	if !ok {
@@ -79,6 +92,16 @@ func analyze(name string, mode core.Mode, logging bool) (*core.Analyzer, *apps.A
 	}
 	a := core.NewAnalyzer(sys, mode)
 	a.Log.Enabled = logging
+	if staticLevel != static.Off {
+		r := static.Analyze(sys.VM, app.EntryClass, app.EntryMethod)
+		fmt.Println("--", r.Summary())
+		for _, f := range r.Findings {
+			fmt.Println("   lint:", f)
+		}
+		if staticLevel == static.PinLevel {
+			r.Apply(sys.VM)
+		}
+	}
 	if err := app.Run(sys); err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,25 @@ import (
 	"repro/internal/taint"
 )
 
+// addChecksum gives the class a pure arithmetic helper with branching
+// control flow: no sources, sinks, heap access, or JNI crossings in its
+// closure, so the static pre-analysis can prove it pinnable. Every benign
+// app carries one (invoked argument-free from run) to exercise the pinned
+// clean-variant dispatch path end to end.
+func addChecksum(cb *dex.ClassBuilder) {
+	cb.Method("checksum", "I", dex.AccStatic, 2).
+		Const(0, 0).
+		Const(1, 5).
+		Label("loop").
+		IfZ(1, dex.Le, "done").
+		Bin(dex.Add, 0, 0, 1).
+		BinLit(dex.Sub, 1, 1, 1).
+		Goto("loop").
+		Label("done").
+		Return(0).
+		Done()
+}
+
 // Case1App: the flow TaintDroid already detects (Fig. 3a). Java passes the
 // IMEI to a native method that processes it (GetStringUTFChars → malloc →
 // memcpy → NewStringUTF) and returns it; Java sends the result out.
@@ -48,7 +67,9 @@ Java_scramble:
 			}
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("scramble", "LL", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 2).
+				InvokeStatic(cls, "checksum", "I").
 				InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
 				MoveResult(0).
 				InvokeStatic(cls, "scramble", "LL", 0).
@@ -121,7 +142,9 @@ urlbuf:
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("makeLoginRequestPackageMd5", "IL", dex.AccStatic, 0)
 			cb.NativeMethod("getPostUrl", "L", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 2).
+				InvokeStatic(cls, "checksum", "I").
 				// secret = contactName + lastSMS (taint 0x202)
 				InvokeStatic("Landroid/provider/Contacts;", "getContactName", "L").
 				MoveResult(0).
@@ -200,7 +223,9 @@ sipbuf:
 			}
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("callregister", "IL", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic(cls, "checksum", "I").
 				InvokeStatic("Landroid/provider/Contacts;", "getContactName", "L").
 				MoveResult(0).
 				InvokeStatic(cls, "callregister", "IL", 0).
@@ -281,7 +306,9 @@ fmt_rec:
 			}
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("recordContact", "ZLLL", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 3).
+				InvokeStatic(cls, "checksum", "I").
 				InvokeStatic("Landroid/provider/Contacts;", "getContactId", "L").
 				MoveResult(0).
 				InvokeStatic("Landroid/provider/Contacts;", "getContactName", "L").
@@ -363,7 +390,9 @@ msig:
 				InvokeStatic("Landroid/net/Network;", "send", "VLL", 0, 1).
 				ReturnVoid().
 				Done()
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 2).
+				InvokeStatic(cls, "checksum", "I").
 				// "...Line1Number = 15555215554 NetworkOperator = 310260..."
 				InvokeStatic("Landroid/telephony/TelephonyManager;", "getLine1Number", "L").
 				MoveResult(0).
@@ -452,7 +481,9 @@ host:
 			}
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("pullAndLeak", "V", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 0).
+				InvokeStatic(cls, "checksum", "I").
 				InvokeStatic(cls, "pullAndLeak", "V").
 				ReturnVoid().
 				Done()
@@ -530,7 +561,9 @@ numbuf:
 			cb := dex.NewClass(cls)
 			cb.StaticField("secret", false)
 			cb.NativeMethod("readAndLeak", "V", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic(cls, "checksum", "I").
 				// secret = length(IMEI) — a tainted primitive.
 				InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
 				MoveResult(0).
@@ -589,7 +622,9 @@ host:
 			}
 			cb := dex.NewClass(cls)
 			cb.NativeMethod("ping", "VL", dex.AccStatic, 0)
+			addChecksum(cb)
 			cb.Method("run", "V", dex.AccStatic, 1).
+				InvokeStatic(cls, "checksum", "I").
 				ConstString(0, "heartbeat-ok").
 				InvokeStatic(cls, "ping", "VL", 0).
 				ReturnVoid().

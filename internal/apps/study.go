@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/static"
 )
 
 // StudyOptions configures a market-study sweep over a corpus.
@@ -16,6 +17,8 @@ type StudyOptions struct {
 	Budget uint64
 	// FlowLog captures per-app flow logs.
 	FlowLog bool
+	// Static selects the pre-analysis level for every app (off/lint/pin).
+	Static static.Level
 	// Apps is the corpus; nil means AllApps() (benign + hostile).
 	Apps []*App
 }
@@ -57,6 +60,7 @@ func RunStudy(opts StudyOptions) *StudyReport {
 			Mode:    opts.Mode,
 			Budget:  opts.Budget,
 			FlowLog: opts.FlowLog,
+			Static:  opts.Static,
 		})
 		rep.Rows = append(rep.Rows, StudyRow{App: app, Report: r})
 		rep.Attempts += len(r.Chain)

@@ -53,6 +53,11 @@ type CPU struct {
 
 	// Tracer, when non-nil, is invoked before every executed instruction.
 	Tracer Tracer
+	// DecodeHook, when non-nil, observes every successfully decoded
+	// instruction (the disassembler round-trip test records the decode set
+	// of a whole run through it). It fires per decode, not per execution:
+	// cached translations do not re-invoke it.
+	DecodeHook func(pc uint32, thumb bool, insn Insn)
 	// BranchFn, when non-nil, is invoked on every taken control transfer.
 	BranchFn BranchFunc
 	// branchWatchLo/Hi, while branchWatchOn, bound the transfer targets
@@ -128,6 +133,17 @@ type CPU struct {
 	GateFlips      uint64
 	GateFastBlocks uint64
 	GateSlowBlocks uint64
+	// pinnedPages marks 4 KiB code pages the static pre-analysis proved can
+	// never execute while taint is live (internal/static): blocks whose
+	// bytes lie entirely on pinned pages dispatch straight onto the bare
+	// variant without even the edge-cached liveness check. The pin is baked
+	// into the Block at translation time (PinPage invalidates existing
+	// translations), and the dispatch still falls back to the full gate when
+	// a taint edge is pending — so a wrong pin degrades to the dynamic gate
+	// instead of dropping taint.
+	pinnedPages map[uint32]bool
+	// GatePinnedBlocks counts block executions dispatched via a static pin.
+	GatePinnedBlocks uint64
 
 	Halted    bool
 	ExitCode  int32
@@ -222,6 +238,20 @@ func (c *CPU) SetRegTaint(i int, t taint.Tag) {
 		c.gateBail = true
 	}
 }
+
+// PinPage marks one 4 KiB page (page number = addr >> 12) as statically
+// taint-irrelevant. Existing translations on the page are invalidated so the
+// pin takes effect on already-translated code.
+func (c *CPU) PinPage(page uint32) {
+	if c.pinnedPages == nil {
+		c.pinnedPages = make(map[uint32]bool)
+	}
+	c.pinnedPages[page] = true
+	c.invalidatePageBlocks(page)
+}
+
+// PinnedPageCount reports how many pages carry a static pin.
+func (c *CPU) PinnedPageCount() int { return len(c.pinnedPages) }
 
 // Hook registers fn at addr (bit 0 ignored). A second registration at the
 // same address replaces the first; composition is the caller's concern.
@@ -337,13 +367,21 @@ func (c *CPU) decodeAt(pc uint32) Insn {
 		if w0 == 0 && !c.Mem.Mapped(pc) {
 			return Insn{Op: OpInvalid, Size: 2}
 		}
-		return DecodeThumb(w0, c.Mem.Read16(pc+2))
+		insn := DecodeThumb(w0, c.Mem.Read16(pc+2))
+		if c.DecodeHook != nil && insn.Op != OpInvalid {
+			c.DecodeHook(pc, true, insn)
+		}
+		return insn
 	}
 	w := c.Mem.Read32(pc)
 	if w == 0 && !c.Mem.Mapped(pc) {
 		return Insn{Op: OpInvalid, Size: 4}
 	}
-	return Decode(w)
+	insn := Decode(w)
+	if c.DecodeHook != nil && insn.Op != OpInvalid {
+		c.DecodeHook(pc, false, insn)
+	}
+	return insn
 }
 
 func (c *CPU) condHolds(cond Cond) bool {

@@ -45,7 +45,8 @@ func Disasm(insn Insn, addr uint32) string {
 	case OpMOVW, OpMOVT:
 		return fmt.Sprintf("%s%s %s, #0x%x", insn.Op, suffix, reg(insn.Rd), uint32(insn.Imm))
 	case OpCMP, OpCMN, OpTST, OpTEQ:
-		return fmt.Sprintf("%s%s %s, %s", insn.Op, suffix, reg(insn.Rn), op2())
+		// Compares set flags by definition; an S suffix would not re-parse.
+		return fmt.Sprintf("%s%s %s, %s", insn.Op, insn.Cond, reg(insn.Rn), op2())
 	case OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH:
 		if insn.RegOffset {
 			return fmt.Sprintf("%s%s %s, [%s, %s]", insn.Op, suffix, reg(insn.Rd), reg(insn.Rn), reg(insn.Rm))

@@ -73,6 +73,11 @@ type Block struct {
 	// dispatcher skip the hook-map lookup entirely on the hot path.
 	startHooked bool
 
+	// pinned records that every page this block's bytes touch carries a
+	// static taint-irrelevance pin (CPU.PinPage): dispatch takes the bare
+	// variant without consulting the liveness gate.
+	pinned bool
+
 	// succTaken/succFall cache the successor blocks (chaining). They are
 	// hints: each use re-checks key and validity.
 	succTaken *Block
@@ -284,6 +289,15 @@ func (c *CPU) stepBlock(hint *Block) (*Block, error) {
 // budget only observe it at dispatch boundaries.
 func (c *CPU) execBlock(b *Block) (*Block, error) {
 	if c.UseTaintGate && b.bare != nil {
+		if b.pinned && !c.gateWasLive && !c.gateBail {
+			// Statically pinned page, no pending taint edge: skip even the
+			// liveness predicate. If an edge is pending (a pin turned out
+			// optimistic), fall through to the full gate below, which
+			// re-derives liveness — wrong pins cost precision, never
+			// soundness.
+			c.GatePinnedBlocks++
+			return c.execBare(b)
+		}
 		live := c.taintLive()
 		if live != c.gateWasLive {
 			c.GateFlips++
@@ -428,6 +442,15 @@ func (c *CPU) translate(startPC uint32) *Block {
 		return nil
 	}
 	b.endPC = pc
+	if c.pinnedPages != nil {
+		b.pinned = true
+		for pn := startPC >> 12; pn <= (pc-1)>>12; pn++ {
+			if !c.pinnedPages[pn] {
+				b.pinned = false
+				break
+			}
+		}
+	}
 	if c.blockCache == nil {
 		c.blockCache = make(map[uint32]*Block)
 		c.blocksByPage = make(map[uint32][]*Block)

@@ -383,15 +383,17 @@ func (w Workload) NewRunner(mode core.Mode, scale int) (func() error, error) {
 // fast path versus the instrumented slow path, plus the DVM translation
 // engine's method/frame/bail/deopt counters for the Java rows.
 type GateStats struct {
-	Flips      uint64 `json:"flips"`
-	FastBlocks uint64 `json:"fastBlocks"`
-	SlowBlocks uint64 `json:"slowBlocks"`
+	Flips        uint64 `json:"flips"`
+	FastBlocks   uint64 `json:"fastBlocks"`
+	SlowBlocks   uint64 `json:"slowBlocks"`
+	PinnedBlocks uint64 `json:"pinnedBlocks,omitempty"`
 
 	JavaTransMethods uint64 `json:"javaTransMethods,omitempty"`
 	JavaCleanFrames  uint64 `json:"javaCleanFrames,omitempty"`
 	JavaTaintFrames  uint64 `json:"javaTaintFrames,omitempty"`
 	JavaGateBails    uint64 `json:"javaGateBails,omitempty"`
 	JavaDeopts       uint64 `json:"javaDeopts,omitempty"`
+	JavaPinnedFrames uint64 `json:"javaPinnedFrames,omitempty"`
 }
 
 // Measure runs one workload under one mode, returning the score (nominal
@@ -441,15 +443,17 @@ func measure(w Workload, mode core.Mode, scale int, gate, noTranslate bool) (flo
 		elapsed = time.Nanosecond
 	}
 	gs := GateStats{
-		Flips:      sys.CPU.GateFlips,
-		FastBlocks: sys.CPU.GateFastBlocks,
-		SlowBlocks: sys.CPU.GateSlowBlocks,
+		Flips:        sys.CPU.GateFlips,
+		FastBlocks:   sys.CPU.GateFastBlocks,
+		SlowBlocks:   sys.CPU.GateSlowBlocks,
+		PinnedBlocks: sys.CPU.GatePinnedBlocks,
 
 		JavaTransMethods: sys.VM.JavaTransMethods,
 		JavaCleanFrames:  sys.VM.JavaCleanFrames,
 		JavaTaintFrames:  sys.VM.JavaTaintFrames,
 		JavaGateBails:    sys.VM.JavaGateBails,
 		JavaDeopts:       sys.VM.JavaDeopts,
+		JavaPinnedFrames: sys.VM.JavaPinnedFrames,
 	}
 	return float64(w.Ops/scale) / elapsed.Seconds(), gs, nil
 }

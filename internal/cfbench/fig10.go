@@ -26,6 +26,10 @@ type Result struct {
 	// Verdicts carries the contained-corpus robustness counters when the
 	// caller ran a VerdictSweep alongside the benchmark (cfbench -json).
 	Verdicts *VerdictCounts
+
+	// Pins carries the static pin-precision table when the caller ran a
+	// PinSweep alongside the benchmark (cfbench -json).
+	Pins []PinRow
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -161,8 +165,10 @@ func (r *Result) JSON() ([]byte, error) {
 		Modes    []string       `json:"modes"`
 		Rows     []jsonRow      `json:"rows"`
 		Verdicts *VerdictCounts `json:"verdicts,omitempty"`
+		Pins     []PinRow       `json:"pins,omitempty"`
 	}
 	out.Verdicts = r.Verdicts
+	out.Pins = r.Pins
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}
@@ -223,21 +229,27 @@ func (r *Result) Report() string {
 			total.Flips += gs.Flips
 			total.FastBlocks += gs.FastBlocks
 			total.SlowBlocks += gs.SlowBlocks
+			total.PinnedBlocks += gs.PinnedBlocks
 			total.JavaTransMethods += gs.JavaTransMethods
 			total.JavaCleanFrames += gs.JavaCleanFrames
 			total.JavaTaintFrames += gs.JavaTaintFrames
 			total.JavaGateBails += gs.JavaGateBails
 			total.JavaDeopts += gs.JavaDeopts
+			total.JavaPinnedFrames += gs.JavaPinnedFrames
 		}
 		if total.Flips+total.FastBlocks+total.SlowBlocks != 0 {
-			fmt.Fprintf(&b, "taint gate (%s): %d flips, %d fast blocks, %d instrumented blocks\n",
-				m, total.Flips, total.FastBlocks, total.SlowBlocks)
+			fmt.Fprintf(&b, "taint gate (%s): %d flips, %d fast blocks, %d instrumented blocks, %d pinned blocks\n",
+				m, total.Flips, total.FastBlocks, total.SlowBlocks, total.PinnedBlocks)
 		}
 		if total.JavaTransMethods+total.JavaCleanFrames+total.JavaTaintFrames != 0 {
-			fmt.Fprintf(&b, "java translation (%s): %d methods, %d clean frames, %d taint frames, %d bails, %d deopts\n",
+			fmt.Fprintf(&b, "java translation (%s): %d methods, %d clean frames, %d taint frames, %d bails, %d deopts, %d pinned frames\n",
 				m, total.JavaTransMethods, total.JavaCleanFrames, total.JavaTaintFrames,
-				total.JavaGateBails, total.JavaDeopts)
+				total.JavaGateBails, total.JavaDeopts, total.JavaPinnedFrames)
 		}
+	}
+	if len(r.Pins) > 0 {
+		b.WriteString("\nStatic pin precision:\n")
+		b.WriteString(PinReport(r.Pins))
 	}
 	return b.String()
 }

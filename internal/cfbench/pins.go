@@ -1,0 +1,91 @@
+package cfbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/static"
+)
+
+// PinRow is one app's static pin-precision record: how much of the program
+// the pre-analysis proved taint-unreachable, and how often the pinned
+// variants actually dispatched during a gated NDroid run.
+type PinRow struct {
+	App     string `json:"app"`
+	Hostile bool   `json:"hostile,omitempty"`
+
+	Methods       int  `json:"methods"`
+	PinnedMethods int  `json:"pinnedMethods"`
+	NativePages   int  `json:"nativePages"`
+	PinnedPages   int  `json:"pinnedPages"`
+	TaintFree     bool `json:"taintFree,omitempty"`
+	LintFindings  int  `json:"lintFindings,omitempty"`
+
+	// Dynamic confirmation: pinned-variant dispatch counts from a gated
+	// NDroid run with the pins applied.
+	PinnedFrames uint64 `json:"pinnedFrames,omitempty"`
+	PinnedBlocks uint64 `json:"pinnedBlocks,omitempty"`
+}
+
+// PinSweep runs the static pre-analysis over the whole evaluation corpus and
+// confirms each pin set dynamically: every app is analyzed, pinned, and run
+// once under gated NDroid, recording how often the pinned variants fired.
+// Hostile apps are analyzed but not run (their dynamic behavior is the
+// robustness sweep's business).
+func PinSweep(budget uint64) ([]PinRow, error) {
+	var rows []PinRow
+	for _, app := range apps.AllApps() {
+		sys, err := core.NewSystem()
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Install(sys); err != nil {
+			return nil, fmt.Errorf("cfbench: installing %s: %w", app.Name, err)
+		}
+		r := static.Analyze(sys.VM, app.EntryClass, app.EntryMethod)
+		row := PinRow{
+			App:           app.Name,
+			Hostile:       app.Hostile,
+			Methods:       r.Methods,
+			PinnedMethods: r.PinnedMethods,
+			NativePages:   r.NativePages,
+			PinnedPages:   r.PinnedPages,
+			TaintFree:     r.TaintFree,
+			LintFindings:  len(r.Findings),
+		}
+		if !app.Hostile {
+			a := core.NewAnalyzer(sys, core.ModeNDroid)
+			a.Budget = budget
+			r.Apply(sys.VM)
+			res := a.Run(app.EntryClass, app.EntryMethod, nil, nil)
+			if res.Verdict != core.VerdictClean && res.Verdict != core.VerdictLeak {
+				return nil, fmt.Errorf("cfbench: pin-confirm run of %s: %v (%v)",
+					app.Name, res.Verdict, res.Fault)
+			}
+			row.PinnedFrames = sys.VM.JavaPinnedFrames
+			row.PinnedBlocks = sys.CPU.GatePinnedBlocks
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PinReport renders the pin-precision table.
+func PinReport(rows []PinRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %6s %8s %8s\n",
+		"app", "methods", "pinned", "pages", "pinned", "lint", "frames", "blocks")
+	for _, r := range rows {
+		name := r.App
+		if r.Hostile {
+			name += "*"
+		}
+		fmt.Fprintf(&b, "%-14s %8d %8d %8d %8d %6d %8d %8d\n",
+			name, r.Methods, r.PinnedMethods, r.NativePages, r.PinnedPages,
+			r.LintFindings, r.PinnedFrames, r.PinnedBlocks)
+	}
+	b.WriteString("(* hostile: analyzed statically, not run; frames/blocks are pinned-variant dispatches)\n")
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package cfbench
+
+import "testing"
+
+// TestPinSweepPrecisionFloor locks the pin-precision acceptance bar: on
+// every benign app the pre-analysis pins at least one method or native
+// page, and the pinned variant actually dispatches during the gated run.
+func TestPinSweepPrecisionFloor(t *testing.T) {
+	rows, err := PinSweep(1 << 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty pin sweep")
+	}
+	for _, r := range rows {
+		if r.Hostile {
+			continue
+		}
+		if r.PinnedMethods == 0 && r.PinnedPages == 0 {
+			t.Errorf("%s: nothing pinned (methods %d/%d, pages %d/%d)",
+				r.App, r.PinnedMethods, r.Methods, r.PinnedPages, r.NativePages)
+		}
+		if r.PinnedFrames == 0 && r.PinnedBlocks == 0 {
+			t.Errorf("%s: pins never dispatched dynamically (frames %d, blocks %d)",
+				r.App, r.PinnedFrames, r.PinnedBlocks)
+		}
+		if r.PinnedMethods > r.Methods || r.PinnedPages > r.NativePages {
+			t.Errorf("%s: pin counts exceed totals: %+v", r.App, r)
+		}
+	}
+	if report := PinReport(rows); report == "" {
+		t.Error("empty pin report")
+	}
+}

@@ -1,0 +1,154 @@
+package cfbench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// decoded is one instruction observed by the CPU's decode hook, with the
+// exact guest bytes it was decoded from.
+type decoded struct {
+	pc    uint32
+	thumb bool
+	raw   []byte
+	insn  arm.Insn
+}
+
+// hookDecodes attaches a DecodeHook that records every decoded instruction
+// (deduplicated on address+mode+bytes, so self-modified re-decodes are kept).
+func hookDecodes(sys *core.System, set map[string]decoded) {
+	sys.CPU.DecodeHook = func(pc uint32, thumb bool, insn arm.Insn) {
+		var raw []byte
+		if thumb {
+			h0 := sys.CPU.Mem.Read16(pc)
+			raw = []byte{byte(h0), byte(h0 >> 8)}
+			if insn.Size == 4 {
+				h1 := sys.CPU.Mem.Read16(pc + 2)
+				raw = append(raw, byte(h1), byte(h1>>8))
+			}
+		} else {
+			w := sys.CPU.Mem.Read32(pc)
+			raw = []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+		}
+		key := fmt.Sprintf("%x:%t:%x", pc, thumb, raw)
+		if _, ok := set[key]; !ok {
+			set[key] = decoded{pc: pc, thumb: thumb, raw: raw, insn: insn}
+		}
+	}
+}
+
+// TestDisasmRoundTripCorpus is the corpus-wide disassembler check: every
+// instruction the CPU decodes during the Fig. 10 workload suite, the benign
+// evaluation apps, and the Thumb libc variant must disassemble to text that
+// re-assembles (at the same address, in the same mode) to the identical
+// bits. Any Disasm/Assemble disagreement is a real bug in one of them.
+func TestDisasmRoundTripCorpus(t *testing.T) {
+	set := make(map[string]decoded)
+
+	// Stage 1: the Fig. 10 workload suite (scaled down — the decode set
+	// depends on the code, not the iteration count).
+	for _, w := range Workloads() {
+		sys, err := core.NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.install(sys, 100); err != nil {
+			t.Fatalf("%s: install: %v", w.Name, err)
+		}
+		sys.Kern.FS.WriteFile("/data/cfbench.dat", make([]byte, 1024*(opsDisk/100)+1024))
+		core.NewAnalyzer(sys, core.ModeNDroid)
+		hookDecodes(sys, set)
+		if _, _, thrown, err := sys.VM.InvokeByName(w.entryClass, "run", nil, nil); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		} else if thrown != nil {
+			t.Fatalf("%s threw", w.Name)
+		}
+	}
+
+	// Stage 2: the benign evaluation apps (the hostile apps deliberately
+	// execute junk bytes, which are out of scope for a disassembler check).
+	for _, app := range apps.Registry() {
+		sys, err := core.NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Install(sys); err != nil {
+			t.Fatalf("%s: install: %v", app.Name, err)
+		}
+		core.NewAnalyzer(sys, core.ModeNDroid)
+		hookDecodes(sys, set)
+		if err := app.Run(sys); err != nil {
+			t.Fatalf("%s: run: %v", app.Name, err)
+		}
+	}
+
+	// Stage 3: the Thumb-encoded libc variant, so both instruction sets are
+	// exercised even though the corpus apps link the ARM bodies.
+	runThumbStrlen(t, set)
+
+	arms, thumbs := 0, 0
+	for _, d := range set {
+		if d.thumb {
+			thumbs++
+		} else {
+			arms++
+		}
+	}
+	if arms == 0 {
+		t.Fatal("no ARM instructions recorded — decode hook dead?")
+	}
+	if thumbs == 0 {
+		t.Fatal("no Thumb instructions recorded — decode hook dead?")
+	}
+	t.Logf("round-tripping %d unique decodes (%d ARM, %d Thumb)", len(set), arms, thumbs)
+
+	for _, d := range set {
+		text := arm.Disasm(d.insn, d.pc)
+		mode := ".arm\n"
+		if d.thumb {
+			mode = ".thumb\n"
+		}
+		prog, err := arm.Assemble(mode+text+"\n", d.pc, nil)
+		if err != nil {
+			t.Errorf("%08x %s: reassembly failed: %v (bytes % x)", d.pc, text, err, d.raw)
+			continue
+		}
+		if !bytes.Equal(prog.Code, d.raw) {
+			t.Errorf("%08x %s: round-trip mismatch: decoded % x, reassembled % x",
+				d.pc, text, d.raw, prog.Code)
+		}
+	}
+}
+
+// runThumbStrlen drives the Thumb strlen variant on a freshly booted system
+// the way guest code would reach it: args in registers, BLX via the
+// interworking bit, run to the return pad.
+func runThumbStrlen(t *testing.T, set map[string]decoded) {
+	t.Helper()
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookDecodes(sys, set)
+	addr, ok := sys.VM.Libc.Sym("strlen.tinsn")
+	if !ok {
+		t.Fatal("no strlen.tinsn symbol")
+	}
+	const str = 0x100000
+	sys.CPU.Mem.WriteCString(str, "round trip")
+	sys.CPU.R[0] = str
+	sys.CPU.R[arm.LR] = kernel.ReturnPadBase
+	sys.CPU.SetThumbPC(addr)
+	if err := sys.CPU.RunUntil(kernel.ReturnPadBase, 1<<20); err != nil {
+		t.Fatalf("thumb strlen: %v", err)
+	}
+	if sys.CPU.R[0] != 10 {
+		t.Fatalf("thumb strlen = %d, want 10", sys.CPU.R[0])
+	}
+}

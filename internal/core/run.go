@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/static"
 	"repro/internal/taint"
 )
 
@@ -86,6 +87,13 @@ type RunResult struct {
 
 	JavaInsns   uint64 // Dalvik instructions retired by this run
 	NativeInsns uint64 // ARM instructions retired by this run
+
+	// Static is the pre-analysis result for this attempt (nil when the
+	// pre-analysis was off). StaticViolations holds cross-validation
+	// failures: dynamic flow-log events outside the static reach sets.
+	// A non-empty list is a soundness bug in the pre-analysis.
+	Static           *static.Result
+	StaticViolations []string
 }
 
 // Run invokes the entry point under full fault containment and classifies
@@ -155,6 +163,11 @@ type AnalyzeOptions struct {
 	// (a contained host bug may be transient state corruption; one fresh
 	// System is worth trying). Negative disables; zero means the default 1.
 	InternalRetries int
+	// Static selects the pre-analysis level: off, lint (diagnose only), or
+	// pin (also seed taint-reachability pins into the dynamic engines). The
+	// pre-analysis runs per attempt — pins are keyed against the attempt's
+	// fresh System, so degradation retries re-seed them from scratch.
+	Static static.Level
 }
 
 // Attempt records one run of the degradation ladder.
@@ -274,5 +287,23 @@ func analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
 	a := NewAnalyzer(sys, mode)
 	a.Budget = opts.Budget
 	a.Log.Enabled = opts.FlowLog
-	return a.Run(spec.EntryClass, spec.EntryMethod, nil, nil)
+
+	var sr *static.Result
+	if opts.Static != static.Off {
+		sr = static.Analyze(sys.VM, spec.EntryClass, spec.EntryMethod)
+		if opts.Static == static.PinLevel {
+			// Pins attach to this attempt's System (method pointers, CPU page
+			// set); a degradation retry boots a fresh System and re-runs this.
+			sr.Apply(sys.VM)
+		}
+	}
+
+	res = a.Run(spec.EntryClass, spec.EntryMethod, nil, nil)
+	if sr != nil {
+		res.Static = sr
+		if opts.FlowLog {
+			res.StaticViolations = sr.CrossValidate(res.LogLines)
+		}
+	}
+	return res
 }

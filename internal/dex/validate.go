@@ -51,6 +51,82 @@ func (m *Method) Validate() error {
 			return m.malformed(fmt.Sprintf("try range [%d,%d) handler %d invalid for %d insns", t.Start, t.End, t.Handler, n))
 		}
 	}
+	return m.validateCFG()
+}
+
+// validateCFG runs the control-flow-derived checks: every instruction must
+// be reachable from entry, result/exception movers must sit at the only
+// positions the interpreter defines values for them, and no branch may land
+// on one (the single-slot IR analog of a branch target landing
+// mid-instruction, where the mover would read a stale pseudo-register).
+func (m *Method) validateCFG() error {
+	n := len(m.Insns)
+
+	isHandler := make([]bool, n)
+	for _, t := range m.Tries {
+		isHandler[t.Handler] = true
+	}
+	isInvoke := func(op Code) bool {
+		return op == InvokeVirtual || op == InvokeDirect || op == InvokeStatic
+	}
+	for pc := range m.Insns {
+		insn := &m.Insns[pc]
+		switch insn.Op {
+		case MoveResult, MoveResultWide:
+			if pc == 0 || !isInvoke(m.Insns[pc-1].Op) {
+				return m.malformed(fmt.Sprintf("%s at pc %d does not follow an invoke", insn.Op, pc))
+			}
+			if isHandler[pc] {
+				return m.malformed(fmt.Sprintf("exception handler lands on %s at pc %d", insn.Op, pc))
+			}
+		case MoveException:
+			if !isHandler[pc] {
+				return m.malformed(fmt.Sprintf("move-exception at pc %d is not a try handler entry", pc))
+			}
+		case Goto, IfTest, IfTestZ:
+			switch m.Insns[insn.Tgt].Op {
+			case MoveResult, MoveResultWide, MoveException:
+				return m.malformed(fmt.Sprintf(
+					"branch at pc %d lands mid-sequence on %s at pc %d", pc, m.Insns[insn.Tgt].Op, insn.Tgt))
+			}
+		}
+	}
+
+	// Reachability sweep from entry; try handlers are reachable from any
+	// instruction inside their range (the conservative may-throw edge).
+	reached := make([]bool, n)
+	work := []int{0}
+	reached[0] = true
+	visit := func(pc int) {
+		if pc >= 0 && pc < n && !reached[pc] {
+			reached[pc] = true
+			work = append(work, pc)
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range m.Tries {
+			if pc >= t.Start && pc < t.End {
+				visit(t.Handler)
+			}
+		}
+		switch insn := &m.Insns[pc]; insn.Op {
+		case Goto:
+			visit(insn.Tgt)
+		case IfTest, IfTestZ:
+			visit(insn.Tgt)
+			visit(pc + 1)
+		case ReturnVoid, Return, ReturnWide, Throw:
+		default:
+			visit(pc + 1)
+		}
+	}
+	for pc, r := range reached {
+		if !r {
+			return m.malformed(fmt.Sprintf("unreachable code at pc %d (%s)", pc, m.Insns[pc].Op))
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package dex
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
@@ -51,6 +52,88 @@ func TestValidateRejectsEmptyBody(t *testing.T) {
 	m.Insns = nil
 	if f, ok := fault.Of(c.Validate()); !ok || f.Kind != fault.MalformedDex {
 		t.Fatal("empty body not rejected")
+	}
+}
+
+func TestValidateRejectsUnreachableCode(t *testing.T) {
+	cb := NewClass("Lcom/test/U;")
+	cb.Method("dead", "V", AccStatic, 1).
+		Goto("out").
+		Const(0, 7). // skipped by the goto, no branch lands here
+		Label("out").
+		ReturnVoid().
+		Done()
+	f, ok := fault.Of(cb.Build().Validate())
+	if !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("unreachable code not rejected: %v", f)
+	}
+	if want := "unreachable code at pc 1"; !strings.Contains(f.Detail, want) {
+		t.Errorf("detail = %q, want %q", f.Detail, want)
+	}
+}
+
+func TestValidateRejectsOrphanMoveResult(t *testing.T) {
+	cb := NewClass("Lcom/test/MR;")
+	cb.Method("orphan", "I", AccStatic, 1).
+		Const(0, 1).
+		MoveResult(0). // no invoke preceding it
+		Return(0).
+		Done()
+	if f, ok := fault.Of(cb.Build().Validate()); !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("orphan move-result not rejected: %v", f)
+	}
+}
+
+func TestValidateRejectsBranchIntoMoveResult(t *testing.T) {
+	cb := NewClass("Lcom/test/BR;")
+	cb.Method("mid", "I", AccStatic, 1).
+		Const(0, 1).
+		IfZ(0, Eq, "mid").
+		InvokeStatic("Lcom/test/BR;", "mid", "I").
+		Label("mid"). // branch target lands on the move-result
+		MoveResult(0).
+		Return(0).
+		Done()
+	f, ok := fault.Of(cb.Build().Validate())
+	if !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("branch into move-result not rejected: %v", f)
+	}
+	if want := "lands mid-sequence"; !strings.Contains(f.Detail, want) {
+		t.Errorf("detail = %q, want %q", f.Detail, want)
+	}
+}
+
+func TestValidateRejectsStrayMoveException(t *testing.T) {
+	cb := NewClass("Lcom/test/ME;")
+	cb.Method("stray", "V", AccStatic, 1).
+		MoveException(0). // pc 0 is not a registered handler
+		ReturnVoid().
+		Done()
+	if f, ok := fault.Of(cb.Build().Validate()); !ok || f.Kind != fault.MalformedDex {
+		t.Fatalf("stray move-exception not rejected: %v", f)
+	}
+}
+
+func TestValidateAcceptsHandlerAndMoveResult(t *testing.T) {
+	cb := NewClass("Lcom/test/OK;")
+	cb.Method("callee", "I", AccStatic, 1).
+		Const(0, 3).
+		Return(0).
+		Done()
+	cb.Method("go", "I", AccStatic, 2).
+		Label("tryStart").
+		InvokeStatic("Lcom/test/OK;", "callee", "I").
+		MoveResult(0).
+		Label("tryEnd").
+		Return(0).
+		Label("catch").
+		MoveException(1).
+		Const(0, -1).
+		Return(0).
+		Try("tryStart", "tryEnd", "catch", "Ljava/lang/Throwable;").
+		Done()
+	if err := cb.Build().Validate(); err != nil {
+		t.Fatalf("well-formed try/move-result rejected: %v", err)
 	}
 }
 

@@ -145,6 +145,7 @@ func registerFramework(vm *VM) {
 			}
 			return uint64(o.Addr), o.Taint, nil
 		})
+		vm.markSource(tel.Name + "." + name)
 	}
 	source("getDeviceId", DeviceIMEI, taint.IMEI)
 	source("getSubscriberId", DeviceIMSI, taint.IMSI)
@@ -163,6 +164,7 @@ func registerFramework(vm *VM) {
 			}
 			return uint64(o.Addr), o.Taint, nil
 		})
+		vm.markSource(c.Name + "." + name)
 	}
 	csource(contacts, "getContactId", ContactID, taint.Contacts)
 	csource(contacts, "getContactName", ContactName, taint.Contacts)
@@ -199,6 +201,7 @@ func registerFramework(vm *VM) {
 		}
 		return 0, 0, nil
 	})
+	vm.markSink(net.Name + ".send")
 	vm.RegisterClass(net)
 }
 

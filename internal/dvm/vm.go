@@ -227,6 +227,23 @@ type VM struct {
 	// JavaDeopts counts mid-method falls back to the interpreter after an
 	// epoch bump (a hook or step function appeared under a running frame).
 	JavaDeopts uint64
+	// JavaPinnedFrames counts translated frame entries that took the clean
+	// variant because the method was statically pinned (internal/static),
+	// skipping the gate check entirely.
+	JavaPinnedFrames uint64
+
+	// pinnedClean holds methods the static pre-analysis proved can never
+	// observe tainted data: translated frames for them always run the clean
+	// variant and skip the taintSeen gate and its mid-frame bail checks.
+	// Keyed by method pointer, so a fresh System (fresh dex tree) never
+	// inherits stale pins — degradation retries must re-run the analysis.
+	pinnedClean map[*dex.Method]bool
+
+	// sourceMethods / sinkMethods index the framework taint sources and
+	// sinks by full name ("Landroid/...;.name") for the static
+	// taint-reachability pass.
+	sourceMethods map[string]bool
+	sinkMethods   map[string]bool
 
 	// internedStrings interns one string object per const-string site, so
 	// loops stop allocating; entries are GC roots (interpreter and compiled
@@ -346,6 +363,44 @@ func (vm *VM) ResetTaintLatch() {
 func (vm *VM) tainting() bool {
 	return vm.TaintJava && (vm.taintSeen || !vm.GateJava)
 }
+
+// PinClean marks a method as statically proven taint-irrelevant: its
+// translated frames always run the clean variant without consulting the
+// taintSeen gate. The caller (internal/static via core) owns the soundness
+// argument; pins are keyed by method pointer so they die with the System
+// that was analyzed.
+func (vm *VM) PinClean(m *dex.Method) {
+	if vm.pinnedClean == nil {
+		vm.pinnedClean = make(map[*dex.Method]bool)
+	}
+	vm.pinnedClean[m] = true
+}
+
+// PinnedCleanCount reports how many methods carry a static clean pin.
+func (vm *VM) PinnedCleanCount() int { return len(vm.pinnedClean) }
+
+// markSource records a framework taint-source builtin (registration time).
+func (vm *VM) markSource(full string) {
+	if vm.sourceMethods == nil {
+		vm.sourceMethods = make(map[string]bool)
+	}
+	vm.sourceMethods[full] = true
+}
+
+// markSink records a framework sink builtin (registration time).
+func (vm *VM) markSink(full string) {
+	if vm.sinkMethods == nil {
+		vm.sinkMethods = make(map[string]bool)
+	}
+	vm.sinkMethods[full] = true
+}
+
+// IsSourceMethod reports whether the full name ("Lcls;.name") is a
+// registered framework taint source.
+func (vm *VM) IsSourceMethod(full string) bool { return vm.sourceMethods[full] }
+
+// IsSinkMethod reports whether the full name is a registered framework sink.
+func (vm *VM) IsSinkMethod(full string) bool { return vm.sinkMethods[full] }
 
 // NewThread allocates an interpreter thread with a guest stack region.
 func (vm *VM) NewThread(name string) *Thread {

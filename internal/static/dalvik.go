@@ -1,0 +1,125 @@
+package static
+
+import "repro/internal/dex"
+
+// MethodCFG is the control-flow graph of one interpreted Dalvik method:
+// nodes are instruction indices, edges are fall-through, branch, and
+// exception-handler transfers. Any instruction inside a try range gets a may
+// edge to the range's handler — the conservative over-approximation of which
+// instructions can throw.
+type MethodCFG struct {
+	M     *dex.Method
+	succs [][]int
+	preds [][]int
+}
+
+// NewMethodCFG builds the CFG. It assumes the method passed dex.Validate
+// (branch targets in range); out-of-range targets are dropped rather than
+// crashing so the lint can still run over rejected classes.
+func NewMethodCFG(m *dex.Method) *MethodCFG {
+	n := len(m.Insns)
+	g := &MethodCFG{M: m, succs: make([][]int, n), preds: make([][]int, n)}
+	add := func(from, to int) {
+		if to < 0 || to >= n {
+			return
+		}
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for pc := 0; pc < n; pc++ {
+		insn := &m.Insns[pc]
+		switch insn.Op {
+		case dex.Goto:
+			add(pc, insn.Tgt)
+		case dex.IfTest, dex.IfTestZ:
+			add(pc, insn.Tgt)
+			add(pc, pc+1)
+		case dex.ReturnVoid, dex.Return, dex.ReturnWide:
+		case dex.Throw:
+			for _, t := range m.Tries {
+				if pc >= t.Start && pc < t.End {
+					add(pc, t.Handler)
+				}
+			}
+		default:
+			add(pc, pc+1)
+			if mayThrow(insn.Op) {
+				for _, t := range m.Tries {
+					if pc >= t.Start && pc < t.End {
+						add(pc, t.Handler)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// mayThrow reports whether the operation can raise a Java exception (NPE,
+// bounds, arithmetic, or anything thrown by a callee).
+func mayThrow(op dex.Code) bool {
+	switch op {
+	case dex.InvokeVirtual, dex.InvokeDirect, dex.InvokeStatic,
+		dex.Aget, dex.AgetWide, dex.Aput, dex.AputWide,
+		dex.Iget, dex.IgetWide, dex.Iput, dex.IputWide,
+		dex.ArrayLength, dex.NewArray, dex.NewInstance,
+		dex.BinOp, dex.BinOpLit, dex.BinOpWide:
+		return true
+	}
+	return false
+}
+
+// NumNodes implements Graph.
+func (g *MethodCFG) NumNodes() int { return len(g.succs) }
+
+// Succs implements Graph.
+func (g *MethodCFG) Succs(n int) []int { return g.succs[n] }
+
+// Preds implements Graph.
+func (g *MethodCFG) Preds(n int) []int { return g.preds[n] }
+
+// CallSite is one invoke instruction in an interpreted method.
+type CallSite struct {
+	PC   int
+	Insn *dex.Insn
+}
+
+// CallSites lists the method's invoke instructions.
+func (g *MethodCFG) CallSites() []CallSite {
+	var out []CallSite
+	for pc := range g.M.Insns {
+		insn := &g.M.Insns[pc]
+		switch insn.Op {
+		case dex.InvokeVirtual, dex.InvokeDirect, dex.InvokeStatic:
+			out = append(out, CallSite{PC: pc, Insn: insn})
+		}
+	}
+	return out
+}
+
+// HeapReads reports whether the method reads object, array, or static-field
+// state — the channels through which taint can enter a frame without flowing
+// through arguments or return values.
+func (g *MethodCFG) HeapReads() bool {
+	for pc := range g.M.Insns {
+		switch g.M.Insns[pc].Op {
+		case dex.Aget, dex.AgetWide, dex.Iget, dex.IgetWide,
+			dex.Sget, dex.SgetWide, dex.ArrayLength, dex.MoveException:
+			return true
+		}
+	}
+	return false
+}
+
+// HeapWrites reports whether the method stores into object, array, or
+// static-field state.
+func (g *MethodCFG) HeapWrites() bool {
+	for pc := range g.M.Insns {
+		switch g.M.Insns[pc].Op {
+		case dex.Aput, dex.AputWide, dex.Iput, dex.IputWide,
+			dex.Sput, dex.SputWide:
+			return true
+		}
+	}
+	return false
+}

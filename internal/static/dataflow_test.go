@@ -1,0 +1,145 @@
+package static
+
+import "testing"
+
+// lineGraph is 0 -> 1 -> 2 -> 3 with a back edge 3 -> 1.
+type testGraph struct {
+	succs [][]int
+	preds [][]int
+}
+
+func (g *testGraph) NumNodes() int     { return len(g.succs) }
+func (g *testGraph) Succs(n int) []int { return g.succs[n] }
+func (g *testGraph) Preds(n int) []int { return g.preds[n] }
+
+func newTestGraph(n int, edges [][2]int) *testGraph {
+	g := &testGraph{succs: make([][]int, n), preds: make([][]int, n)}
+	for _, e := range edges {
+		g.succs[e[0]] = append(g.succs[e[0]], e[1])
+		g.preds[e[1]] = append(g.preds[e[1]], e[0])
+	}
+	return g
+}
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Any() {
+		t.Fatal("fresh bitset should be empty")
+	}
+	if !b.Set(0) || !b.Set(64) || !b.Set(129) {
+		t.Fatal("first Set should report change")
+	}
+	if b.Set(64) {
+		t.Fatal("second Set should not report change")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	c := b.Copy()
+	c.Clear(64)
+	if !b.Get(64) || c.Get(64) {
+		t.Fatal("Copy must not alias")
+	}
+}
+
+func TestSolveForwardMay(t *testing.T) {
+	// Gen bit 0 at node 0; the fact must reach every node on the chain and
+	// survive the loop 3 -> 1.
+	g := newTestGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 1}})
+	sol := Solve(g, Problem{
+		Dir: Forward, Join: May, Bits: 1,
+		Boundary: func(n int) BitSet {
+			b := NewBitSet(1)
+			if n == 0 {
+				b.Set(0)
+			}
+			return b
+		},
+		Transfer: func(n int, in BitSet) BitSet { return in },
+	})
+	for n := 0; n < 4; n++ {
+		if !sol[n].Get(0) {
+			t.Fatalf("node %d should have the fact", n)
+		}
+	}
+}
+
+func TestSolveBackwardMay(t *testing.T) {
+	// Fact generated at the leaf must flow to all ancestors, not descendants.
+	//   0 -> 1 -> 3(gen),  0 -> 2
+	g := newTestGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}})
+	sol := Solve(g, Problem{
+		Dir: Backward, Join: May, Bits: 1,
+		Boundary: func(n int) BitSet {
+			b := NewBitSet(1)
+			if n == 3 {
+				b.Set(0)
+			}
+			return b
+		},
+		Transfer: func(n int, in BitSet) BitSet { return in },
+	})
+	for _, n := range []int{0, 1, 3} {
+		if !sol[n].Get(0) {
+			t.Fatalf("node %d should see the leaf fact", n)
+		}
+	}
+	if sol[2].Get(0) {
+		t.Fatal("node 2 is not an ancestor of the gen node")
+	}
+}
+
+func TestSolveForwardMust(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3. Node 1 gens the fact, node 2 does not; a
+	// must (intersection) analysis cannot claim it at the join.
+	g := newTestGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	gen := func(n int, in BitSet) BitSet {
+		out := in.Copy()
+		if n == 1 {
+			out.Set(0)
+		}
+		if n == 0 {
+			// Entry kills everything: the boundary for a must problem.
+			out = NewBitSet(1)
+		}
+		return out
+	}
+	sol := Solve(g, Problem{
+		Dir: Forward, Join: Must, Bits: 1,
+		Boundary: func(n int) BitSet { return NewBitSet(1) },
+		Transfer: gen,
+	})
+	if sol[3].Get(0) {
+		t.Fatal("must-join at the diamond exit should drop the one-sided fact")
+	}
+
+	// Same graph, but both arms gen: the fact must survive the must-join.
+	gen2 := func(n int, in BitSet) BitSet {
+		out := in.Copy()
+		if n == 1 || n == 2 {
+			out.Set(0)
+		}
+		if n == 0 {
+			out = NewBitSet(1)
+		}
+		return out
+	}
+	sol = Solve(g, Problem{
+		Dir: Forward, Join: Must, Bits: 1,
+		Boundary: func(n int) BitSet { return NewBitSet(1) },
+		Transfer: gen2,
+	})
+	if !sol[3].Get(0) {
+		t.Fatal("fact available on both arms must survive the must-join")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := newTestGraph(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	r := Reachable(g, []int{0})
+	for n, want := range []bool{true, true, true, false, false} {
+		if r.Get(n) != want {
+			t.Fatalf("node %d reachable = %v, want %v", n, r.Get(n), want)
+		}
+	}
+}

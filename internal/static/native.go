@@ -1,0 +1,465 @@
+package static
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/arm"
+)
+
+// NativeInsn is one decoded instruction in a native-code CFG.
+type NativeInsn struct {
+	Addr  uint32
+	Thumb bool
+	Insn  arm.Insn
+
+	// Succs are intra-procedural successors (fall-through and branches, not
+	// call targets).
+	Succs []uint32
+	// CallName is the resolved extern callee (libc/libm/JNI/libdvm symbol)
+	// when this instruction calls or tail-calls out of the program; "svc"
+	// for raw supervisor calls.
+	CallName string
+	// CallLocal is the in-program call target (BL label), 0 when none.
+	CallLocal uint32
+	// Indirect marks an unresolvable control transfer (register branch whose
+	// target the MOVW/MOVT constant tracker could not prove).
+	Indirect bool
+	// Return marks a function exit (BX LR, POP {...,PC}, MOV PC, LR).
+	Return bool
+}
+
+// NativeFunc is one function discovered in a native library: the
+// instructions reachable from its entry without crossing a call edge.
+type NativeFunc struct {
+	Entry uint32
+	Name  string
+	Body  []uint32 // instruction addresses, sorted
+
+	Calls      []string // extern callees, deduplicated
+	LocalCalls []uint32 // in-program call targets (function entries)
+	Unresolved bool     // an indirect transfer escaped the constant tracker
+	BadDecode  bool     // traversal reached undecodable bytes
+}
+
+// NativeCFG is the control-flow graph of one loaded native library image,
+// built by conservative recursive traversal from the bound JNI entry points.
+// Data bytes (.asciz/.space) are never decoded because nothing branches to
+// them; indirect branches whose targets the MOVW/MOVT tracker cannot resolve
+// stop traversal and mark the enclosing function Unresolved.
+type NativeCFG struct {
+	Prog  *arm.Program
+	Insns map[uint32]*NativeInsn
+	Funcs map[uint32]*NativeFunc
+
+	order []uint32 // sorted instruction addresses, built on demand
+}
+
+// BuildNativeCFG decodes the program's control flow from the given entry
+// points (address → name; bit 0 of the address selects Thumb). resolve maps
+// out-of-program addresses to symbol names (libc, JNI env, libdvm).
+func BuildNativeCFG(prog *arm.Program, entries map[uint32]string, resolve func(uint32) (string, bool)) *NativeCFG {
+	b := &cfgBuilder{
+		cfg:     &NativeCFG{Prog: prog, Insns: make(map[uint32]*NativeInsn), Funcs: make(map[uint32]*NativeFunc)},
+		resolve: resolve,
+		entries: make(map[uint32]string),
+	}
+	for addr, name := range entries {
+		b.entries[addr] = name
+	}
+	// Deterministic entry order.
+	var roots []uint32
+	for addr := range b.entries {
+		roots = append(roots, addr)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, addr := range roots {
+		b.exploreFunc(addr)
+	}
+	// Local call targets become function entries of their own; exploreFunc
+	// appends to b.pending as it finds them.
+	for len(b.pending) > 0 {
+		addr := b.pending[0]
+		b.pending = b.pending[1:]
+		b.exploreFunc(addr)
+	}
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg     *NativeCFG
+	resolve func(uint32) (string, bool)
+	entries map[uint32]string
+	pending []uint32
+}
+
+func (b *cfgBuilder) inProg(addr uint32) bool {
+	p := b.cfg.Prog
+	return addr >= p.Base && addr < p.Base+p.Size()
+}
+
+func (b *cfgBuilder) decode(addr uint32, thumb bool) (arm.Insn, bool) {
+	p := b.cfg.Prog
+	off := int(addr - p.Base)
+	if thumb {
+		if off < 0 || off+2 > len(p.Code) {
+			return arm.Insn{}, false
+		}
+		hw := binary.LittleEndian.Uint16(p.Code[off:])
+		var hw2 uint16
+		if off+4 <= len(p.Code) {
+			hw2 = binary.LittleEndian.Uint16(p.Code[off+2:])
+		}
+		insn := arm.DecodeThumb(hw, hw2)
+		if insn.Op == arm.OpInvalid || off+int(insn.Size) > len(p.Code) {
+			return arm.Insn{}, false
+		}
+		return insn, true
+	}
+	if off < 0 || off+4 > len(p.Code) {
+		return arm.Insn{}, false
+	}
+	insn := arm.Decode(binary.LittleEndian.Uint32(p.Code[off:]))
+	if insn.Op == arm.OpInvalid {
+		return arm.Insn{}, false
+	}
+	return insn, true
+}
+
+// exploreFunc traverses one function: every instruction reachable from entry
+// without crossing a call edge. Call targets found on the way are queued as
+// new functions.
+func (b *cfgBuilder) exploreFunc(entry uint32) {
+	start := entry &^ 1
+	if _, done := b.cfg.Funcs[start]; done {
+		return
+	}
+	fn := &NativeFunc{Entry: start, Name: b.entries[entry]}
+	if fn.Name == "" {
+		fn.Name = b.entries[start]
+	}
+	b.cfg.Funcs[start] = fn
+
+	type workItem struct {
+		addr   uint32
+		thumb  bool
+		consts map[int8]uint32 // known register constants (MOVW/MOVT tracking)
+	}
+	inBody := make(map[uint32]bool)
+	work := []workItem{{addr: start, thumb: entry&1 != 0}}
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		addr, thumb, consts := item.addr, item.thumb, item.consts
+		if consts == nil {
+			consts = make(map[int8]uint32)
+		}
+		for {
+			if inBody[addr] {
+				break
+			}
+			insn, ok := b.decode(addr, thumb)
+			if !ok {
+				fn.BadDecode = true
+				break
+			}
+			inBody[addr] = true
+			ni := b.cfg.Insns[addr]
+			if ni == nil {
+				ni = &NativeInsn{Addr: addr, Thumb: thumb, Insn: insn}
+				b.cfg.Insns[addr] = ni
+			}
+			next := addr + insn.Size
+			stop := b.step(fn, ni, consts, next, thumb, func(target uint32, tthumb bool) {
+				if !inBody[target] {
+					work = append(work, workItem{addr: target, thumb: tthumb})
+				}
+			})
+			if stop {
+				break
+			}
+			addr = next
+		}
+	}
+
+	fn.Body = make([]uint32, 0, len(inBody))
+	for a := range inBody {
+		fn.Body = append(fn.Body, a)
+	}
+	sort.Slice(fn.Body, func(i, j int) bool { return fn.Body[i] < fn.Body[j] })
+	seenCall := make(map[string]bool)
+	seenLocal := make(map[uint32]bool)
+	for _, a := range fn.Body {
+		ni := b.cfg.Insns[a]
+		if ni == nil {
+			continue
+		}
+		if ni.CallName != "" && !seenCall[ni.CallName] {
+			seenCall[ni.CallName] = true
+			fn.Calls = append(fn.Calls, ni.CallName)
+		}
+		if ni.CallLocal != 0 && !seenLocal[ni.CallLocal] {
+			seenLocal[ni.CallLocal] = true
+			fn.LocalCalls = append(fn.LocalCalls, ni.CallLocal)
+		}
+		if ni.Indirect {
+			fn.Unresolved = true
+		}
+	}
+	sort.Strings(fn.Calls)
+	sort.Slice(fn.LocalCalls, func(i, j int) bool { return fn.LocalCalls[i] < fn.LocalCalls[j] })
+}
+
+// step classifies one instruction's control flow, updates the constant
+// tracker, records successor edges, and reports whether the linear walk
+// stops here. branch() queues an intra-procedural target.
+func (b *cfgBuilder) step(fn *NativeFunc, ni *NativeInsn, consts map[int8]uint32, next uint32, thumb bool, branch func(uint32, bool)) bool {
+	insn := ni.Insn
+	addSucc := func(t uint32) {
+		for _, s := range ni.Succs {
+			if s == t {
+				return
+			}
+		}
+		ni.Succs = append(ni.Succs, t)
+	}
+	clobberCall := func() {
+		for _, r := range []int8{0, 1, 2, 3, 12, arm.LR} {
+			delete(consts, r)
+		}
+	}
+
+	switch insn.Op {
+	case arm.OpB:
+		tgt := ni.Addr + insn.Size + uint32(insn.Imm)
+		if b.inProg(tgt) {
+			addSucc(tgt)
+			branch(tgt, thumb)
+		} else if name, ok := b.resolve(tgt); ok {
+			// Direct tail call out of the image.
+			ni.CallName = name
+			ni.Return = true
+		} else {
+			ni.Indirect = true
+		}
+		if insn.Cond != arm.CondAL {
+			addSucc(next)
+			return false
+		}
+		return true
+	case arm.OpBL:
+		tgt := ni.Addr + insn.Size + uint32(insn.Imm)
+		if b.inProg(tgt) {
+			ni.CallLocal = tgt
+			b.queueFunc(tgt, thumb)
+		} else if name, ok := b.resolve(tgt); ok {
+			ni.CallName = name
+		} else {
+			ni.Indirect = true
+		}
+		clobberCall()
+		addSucc(next)
+		return false
+	case arm.OpBX:
+		if insn.Rm == arm.LR {
+			ni.Return = true
+			return true
+		}
+		if v, ok := consts[insn.Rm]; ok {
+			if b.inProg(v &^ 1) {
+				tgt := v &^ 1
+				addSucc(tgt)
+				branch(tgt, v&1 != 0)
+			} else if name, ok := b.resolve(v &^ 1); ok {
+				// Extern-B veneer: MOVW/MOVT IP; BX IP — a tail call that
+				// returns to our own caller.
+				ni.CallName = name
+				ni.Return = true
+			} else {
+				ni.Indirect = true
+			}
+		} else {
+			ni.Indirect = true
+		}
+		return true
+	case arm.OpBLX:
+		if insn.Rm != arm.RegNone {
+			if v, ok := consts[insn.Rm]; ok {
+				if b.inProg(v &^ 1) {
+					ni.CallLocal = v &^ 1
+					b.queueFunc(v&^1, v&1 != 0)
+				} else if name, ok := b.resolve(v &^ 1); ok {
+					ni.CallName = name
+				} else {
+					ni.Indirect = true
+				}
+			} else {
+				ni.Indirect = true
+			}
+		} else {
+			// Immediate BLX switches instruction set; treat like BL.
+			tgt := ni.Addr + insn.Size + uint32(insn.Imm)
+			if b.inProg(tgt) {
+				ni.CallLocal = tgt
+				b.queueFunc(tgt, !thumb)
+			} else if name, ok := b.resolve(tgt); ok {
+				ni.CallName = name
+			} else {
+				ni.Indirect = true
+			}
+		}
+		clobberCall()
+		addSucc(next)
+		return false
+	case arm.OpSVC:
+		ni.CallName = "svc"
+		addSucc(next)
+		return false
+	case arm.OpHLT:
+		return true
+	case arm.OpLDM:
+		if insn.RegList&(1<<uint(arm.PC)) != 0 {
+			ni.Return = true // POP {...,PC}
+			return true
+		}
+		for r := int8(0); r < 16; r++ {
+			if insn.RegList&(1<<uint(r)) != 0 {
+				delete(consts, r)
+			}
+		}
+		if insn.Writeback {
+			delete(consts, insn.Rn)
+		}
+		addSucc(next)
+		return false
+	}
+
+	// PC-writing ALU/load forms: MOV PC, LR is a return; anything else is an
+	// unresolved indirect transfer.
+	if insn.Rd == arm.PC {
+		if insn.Op == arm.OpMOV && insn.Rm == arm.LR {
+			ni.Return = true
+		} else {
+			ni.Indirect = true
+		}
+		return true
+	}
+
+	// Constant tracking for the veneer/LDR= idiom.
+	switch insn.Op {
+	case arm.OpMOVW:
+		consts[insn.Rd] = uint32(insn.Imm) & 0xffff
+	case arm.OpMOVT:
+		if v, ok := consts[insn.Rd]; ok {
+			consts[insn.Rd] = (v & 0xffff) | uint32(insn.Imm)<<16
+		} else {
+			delete(consts, insn.Rd)
+		}
+	case arm.OpMOV:
+		if insn.HasImm {
+			consts[insn.Rd] = uint32(insn.Imm)
+		} else if v, ok := consts[insn.Rm]; ok && !insn.RegOffset {
+			consts[insn.Rd] = v
+		} else {
+			delete(consts, insn.Rd)
+		}
+	case arm.OpSTM:
+		if insn.Writeback {
+			delete(consts, insn.Rn)
+		}
+	default:
+		if insn.Rd != arm.RegNone {
+			delete(consts, insn.Rd)
+		}
+		if insn.Writeback && insn.Rn != arm.RegNone {
+			delete(consts, insn.Rn)
+		}
+	}
+	addSucc(next)
+	return false
+}
+
+func (b *cfgBuilder) queueFunc(addr uint32, thumb bool) {
+	key := addr &^ 1
+	if _, done := b.cfg.Funcs[key]; done {
+		return
+	}
+	for _, p := range b.pending {
+		if p&^1 == key {
+			return
+		}
+	}
+	if thumb {
+		addr |= 1
+	}
+	b.pending = append(b.pending, addr)
+}
+
+// Order returns every decoded instruction address, sorted.
+func (c *NativeCFG) Order() []uint32 {
+	if c.order == nil {
+		c.order = make([]uint32, 0, len(c.Insns))
+		for a := range c.Insns {
+			c.order = append(c.order, a)
+		}
+		sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	}
+	return c.order
+}
+
+// funcGraph adapts one NativeFunc's body to the dataflow Graph interface:
+// nodes are body indices, edges the intra-procedural successors.
+type funcGraph struct {
+	fn    *NativeFunc
+	cfg   *NativeCFG
+	index map[uint32]int
+	succs [][]int
+	preds [][]int
+}
+
+func newFuncGraph(cfg *NativeCFG, fn *NativeFunc) *funcGraph {
+	g := &funcGraph{fn: fn, cfg: cfg, index: make(map[uint32]int, len(fn.Body))}
+	for i, a := range fn.Body {
+		g.index[a] = i
+	}
+	g.succs = make([][]int, len(fn.Body))
+	g.preds = make([][]int, len(fn.Body))
+	for i, a := range fn.Body {
+		ni := cfg.Insns[a]
+		if ni == nil {
+			continue
+		}
+		for _, s := range ni.Succs {
+			if j, ok := g.index[s]; ok {
+				g.succs[i] = append(g.succs[i], j)
+				g.preds[j] = append(g.preds[j], i)
+			}
+		}
+	}
+	return g
+}
+
+func (g *funcGraph) NumNodes() int     { return len(g.fn.Body) }
+func (g *funcGraph) Succs(n int) []int { return g.succs[n] }
+func (g *funcGraph) Preds(n int) []int { return g.preds[n] }
+
+// addr maps a graph node back to its instruction address.
+func (g *funcGraph) addr(n int) uint32 { return g.fn.Body[n] }
+
+// destReg returns the general-purpose register the instruction writes, or -1.
+func destReg(ni *NativeInsn) int {
+	if ni.Insn.Rd == arm.RegNone {
+		return -1
+	}
+	return int(ni.Insn.Rd)
+}
+
+// copySrcReg returns the source register of a plain register-to-register MOV,
+// or -1 when the instruction is not a copy.
+func copySrcReg(ni *NativeInsn) int {
+	insn := ni.Insn
+	if insn.Op == arm.OpMOV && !insn.HasImm && !insn.RegOffset && insn.Rm != arm.RegNone {
+		return int(insn.Rm)
+	}
+	return -1
+}
