@@ -9,6 +9,8 @@
 //	cfbench -repeats 3            # best-of-3 per cell
 //	cfbench -json BENCH_fig10.json # also write machine-readable results
 //	cfbench -java-ablation        # Java rows, translation engine on vs off
+//	cfbench -snapshot both        # fresh vs fork-server throughput ablation
+//	cfbench -snapshot on          # snapshot arm only (off: fresh arm only)
 package main
 
 import (
@@ -25,6 +27,8 @@ func main() {
 	repeats := flag.Int("repeats", 3, "measurements per cell (best kept)")
 	jsonPath := flag.String("json", "", "write results as JSON to this file (e.g. BENCH_fig10.json)")
 	javaAblation := flag.Bool("java-ablation", false, "run only the Java rows, translation engine on vs off")
+	snapshot := flag.String("snapshot", "both", "throughput ablation arms: both, on, off, or none")
+	snapRounds := flag.Int("snapshot-rounds", 3, "corpus sweeps per throughput arm")
 	flag.Parse()
 
 	if *javaAblation {
@@ -49,6 +53,24 @@ func main() {
 	res.Pins = pins
 	fmt.Println("Static pin precision:")
 	fmt.Println(cfbench.PinReport(pins))
+	parityFailed := false
+	if *snapshot != "none" {
+		withFresh := *snapshot == "both" || *snapshot == "off"
+		withSnap := *snapshot == "both" || *snapshot == "on"
+		if !withFresh && !withSnap {
+			fmt.Fprintf(os.Stderr, "cfbench: bad -snapshot value %q (both, on, off, none)\n", *snapshot)
+			os.Exit(2)
+		}
+		tp, err := cfbench.ThroughputSweep(0, *snapRounds, withFresh, withSnap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench:", err)
+			os.Exit(1)
+		}
+		res.Throughput = tp
+		fmt.Println("Corpus throughput (snapshot ablation):")
+		fmt.Println(tp.String())
+		parityFailed = !tp.ParityOK
+	}
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {
@@ -64,6 +86,10 @@ func main() {
 	fmt.Println("Paper reference (Fig. 10): NDroid overall 5.45x vs vanilla; DroidScope >= 11x.")
 	fmt.Println("Absolute factors compress on this substrate (interpreter baseline vs QEMU-")
 	fmt.Println("translated code); the orderings are the reproduced result — see EXPERIMENTS.md.")
+	if parityFailed {
+		fmt.Fprintln(os.Stderr, "cfbench: snapshot/fresh parity mismatch:", res.Throughput.ParityDetail)
+		os.Exit(1)
+	}
 }
 
 // runJavaAblation measures every Java row under vanilla and NDroid with the

@@ -16,6 +16,8 @@
 //	marketstudy -scale 10      # 1/10th-size market, same proportions
 //	marketstudy -dynamic=false # static study only
 //	marketstudy -budget 1000000 # tighter watchdog budget (instructions)
+//	marketstudy -snapshot      # serve the dynamic corpus from per-worker
+//	                           # fork servers (boot once, reset in O(dirty))
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent classification workers")
 	dynamic := flag.Bool("dynamic", true, "run the dynamic corpus under contained analysis")
 	budget := flag.Uint64("budget", 0, "watchdog instruction budget per run (0 = default)")
+	snapshot := flag.Bool("snapshot", false, "serve dynamic attempts from per-worker snapshot clones")
 	flag.Parse()
 
 	params := corpus.PaperParams()
@@ -60,8 +63,24 @@ func main() {
 
 	fmt.Printf("\nDynamic corpus under contained analysis (mode ndroid, budget %d):\n\n",
 		effectiveBudget(*budget))
-	rep := apps.RunStudy(apps.StudyOptions{Budget: *budget, FlowLog: true, Static: static.PinLevel})
+	opts := apps.StudyOptions{Budget: *budget, FlowLog: true, Static: static.PinLevel, Snapshot: *snapshot}
+	dynWorkers := 1
+	if *snapshot {
+		dynWorkers = *workers
+	}
+	rep := apps.RunStudyParallel(opts, dynWorkers)
 	fmt.Print(rep.String())
+	if *snapshot {
+		rs := rep.RunnerStats
+		perReset := 0.0
+		taintPerReset := 0.0
+		if rs.Resets > 0 {
+			perReset = float64(rs.GuestPagesReset) / float64(rs.Resets)
+			taintPerReset = float64(rs.TaintPagesReset) / float64(rs.Resets)
+		}
+		fmt.Printf("\nFork servers: %d workers, %d boots, %d resets; per-reset cost %.1f guest pages + %.1f taint pages copied.\n",
+			rep.Workers, rs.Boots, rs.Resets, perReset, taintPerReset)
+	}
 	fmt.Println("\nEvery hostile app resolved to a per-app verdict; the study process survived.")
 }
 

@@ -62,15 +62,37 @@ func TestInjectionEverySiteContained(t *testing.T) {
 		site := site
 		t.Run(site, func(t *testing.T) {
 			fault.Reset()
+			aOpts := core.AnalyzeOptions{Budget: testBudget, FlowLog: true}
+			if site == core.SiteSnapshotRestore {
+				// The restore site only exists on the fork-server path.
+				runner, err := core.NewRunner()
+				if err != nil {
+					t.Fatal(err)
+				}
+				aOpts.Runner = runner
+			}
 			if err := fault.Arm(site, fault.UnmappedAccess); err != nil {
 				t.Fatal(err)
 			}
-			r := core.AnalyzeApp(app.Spec(), core.AnalyzeOptions{Budget: testBudget, FlowLog: true})
+			r := core.AnalyzeApp(app.Spec(), aOpts)
 			if n := fault.Fired(site); n != 1 {
 				t.Fatalf("site fired %d times, want exactly 1 (chain %s)", n, r.ChainString())
 			}
 			if !chainSawInjection(r, site) {
 				t.Fatalf("injected fault not recorded in chain %s", r.ChainString())
+			}
+			if site == core.SiteSnapshotRestore {
+				// Injected restore corruption surfaces as a typed InternalError
+				// (whatever kind was armed) and takes the same-mode
+				// fresh-System retry, not degradation.
+				f := r.Chain[0].Result.Fault
+				if f == nil || f.Kind != fault.InternalError {
+					t.Fatalf("chain %s: want InternalError on first attempt, got %v", r.ChainString(), f)
+				}
+				if r.Verdict() != core.VerdictLeak || r.Degraded {
+					t.Errorf("chain %s: want same-mode retry ending in leak", r.ChainString())
+				}
+				return
 			}
 			layer, _ := fault.SiteLayer(site)
 			switch layer {
@@ -118,7 +140,11 @@ func TestInjectionParity(t *testing.T) {
 				if err := fault.Arm(site, k); err != nil {
 					t.Fatal(err)
 				}
-				rep := apps.RunStudy(apps.StudyOptions{Budget: testBudget, FlowLog: true})
+				// The restore site only exists on the fork-server path, so its
+				// sweep runs with Snapshot on — which also checks that
+				// snapshot-served logs match the fresh-System baseline.
+				rep := apps.RunStudy(apps.StudyOptions{Budget: testBudget, FlowLog: true,
+					Snapshot: site == core.SiteSnapshotRestore})
 				if n := fault.Fired(site); n != 1 {
 					t.Fatalf("site fired %d times across the sweep, want 1", n)
 				}

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/static"
@@ -21,6 +22,10 @@ type StudyOptions struct {
 	Static static.Level
 	// Apps is the corpus; nil means AllApps() (benign + hostile).
 	Apps []*App
+	// Snapshot serves attempts from a boot-once fork server (core.Runner)
+	// instead of a fresh System per attempt. Verdicts and flow logs are
+	// byte-identical either way; only throughput changes.
+	Snapshot bool
 }
 
 // StudyRow is one app's contained outcome.
@@ -43,6 +48,12 @@ type StudyReport struct {
 	// Attempts counts analysis runs including retries and degradation steps.
 	Degraded int
 	Attempts int
+
+	// RunnerStats aggregates fork-server work (boots, resets, pages copied)
+	// across all workers when the sweep ran with Snapshot; zero otherwise.
+	RunnerStats core.RunnerStats
+	// Workers is how many parallel workers served the sweep (1 = sequential).
+	Workers int
 }
 
 // RunStudy analyzes every app in the corpus under per-app isolation: each
@@ -50,19 +61,71 @@ type StudyReport struct {
 // raises is contained to its own report. A corpus with hostile members
 // always completes.
 func RunStudy(opts StudyOptions) *StudyReport {
+	return RunStudyParallel(opts, 1)
+}
+
+// RunStudyParallel runs the sweep across workers, each serving its share of
+// the corpus from its own fork server (per-worker System clone) when
+// opts.Snapshot is set. Rows keep corpus order and every app's outcome is
+// independent of worker assignment, so the report is deterministic for any
+// worker count.
+func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 	corpus := opts.Apps
 	if corpus == nil {
 		corpus = AllApps()
 	}
-	rep := &StudyReport{}
-	for _, app := range corpus {
-		r := core.AnalyzeApp(app.Spec(), core.AnalyzeOptions{
-			Mode:    opts.Mode,
-			Budget:  opts.Budget,
-			FlowLog: opts.FlowLog,
-			Static:  opts.Static,
-		})
-		rep.Rows = append(rep.Rows, StudyRow{App: app, Report: r})
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(corpus) && len(corpus) > 0 {
+		workers = len(corpus)
+	}
+
+	rows := make([]StudyRow, len(corpus))
+	stats := make([]core.RunnerStats, workers)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var runner *core.Runner
+			if opts.Snapshot {
+				// A failed warm boot falls back to fresh-System attempts; the
+				// per-attempt path reports any recurring boot fault itself.
+				runner, _ = core.NewRunner()
+			}
+			for i := range idx {
+				rows[i] = StudyRow{App: corpus[i], Report: core.AnalyzeApp(corpus[i].Spec(), core.AnalyzeOptions{
+					Mode:    opts.Mode,
+					Budget:  opts.Budget,
+					FlowLog: opts.FlowLog,
+					Static:  opts.Static,
+					Runner:  runner,
+				})}
+			}
+			if runner != nil {
+				stats[w] = runner.Stats
+			}
+		}(w)
+	}
+	for i := range corpus {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &StudyReport{Rows: rows, Workers: workers}
+	for _, s := range stats {
+		rep.RunnerStats.Boots += s.Boots
+		rep.RunnerStats.Resets += s.Resets
+		rep.RunnerStats.GuestPagesReset += s.GuestPagesReset
+		rep.RunnerStats.TaintPagesReset += s.TaintPagesReset
+		rep.RunnerStats.StaticRuns += s.StaticRuns
+		rep.RunnerStats.StaticReuses += s.StaticReuses
+	}
+	for _, row := range rep.Rows {
+		r := row.Report
 		rep.Attempts += len(r.Chain)
 		if r.Degraded {
 			rep.Degraded++

@@ -1,0 +1,188 @@
+package arm
+
+// This file implements the CPU side of the copy-on-write System snapshot
+// (core.Snapshot): capture and restore of every mutable scalar the analyzer
+// or the guest can change between attempts, designed so the translation
+// caches survive a restore wherever they are still valid.
+//
+// The division of labor with mem.Memory.Restore matters: guest pages the
+// attempt dirtied fire write-notify when they are swapped back, and
+// onMemWrite already invalidates exactly those pages' decoded instructions
+// and blocks. Restore therefore never flushes the caches wholesale — it only
+// invalidates blocks on pages whose *non-byte* translation inputs changed
+// (address hooks and static pins, both baked into blocks at translation
+// time). Tracer changes are reconciled by runBlocks' boundTracer check, the
+// same path that handles a tracer swap mid-session.
+
+import "repro/internal/taint"
+
+// CPUSnapshot holds the captured CPU state. Opaque to callers; produced by
+// Snapshot and consumed by Restore on the same CPU.
+type CPUSnapshot struct {
+	r        [16]uint32
+	n, z, cf, v, thumb bool
+	regTaint [16]taint.Tag
+
+	tracer     Tracer
+	decodeHook func(pc uint32, thumb bool, insn Insn)
+	branchFn   BranchFunc
+	branchWatchOn                bool
+	branchWatchLo, branchWatchHi uint32
+	svc func(c *CPU, num uint32) error
+
+	addrHooks map[uint32]AddrHook
+	checkHook bool
+
+	useDecodeCache bool
+	cacheHits      uint64
+	cacheMisses    uint64
+
+	useBlockCache bool
+	blockHits     uint64
+	blockMisses   uint64
+
+	useTaintGate bool
+	live         *taint.Liveness
+	gateBail     bool
+	gateWasLive  bool
+	gateFlips    uint64
+	gateFast     uint64
+	gateSlow     uint64
+	gatePinned   uint64
+
+	pinnedPages map[uint32]bool
+
+	halted    bool
+	exitCode  int32
+	insnCount uint64
+}
+
+// Snapshot captures the CPU's mutable state. Translation caches are NOT
+// copied — they are forward-valid caches over guest bytes plus hook/pin/
+// tracer inputs, and Restore invalidates exactly the entries whose inputs
+// changed instead of recapturing them.
+func (c *CPU) Snapshot() *CPUSnapshot {
+	s := &CPUSnapshot{
+		r:        c.R,
+		n:        c.N, z: c.Z, cf: c.C, v: c.V, thumb: c.Thumb,
+		regTaint: c.RegTaint,
+
+		tracer:        c.Tracer,
+		decodeHook:    c.DecodeHook,
+		branchFn:      c.BranchFn,
+		branchWatchOn: c.branchWatchOn,
+		branchWatchLo: c.branchWatchLo,
+		branchWatchHi: c.branchWatchHi,
+		svc:           c.SVC,
+
+		addrHooks: make(map[uint32]AddrHook, len(c.addrHooks)),
+		checkHook: c.checkHook,
+
+		useDecodeCache: c.UseDecodeCache,
+		cacheHits:      c.CacheHits,
+		cacheMisses:    c.CacheMisses,
+
+		useBlockCache: c.UseBlockCache,
+		blockHits:     c.BlockHits,
+		blockMisses:   c.BlockMisses,
+
+		useTaintGate: c.UseTaintGate,
+		live:         c.Live,
+		gateBail:     c.gateBail,
+		gateWasLive:  c.gateWasLive,
+		gateFlips:    c.GateFlips,
+		gateFast:     c.GateFastBlocks,
+		gateSlow:     c.GateSlowBlocks,
+		gatePinned:   c.GatePinnedBlocks,
+
+		halted:    c.Halted,
+		exitCode:  c.ExitCode,
+		insnCount: c.InsnCount,
+	}
+	for a, h := range c.addrHooks {
+		s.addrHooks[a] = h
+	}
+	if c.pinnedPages != nil {
+		s.pinnedPages = make(map[uint32]bool, len(c.pinnedPages))
+		for pn := range c.pinnedPages {
+			s.pinnedPages[pn] = true
+		}
+	}
+	return s
+}
+
+// Restore rewinds the CPU to s. Blocks on pages whose hook set or pin set
+// differs from the snapshot are invalidated (both are baked into blocks at
+// translation time); everything else in the decode and block caches is kept
+// — pages the attempt wrote were already invalidated by the write-notify
+// path when memory was restored. A restored Tracer that differs from the
+// bound one is reconciled by the next runBlocks dispatch.
+func (c *CPU) Restore(s *CPUSnapshot) {
+	// Invalidate blocks on pages whose hook presence changed.
+	changed := make(map[uint32]bool)
+	for a := range c.addrHooks {
+		if _, ok := s.addrHooks[a]; !ok {
+			changed[a>>12] = true
+		}
+	}
+	for a := range s.addrHooks {
+		if _, ok := c.addrHooks[a]; !ok {
+			changed[a>>12] = true
+		}
+	}
+	// ... and pages whose pin state changed (pins bake `pinned` into blocks).
+	for pn := range c.pinnedPages {
+		if !s.pinnedPages[pn] {
+			changed[pn] = true
+		}
+	}
+	for pn := range s.pinnedPages {
+		if c.pinnedPages == nil || !c.pinnedPages[pn] {
+			changed[pn] = true
+		}
+	}
+	for pn := range changed {
+		c.invalidatePageBlocks(pn)
+	}
+
+	c.addrHooks = make(map[uint32]AddrHook, len(s.addrHooks))
+	for a, h := range s.addrHooks {
+		c.addrHooks[a] = h
+	}
+	c.pinnedPages = nil
+	if s.pinnedPages != nil {
+		c.pinnedPages = make(map[uint32]bool, len(s.pinnedPages))
+		for pn := range s.pinnedPages {
+			c.pinnedPages[pn] = true
+		}
+	}
+
+	c.R = s.r
+	c.N, c.Z, c.C, c.V, c.Thumb = s.n, s.z, s.cf, s.v, s.thumb
+	c.RegTaint = s.regTaint
+
+	c.Tracer = s.tracer
+	c.DecodeHook = s.decodeHook
+	c.BranchFn = s.branchFn
+	c.branchWatchOn = s.branchWatchOn
+	c.branchWatchLo, c.branchWatchHi = s.branchWatchLo, s.branchWatchHi
+	c.SVC = s.svc
+	c.checkHook = s.checkHook
+
+	c.UseDecodeCache = s.useDecodeCache
+	c.CacheHits, c.CacheMisses = s.cacheHits, s.cacheMisses
+
+	c.UseBlockCache = s.useBlockCache
+	c.BlockHits, c.BlockMisses = s.blockHits, s.blockMisses
+	c.blockErr = nil
+
+	c.UseTaintGate = s.useTaintGate
+	c.Live = s.live
+	c.gateBail, c.gateWasLive = s.gateBail, s.gateWasLive
+	c.GateFlips, c.GateFastBlocks, c.GateSlowBlocks = s.gateFlips, s.gateFast, s.gateSlow
+	c.GatePinnedBlocks = s.gatePinned
+
+	c.Halted = s.halted
+	c.ExitCode = s.exitCode
+	c.InsnCount = s.insnCount
+}

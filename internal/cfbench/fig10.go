@@ -30,6 +30,10 @@ type Result struct {
 	// Pins carries the static pin-precision table when the caller ran a
 	// PinSweep alongside the benchmark (cfbench -json).
 	Pins []PinRow
+
+	// Throughput carries the snapshot-ablation numbers when the caller ran a
+	// ThroughputSweep alongside the benchmark (cfbench -snapshot).
+	Throughput *ThroughputResult
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -162,13 +166,15 @@ func (r *Result) JSON() ([]byte, error) {
 		Gate     map[string]GateStats `json:"gate,omitempty"`
 	}
 	var out struct {
-		Modes    []string       `json:"modes"`
-		Rows     []jsonRow      `json:"rows"`
-		Verdicts *VerdictCounts `json:"verdicts,omitempty"`
-		Pins     []PinRow       `json:"pins,omitempty"`
+		Modes      []string          `json:"modes"`
+		Rows       []jsonRow         `json:"rows"`
+		Verdicts   *VerdictCounts    `json:"verdicts,omitempty"`
+		Pins       []PinRow          `json:"pins,omitempty"`
+		Throughput *ThroughputResult `json:"throughput,omitempty"`
 	}
 	out.Verdicts = r.Verdicts
 	out.Pins = r.Pins
+	out.Throughput = r.Throughput
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}

@@ -1,0 +1,198 @@
+package cfbench
+
+// Throughput ablation for the fork-server execution model (ISSUE 6): sweep
+// the full evaluation corpus across every analysis mode twice — once booting
+// a fresh System per attempt, once serving attempts from one warm System via
+// copy-on-write snapshot restores — and report apps-analyzed/sec for both
+// arms plus the reset cost of the snapshot arm. The two arms must agree byte
+// for byte on every flow log and verdict; a mismatch is a soundness bug, and
+// cmd/cfbench exits nonzero on it (the CI bench-smoke gate).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// ThroughputArm is one side of the snapshot ablation. The headline
+// apps/sec covers the responsive corpus — apps that complete within the
+// watchdog budget. Budget-bound apps (verdict timeout) burn their full
+// instruction budget in either execution model, so they measure the watchdog
+// knob, not the reset path; they run in both arms (and in the parity check)
+// but are tallied separately.
+type ThroughputArm struct {
+	Snapshot   bool    `json:"snapshot"`
+	Apps       int     `json:"apps"`    // responsive attempts measured
+	Seconds    float64 `json:"seconds"` // wall clock for responsive attempts
+	AppsPerSec float64 `json:"apps_per_sec"`
+
+	BudgetBoundApps    int     `json:"budget_bound_apps,omitempty"`
+	BudgetBoundSeconds float64 `json:"budget_bound_seconds,omitempty"`
+
+	// Fork-server work counters; zero on the fresh arm.
+	Boots              int     `json:"boots,omitempty"`
+	Resets             int     `json:"resets,omitempty"`
+	GuestPagesPerReset float64 `json:"guest_pages_per_reset,omitempty"`
+	TaintPagesPerReset float64 `json:"taint_pages_per_reset,omitempty"`
+}
+
+// ThroughputResult is the full ablation.
+type ThroughputResult struct {
+	Fresh    *ThroughputArm `json:"fresh,omitempty"`
+	Snapshot *ThroughputArm `json:"snapshot,omitempty"`
+
+	// Speedup is snapshot apps/sec over fresh apps/sec.
+	Speedup float64 `json:"speedup,omitempty"`
+
+	// ParityOK records the soundness check: byte-identical flow logs and
+	// equal verdicts for every (app, mode) cell across the two arms.
+	ParityOK     bool   `json:"parity_ok"`
+	ParityDetail string `json:"parity_detail,omitempty"`
+}
+
+// throughputOutcome is the parity unit: one (app, mode) cell.
+type throughputOutcome struct {
+	verdict core.Verdict
+	log     string
+}
+
+func throughputModes() []core.Mode {
+	return []core.Mode{core.ModeVanilla, core.ModeTaintDroid, core.ModeNDroid, core.ModeDroidScope}
+}
+
+// throughputArm sweeps apps x modes rounds times. The runner is nil for the
+// fresh arm. Outcomes from the first round are returned for the parity check
+// (later rounds must match by the determinism the study tests establish).
+func throughputArm(budget uint64, rounds int, runner *core.Runner) (*ThroughputArm, map[string]throughputOutcome) {
+	arm := &ThroughputArm{Snapshot: runner != nil}
+	outcomes := map[string]throughputOutcome{}
+	for r := 0; r < rounds; r++ {
+		for _, mode := range throughputModes() {
+			for _, app := range apps.AllApps() {
+				start := time.Now()
+				rep := core.AnalyzeApp(app.Spec(), core.AnalyzeOptions{
+					Mode:    mode,
+					Budget:  budget,
+					FlowLog: true,
+					Runner:  runner,
+				})
+				elapsed := time.Since(start).Seconds()
+				if rep.Verdict() == core.VerdictTimeout {
+					arm.BudgetBoundApps++
+					arm.BudgetBoundSeconds += elapsed
+				} else {
+					arm.Apps++
+					arm.Seconds += elapsed
+				}
+				if r == 0 {
+					outcomes[mode.String()+"/"+app.Name] = throughputOutcome{
+						verdict: rep.Verdict(),
+						log:     joinLog(rep),
+					}
+				}
+			}
+		}
+	}
+	if arm.Seconds > 0 {
+		arm.AppsPerSec = float64(arm.Apps) / arm.Seconds
+	}
+	if runner != nil {
+		arm.Boots = runner.Stats.Boots
+		arm.Resets = runner.Stats.Resets
+		if runner.Stats.Resets > 0 {
+			arm.GuestPagesPerReset = float64(runner.Stats.GuestPagesReset) / float64(runner.Stats.Resets)
+			arm.TaintPagesPerReset = float64(runner.Stats.TaintPagesReset) / float64(runner.Stats.Resets)
+		}
+	}
+	return arm, outcomes
+}
+
+func joinLog(rep core.AppReport) string {
+	s := ""
+	for i, line := range rep.Final.Result.LogLines {
+		if i > 0 {
+			s += "\n"
+		}
+		s += line
+	}
+	return s
+}
+
+// ThroughputSweep runs the ablation. budget 0 uses core.DefaultBudget;
+// rounds < 1 is clamped to 1. withFresh / withSnapshot select the arms (the
+// cfbench -snapshot flag); parity is only checked when both run.
+func ThroughputSweep(budget uint64, rounds int, withFresh, withSnapshot bool) (*ThroughputResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &ThroughputResult{ParityOK: true}
+	var freshOut, snapOut map[string]throughputOutcome
+	if withFresh {
+		res.Fresh, freshOut = throughputArm(budget, rounds, nil)
+	}
+	if withSnapshot {
+		runner, err := core.NewRunner()
+		if err != nil {
+			return nil, fmt.Errorf("cfbench: boot fork server: %w", err)
+		}
+		res.Snapshot, snapOut = throughputArm(budget, rounds, runner)
+	}
+	if res.Fresh != nil && res.Snapshot != nil {
+		if res.Fresh.AppsPerSec > 0 {
+			res.Speedup = res.Snapshot.AppsPerSec / res.Fresh.AppsPerSec
+		}
+		for cell, want := range freshOut {
+			got := snapOut[cell]
+			switch {
+			case got.verdict != want.verdict:
+				res.ParityOK = false
+				res.ParityDetail = fmt.Sprintf("%s: verdict fresh=%v snapshot=%v", cell, want.verdict, got.verdict)
+			case got.log != want.log:
+				res.ParityOK = false
+				res.ParityDetail = fmt.Sprintf("%s: flow log diverged", cell)
+			}
+			if !res.ParityOK {
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the ablation as a short table.
+func (t *ThroughputResult) String() string {
+	s := fmt.Sprintf("%-10s %8s %10s %12s %8s %8s %12s %12s\n",
+		"arm", "apps", "seconds", "apps/sec", "boots", "resets", "pages/reset", "taint/reset")
+	row := func(a *ThroughputArm) string {
+		name := "fresh"
+		if a.Snapshot {
+			name = "snapshot"
+		}
+		return fmt.Sprintf("%-10s %8d %10.3f %12.1f %8d %8d %12.1f %12.1f\n",
+			name, a.Apps, a.Seconds, a.AppsPerSec, a.Boots, a.Resets,
+			a.GuestPagesPerReset, a.TaintPagesPerReset)
+	}
+	if t.Fresh != nil {
+		s += row(t.Fresh)
+	}
+	if t.Snapshot != nil {
+		s += row(t.Snapshot)
+	}
+	if t.Speedup > 0 {
+		s += fmt.Sprintf("speedup: %.2fx apps-analyzed/sec with snapshots\n", t.Speedup)
+	}
+	if a := t.Snapshot; a != nil && a.BudgetBoundApps > 0 {
+		s += fmt.Sprintf("budget-bound (excluded from apps/sec): %d attempts burning the watchdog budget, %.3fs\n",
+			a.BudgetBoundApps, a.BudgetBoundSeconds)
+	}
+	if t.Fresh != nil && t.Snapshot != nil {
+		if t.ParityOK {
+			s += "parity: OK (flow logs and verdicts byte-identical across arms)\n"
+		} else {
+			s += "parity: MISMATCH — " + t.ParityDetail + "\n"
+		}
+	}
+	return s
+}

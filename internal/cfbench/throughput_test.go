@@ -1,0 +1,49 @@
+package cfbench
+
+import "testing"
+
+// TestThroughputSweep runs the snapshot ablation once over the corpus under
+// a tight budget: both arms must complete, parity must hold, and the
+// snapshot arm must actually serve resets rather than rebooting.
+func TestThroughputSweep(t *testing.T) {
+	res, err := ThroughputSweep(1<<21, 1, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ParityOK {
+		t.Fatalf("parity mismatch: %s", res.ParityDetail)
+	}
+	if res.Fresh == nil || res.Snapshot == nil {
+		t.Fatal("missing an ablation arm")
+	}
+	if res.Fresh.Apps != res.Snapshot.Apps {
+		t.Fatalf("arm sizes differ: %d vs %d", res.Fresh.Apps, res.Snapshot.Apps)
+	}
+	if res.Snapshot.Resets == 0 {
+		t.Error("snapshot arm served no resets")
+	}
+	if res.Snapshot.Boots != 1 {
+		t.Errorf("snapshot arm booted %d times, want 1", res.Snapshot.Boots)
+	}
+	if res.Snapshot.GuestPagesPerReset <= 0 {
+		t.Error("snapshot arm reports no per-reset page cost")
+	}
+}
+
+// TestThroughputSweepSingleArm checks the on/off flag shapes: a single arm
+// reports throughput but no speedup or parity verdict.
+func TestThroughputSweepSingleArm(t *testing.T) {
+	res, err := ThroughputSweep(1<<21, 1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fresh != nil {
+		t.Error("fresh arm present on snapshot-only run")
+	}
+	if res.Speedup != 0 {
+		t.Errorf("speedup = %v on single-arm run, want 0", res.Speedup)
+	}
+	if res.Snapshot == nil || res.Snapshot.AppsPerSec <= 0 {
+		t.Error("snapshot arm missing or reports no throughput")
+	}
+}

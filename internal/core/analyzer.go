@@ -137,10 +137,16 @@ func NewAnalyzerNoGate(sys *System, mode Mode) *Analyzer {
 }
 
 func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
+	// Bind to the System's shadow-taint map when it has one (snapshot restore
+	// rewinds that map); hand-built Systems in tests fall back to a fresh map.
+	engine := NewTaintEngine(sys.CPU)
+	if sys.Taint != nil {
+		engine = NewTaintEngineOn(sys.CPU, sys.Taint)
+	}
 	a := &Analyzer{
 		Sys:      sys,
 		Mode:     mode,
-		Engine:   NewTaintEngine(sys.CPU),
+		Engine:   engine,
 		Policies: NewPolicyMap(),
 		Recon:    &Reconstructor{Mem: sys.Mem, InitTaskAddr: sys.Kern.InitTaskAddr},
 	}

@@ -22,9 +22,15 @@ type TaintEngine struct {
 
 // NewTaintEngine creates an empty engine bound to the CPU's shadow registers.
 func NewTaintEngine(c *arm.CPU) *TaintEngine {
+	return NewTaintEngineOn(c, taint.NewMemTaint())
+}
+
+// NewTaintEngineOn creates an engine over an existing shadow-taint map — the
+// System-lifetime map the snapshot machinery rewinds between attempts.
+func NewTaintEngineOn(c *arm.CPU, mt *taint.MemTaint) *TaintEngine {
 	return &TaintEngine{
 		CPU: c,
-		Mem: taint.NewMemTaint(),
+		Mem: mt,
 		Ref: make(map[uint32]taint.Tag),
 	}
 }

@@ -168,6 +168,11 @@ type AnalyzeOptions struct {
 	// pre-analysis runs per attempt — pins are keyed against the attempt's
 	// fresh System, so degradation retries re-seed them from scratch.
 	Static static.Level
+	// Runner, when set, serves attempts from its snapshot-restored System
+	// instead of booting a fresh one per attempt (and re-seeds static pins
+	// from its digest cache). Verdicts and flow logs are byte-identical to
+	// the fresh-System path; only the reset cost changes.
+	Runner *Runner
 }
 
 // Attempt records one run of the degradation ladder.
@@ -242,7 +247,12 @@ func AnalyzeApp(spec AppSpec, opts AnalyzeOptions) AppReport {
 
 	rep := AppReport{Name: spec.Name}
 	for {
-		res := analyzeOnce(spec, mode, opts)
+		var res RunResult
+		if opts.Runner != nil {
+			res = opts.Runner.analyzeOnce(spec, mode, opts)
+		} else {
+			res = analyzeOnce(spec, mode, opts)
+		}
 		att := Attempt{Mode: mode, Result: res}
 		rep.Chain = append(rep.Chain, att)
 		rep.Final = att

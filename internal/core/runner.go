@@ -1,0 +1,234 @@
+package core
+
+// Runner is the fork server: it boots one warm System, captures a
+// core.Snapshot of the post-framework-init state, and then serves every
+// analysis attempt from a copy-on-write clone — Restore rewinds only the
+// pages and scalars the previous attempt dirtied, so per-app isolation costs
+// O(dirty pages) instead of O(world).
+//
+// The degradation ladder's semantics are unchanged: every attempt still
+// starts from exactly the post-boot state a fresh NewSystem would provide
+// (the snapshot-parity suite holds the two byte-identical), and a restore
+// that fails — organically or via the core.snapshot.restore injection site —
+// poisons the Runner so the ladder's InternalError retry really does get a
+// freshly booted System.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/static"
+)
+
+// RunnerStats counts the work a Runner has done.
+type RunnerStats struct {
+	Boots  int // full System boots (initial + post-corruption reboots)
+	Resets int // snapshot restores served
+
+	GuestPagesReset int // guest pages copied back across all resets
+	TaintPagesReset int // shadow-taint pages reset across all resets
+
+	StaticRuns   int // static.Analyze executions
+	StaticReuses int // attempts served from the digest-keyed pin cache
+}
+
+// Runner serves analysis attempts from a snapshot-restored System.
+type Runner struct {
+	sys  *System
+	snap *Snapshot
+
+	// bootClasses names the framework classes present at snapshot time, so
+	// the dex digest covers exactly what an Install added.
+	bootClasses map[string]bool
+
+	// statics caches pre-analysis results by app dex digest: a re-install of
+	// identical dex re-seeds pins by name instead of re-running the analysis.
+	statics map[string]*static.Result
+
+	// needReboot poisons the Runner after a failed restore: the System may be
+	// half-rewound, so the next attempt boots fresh.
+	needReboot bool
+
+	Stats RunnerStats
+}
+
+// NewRunner boots the warm System and captures its snapshot.
+func NewRunner() (*Runner, error) {
+	r := &Runner{statics: make(map[string]*static.Result)}
+	if err := r.boot(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Runner) boot() error {
+	sys, err := NewSystem()
+	if err != nil {
+		return err
+	}
+	r.sys = sys
+	r.bootClasses = make(map[string]bool)
+	for _, name := range sys.VM.Classes() {
+		r.bootClasses[name] = true
+	}
+	r.snap = sys.Snapshot()
+	r.needReboot = false
+	r.Stats.Boots++
+	return nil
+}
+
+// System exposes the Runner's current System (tests and throughput probes).
+func (r *Runner) System() *System { return r.sys }
+
+// analyzeOnce is the fork-server counterpart of the package-level
+// analyzeOnce: restore (or reboot) instead of NewSystem, and serve static
+// pins from the digest cache when the installed dex is unchanged.
+func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.Fault = fault.FromPanic("core", rec)
+			res.Verdict = verdictForFault(res.Fault)
+		}
+	}()
+
+	if r.needReboot || r.sys == nil {
+		if err := r.boot(); err != nil {
+			f := fault.AsFault(err, "core")
+			return RunResult{Verdict: verdictForFault(f), Fault: f}
+		}
+	} else {
+		st, err := r.snap.Restore()
+		if err != nil {
+			r.needReboot = true
+			f := fault.AsFault(err, "core")
+			return RunResult{Verdict: verdictForFault(f), Fault: f}
+		}
+		r.Stats.Resets++
+		r.Stats.GuestPagesReset += st.GuestPages
+		r.Stats.TaintPagesReset += st.TaintPages
+	}
+	sys := r.sys
+
+	if err := spec.Install(sys); err != nil {
+		f := fault.AsFault(err, "core")
+		return RunResult{Verdict: verdictForFault(f), Fault: f}
+	}
+	a := NewAnalyzer(sys, mode)
+	a.Budget = opts.Budget
+	a.Log.Enabled = opts.FlowLog
+
+	var sr *static.Result
+	if opts.Static != static.Off {
+		key := r.digest(spec)
+		if cached, ok := r.statics[key]; ok {
+			sr = cached
+			r.Stats.StaticReuses++
+			if opts.Static == static.PinLevel {
+				// The cached pin sets are pointer-keyed against a previous
+				// install's dex tree; re-seed by name on this one.
+				sr.ReApply(sys.VM)
+			}
+		} else {
+			sr = static.Analyze(sys.VM, spec.EntryClass, spec.EntryMethod)
+			r.statics[key] = sr
+			r.Stats.StaticRuns++
+			if opts.Static == static.PinLevel {
+				sr.Apply(sys.VM)
+			}
+		}
+	}
+
+	res = a.Run(spec.EntryClass, spec.EntryMethod, nil, nil)
+	if sr != nil {
+		res.Static = sr
+		if opts.FlowLog {
+			res.StaticViolations = sr.CrossValidate(res.LogLines)
+		}
+	}
+	return res
+}
+
+// digest fingerprints what Install added to the warm System: every
+// non-framework class (structure and bytecode) plus the loaded native-code
+// images, keyed alongside the spec's identity and entry point. Identical
+// digests mean static.Analyze would recompute an identical Result.
+func (r *Runner) digest(spec AppSpec) string {
+	h := fnv.New64a()
+	ws := func(s string) { io.WriteString(h, s); h.Write([]byte{0}) }
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+
+	ws(spec.Name)
+	ws(spec.EntryClass)
+	ws(spec.EntryMethod)
+
+	vm := r.sys.VM
+	for _, name := range vm.Classes() {
+		if r.bootClasses[name] {
+			continue
+		}
+		c, ok := vm.Class(name)
+		if !ok {
+			continue
+		}
+		ws(c.Name)
+		ws(c.Super)
+		for _, f := range c.InstanceFields {
+			ws(f.Name)
+			wi(int64(f.Index))
+		}
+		for _, f := range c.StaticFields {
+			ws(f.Name)
+			wi(int64(f.Index))
+		}
+		for _, m := range c.Methods {
+			ws(m.Name)
+			ws(m.Shorty)
+			wi(int64(m.Flags))
+			wi(int64(m.NumRegs))
+			wi(int64(m.NativeAddr))
+			for i := range m.Insns {
+				in := &m.Insns[i]
+				wi(int64(in.Op))
+				wi(int64(in.A))
+				wi(int64(in.B))
+				wi(int64(in.C))
+				wi(in.Lit)
+				ws(in.Str)
+				wi(int64(in.Cmp))
+				wi(int64(in.Ar))
+				wi(int64(in.Tgt))
+				for _, a := range in.Args {
+					wi(int64(a))
+				}
+				ws(in.ClassName)
+				ws(in.MemberName)
+				ws(in.Shorty)
+			}
+			for _, t := range m.Tries {
+				wi(int64(t.Start))
+				wi(int64(t.End))
+				wi(int64(t.Handler))
+				ws(t.Type)
+			}
+		}
+	}
+	for _, lib := range vm.NativeLibs() {
+		ws(lib.Name)
+		wi(int64(lib.Prog.Base))
+		h.Write(lib.Prog.Code)
+	}
+	var out [16]byte
+	const hex = "0123456789abcdef"
+	sum := h.Sum64()
+	for i := 0; i < 16; i++ {
+		out[15-i] = hex[sum&0xf]
+		sum >>= 4
+	}
+	return string(out[:])
+}

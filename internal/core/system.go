@@ -22,6 +22,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/libc"
 	"repro/internal/mem"
+	"repro/internal/taint"
 )
 
 // System is the full emulated Android stack an Analyzer runs an app on.
@@ -32,6 +33,11 @@ type System struct {
 	Task *kernel.Task
 	Libc *libc.Libc
 	VM   *dvm.VM
+
+	// Taint is the system-lifetime shadow-taint map. Analyzers bind their
+	// taint engine to it rather than allocating their own, so the snapshot
+	// machinery can rewind it page-for-page alongside guest memory.
+	Taint *taint.MemTaint
 }
 
 // NewSystem boots a fresh stack: guest memory, kernel with one app task,
@@ -55,7 +61,8 @@ func NewSystem() (*System, error) {
 	}
 	lc.Install(c)
 	vm := dvm.New(m, c, k, task, lc)
-	return &System{Mem: m, CPU: c, Kern: k, Task: task, Libc: lc, VM: vm}, nil
+	return &System{Mem: m, CPU: c, Kern: k, Task: task, Libc: lc, VM: vm,
+		Taint: taint.NewMemTaint()}, nil
 }
 
 // MustNewSystem is NewSystem for fixtures.

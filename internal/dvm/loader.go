@@ -7,22 +7,42 @@ import (
 	"repro/internal/kernel"
 )
 
+// asmKey addresses one assembled image: the external symbol tables are fixed
+// once the framework is up, so source text plus load base determine the code.
+type asmKey struct {
+	source string
+	base   uint32
+}
+
 // LoadNativeLib assembles ARM/Thumb source, loads it into the app code
 // region, registers it in the task's memory map (so the OS-level view
 // reconstructor can attribute its addresses), and returns the program. The
 // source may reference every libc/libm symbol and every JNI function by name.
+//
+// Assembled images are memoized per VM: under the fork-server model the same
+// VM serves many installs of the same app from a snapshot-restored state, and
+// the restore rewinds nextLibBase, so a repeat install resolves to an
+// identical (source, base) pair and reuses the image instead of re-assembling.
 func (vm *VM) LoadNativeLib(name, source string) (*arm.Program, error) {
-	extern := vm.Libc.Syms()
-	for sym, addr := range vm.JNISyms() {
-		extern[sym] = addr
-	}
 	base := vm.nextLibBase
 	if base == 0 {
 		base = kernel.AppCodeBase
 	}
-	prog, err := arm.Assemble(source, base, extern)
-	if err != nil {
-		return nil, fmt.Errorf("dvm: assembling %s: %w", name, err)
+	prog := vm.asmMemo[asmKey{source, base}]
+	if prog == nil {
+		extern := vm.Libc.Syms()
+		for sym, addr := range vm.JNISyms() {
+			extern[sym] = addr
+		}
+		var err error
+		prog, err = arm.Assemble(source, base, extern)
+		if err != nil {
+			return nil, fmt.Errorf("dvm: assembling %s: %w", name, err)
+		}
+		if vm.asmMemo == nil {
+			vm.asmMemo = make(map[asmKey]*arm.Program)
+		}
+		vm.asmMemo[asmKey{source, base}] = prog
 	}
 	vm.Mem.WriteBytes(prog.Base, prog.Code)
 	end := (prog.Base + prog.Size() + 0xfff) &^ 0xfff

@@ -263,6 +263,10 @@ type VM struct {
 	loadedLibs  []string
 	nativeLibs  []LoadedLib
 	nextLibBase uint32
+
+	// asmMemo caches assembled native-lib images by (source, base); it is
+	// content-addressed warm state, deliberately outside VMSnapshot.
+	asmMemo map[asmKey]*arm.Program
 }
 
 // internalFuncs lists every hookable libdvm-internal function, in a fixed

@@ -1,0 +1,124 @@
+package kernel
+
+// Kernel snapshot/restore for the copy-on-write System snapshot. The guest-
+// serialized task/VMA structs live in guest memory and are rewound by
+// mem.Memory's page COW; this file rewinds the host-side mirrors: the task
+// list, per-task fd tables, the in-memory filesystem, and the network log.
+//
+// Pointer identity is preserved deliberately. Snapshot-time *Task, *File, and
+// *Socket pointers are captured by other layers (libc holds the Task, fds
+// hold Files and Sockets), so Restore rewinds the pointed-to structs in place
+// rather than replacing them — a restored fd still reaches the same *File the
+// warm boot created, with its contents and offset rewound.
+type fdSnap struct {
+	n      int32
+	file   *File
+	offset uint32
+	sock   *Socket
+}
+
+type sockSnap struct {
+	s     *Socket
+	host  string
+	port  uint16
+	inbox []byte
+}
+
+type taskSnap struct {
+	t      *Task
+	vmas   []VMA
+	fds    []fdSnap
+	nextFD int32
+	brk    uint32
+}
+
+type fileSnap struct {
+	f    *File
+	data []byte
+}
+
+// KernelSnapshot holds the captured kernel state.
+type KernelSnapshot struct {
+	tasks []taskSnap
+	files map[string]fileSnap
+	socks []sockSnap
+
+	netNextID int
+	netLog    int // snapshot length of the network log
+
+	serialCursor uint32
+	nextPID      uint32
+	exited       bool
+	exitCode     int32
+}
+
+// Snapshot captures the kernel's mutable state.
+func (k *Kernel) Snapshot() *KernelSnapshot {
+	s := &KernelSnapshot{
+		files:        make(map[string]fileSnap, len(k.FS.files)),
+		netNextID:    k.Net.nextID,
+		netLog:       len(k.Net.Log),
+		serialCursor: k.serialCursor,
+		nextPID:      k.nextPID,
+		exited:       k.Exited,
+		exitCode:     k.ExitCode,
+	}
+	seenSock := make(map[*Socket]bool)
+	for _, t := range k.tasks {
+		ts := taskSnap{
+			t:      t,
+			vmas:   append([]VMA(nil), t.VMAs...),
+			nextFD: t.nextFD,
+			brk:    t.brk,
+		}
+		for n, f := range t.fds {
+			ts.fds = append(ts.fds, fdSnap{n: n, file: f.file, offset: f.offset, sock: f.sock})
+			if f.sock != nil && !seenSock[f.sock] {
+				seenSock[f.sock] = true
+				s.socks = append(s.socks, sockSnap{
+					s: f.sock, host: f.sock.Host, port: f.sock.Port,
+					inbox: append([]byte(nil), f.sock.inbox...),
+				})
+			}
+		}
+		s.tasks = append(s.tasks, ts)
+	}
+	for path, f := range k.FS.files {
+		s.files[path] = fileSnap{f: f, data: append([]byte(nil), f.Data...)}
+	}
+	return s
+}
+
+// Restore rewinds the kernel to s: post-snapshot tasks, files, sockets, and
+// log entries are dropped; surviving structs are rewound in place.
+func (k *Kernel) Restore(s *KernelSnapshot) {
+	k.tasks = k.tasks[:len(s.tasks)]
+	for _, ts := range s.tasks {
+		t := ts.t
+		t.VMAs = append(t.VMAs[:0], ts.vmas...)
+		t.nextFD = ts.nextFD
+		t.brk = ts.brk
+		t.fds = make(map[int32]*fd, len(ts.fds))
+		for _, fs := range ts.fds {
+			t.fds[fs.n] = &fd{file: fs.file, offset: fs.offset, sock: fs.sock}
+		}
+	}
+
+	k.FS.files = make(map[string]*File, len(s.files))
+	for path, fs := range s.files {
+		fs.f.Data = append(fs.f.Data[:0], fs.data...)
+		k.FS.files[path] = fs.f
+	}
+
+	for _, ss := range s.socks {
+		ss.s.Host, ss.s.Port = ss.host, ss.port
+		ss.s.inbox = append(ss.s.inbox[:0], ss.inbox...)
+	}
+	k.Net.nextID = s.netNextID
+	k.Net.Log = k.Net.Log[:s.netLog]
+
+	k.serialCursor = s.serialCursor
+	k.nextPID = s.nextPID
+	k.Exited = s.exited
+	k.ExitCode = s.exitCode
+}

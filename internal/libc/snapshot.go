@@ -1,0 +1,61 @@
+package libc
+
+// Libc snapshot/restore for the copy-on-write System snapshot. The library
+// images (assembled ARM bodies, stub slots) and symbol tables are built once
+// at boot and never mutated, so only the malloc arena, FILE bookkeeping, and
+// allocation counters need rewinding; arena page contents come back through
+// mem.Memory's COW restore.
+
+// LibcSnapshot holds the captured allocator and stdio state.
+type LibcSnapshot struct {
+	arenaNext uint32
+	allocated map[uint32]uint32
+	freeLists map[uint32][]uint32
+	files     map[uint32]int32
+	nextFP    uint32
+	mallocs   uint64
+	frees     uint64
+}
+
+// Snapshot captures the library's mutable state.
+func (l *Libc) Snapshot() *LibcSnapshot {
+	s := &LibcSnapshot{
+		arenaNext: l.arenaNext,
+		allocated: make(map[uint32]uint32, len(l.allocated)),
+		freeLists: make(map[uint32][]uint32, len(l.freeLists)),
+		files:     make(map[uint32]int32, len(l.files)),
+		nextFP:    l.nextFP,
+		mallocs:   l.MallocCount,
+		frees:     l.FreeCount,
+	}
+	for a, sz := range l.allocated {
+		s.allocated[a] = sz
+	}
+	for sz, list := range l.freeLists {
+		s.freeLists[sz] = append([]uint32(nil), list...)
+	}
+	for fp, n := range l.files {
+		s.files[fp] = n
+	}
+	return s
+}
+
+// Restore rewinds the allocator and stdio state to s.
+func (l *Libc) Restore(s *LibcSnapshot) {
+	l.arenaNext = s.arenaNext
+	l.allocated = make(map[uint32]uint32, len(s.allocated))
+	for a, sz := range s.allocated {
+		l.allocated[a] = sz
+	}
+	l.freeLists = make(map[uint32][]uint32, len(s.freeLists))
+	for sz, list := range s.freeLists {
+		l.freeLists[sz] = append([]uint32(nil), list...)
+	}
+	l.files = make(map[uint32]int32, len(s.files))
+	for fp, n := range s.files {
+		l.files[fp] = n
+	}
+	l.nextFP = s.nextFP
+	l.MallocCount = s.mallocs
+	l.FreeCount = s.frees
+}

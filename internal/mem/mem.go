@@ -30,11 +30,27 @@ type Memory struct {
 	// lastPN/lastPg memoize the most recently touched page, exploiting the
 	// locality of guest code: straight-line loads/stores land on the same
 	// page almost every time, turning the map lookup into two compares.
-	lastPN uint32
-	lastPg *[pageSize]byte
+	// lastShared mirrors shared[lastPN] so the write path can tell a memoized
+	// copy-on-write page apart from a private one without a map lookup; the
+	// memo is reset by Restore (a hit would otherwise alias a page that was
+	// just swapped back to its snapshot baseline).
+	lastPN     uint32
+	lastPg     *[pageSize]byte
+	lastShared bool
 
 	// notify holds the write observers; see AddWriteNotify.
 	notify []func(addr, n uint32)
+
+	// Copy-on-write snapshot state (see Snapshot). shared marks pages whose
+	// backing array is owned by the snapshot baseline: the first write after
+	// Snapshot copies the page and logs the baseline pointer in dirty, so
+	// Restore is O(pages written since the snapshot), not O(address space).
+	// A nil baseline in dirty marks a page created after the snapshot.
+	snapActive  bool
+	shared      map[uint32]bool
+	dirty       map[uint32]*[pageSize]byte
+	snapRegions []Region
+	snapNotify  int
 }
 
 // Region describes a named address range (a module mapping, a stack, a heap).
@@ -73,7 +89,7 @@ func (m *Memory) notifyWrite(addr, n uint32) {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
-	if pn == m.lastPN {
+	if pn == m.lastPN && !(create && m.lastShared) {
 		return m.lastPg
 	}
 	p, ok := m.pages[pn]
@@ -83,8 +99,34 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+		if m.snapActive {
+			if _, logged := m.dirty[pn]; !logged {
+				m.dirty[pn] = nil // created after the snapshot
+			}
+		}
+		m.lastPN, m.lastPg, m.lastShared = pn, p, false
+		return p
 	}
-	m.lastPN, m.lastPg = pn, p
+	shared := m.snapActive && m.shared[pn]
+	if create && shared {
+		p = m.unshare(pn, p)
+		shared = false
+	}
+	m.lastPN, m.lastPg, m.lastShared = pn, p, shared
+	return p
+}
+
+// unshare performs the copy-on-first-write: the snapshot keeps the baseline
+// array, the live map gets a private copy, and the baseline pointer is logged
+// so Restore can swap it back.
+func (m *Memory) unshare(pn uint32, base *[pageSize]byte) *[pageSize]byte {
+	p := new([pageSize]byte)
+	*p = *base
+	m.pages[pn] = p
+	delete(m.shared, pn)
+	if _, logged := m.dirty[pn]; !logged {
+		m.dirty[pn] = base
+	}
 	return p
 }
 
@@ -279,3 +321,62 @@ func (m *Memory) RegionAt(addr uint32) (Region, bool) {
 
 // MappedPages reports how many pages are currently allocated.
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// Snapshot captures the current contents copy-on-write: every mapped page is
+// marked shared (O(mapped pages), no copying), and subsequent writes copy the
+// page they touch before mutating it. Restore swaps the copied pages back —
+// O(pages dirtied since the snapshot). Calling Snapshot again moves the
+// baseline forward to the current state, releasing the previous baseline.
+func (m *Memory) Snapshot() {
+	if m.shared == nil {
+		m.shared = make(map[uint32]bool, len(m.pages))
+	}
+	for pn := range m.pages {
+		m.shared[pn] = true
+	}
+	m.dirty = make(map[uint32]*[pageSize]byte)
+	m.snapRegions = append([]Region(nil), m.regions...)
+	m.snapNotify = len(m.notify)
+	m.snapActive = true
+	m.lastPN, m.lastPg, m.lastShared = ^uint32(0), nil, false
+}
+
+// SnapshotActive reports whether a copy-on-write baseline is in place.
+func (m *Memory) SnapshotActive() bool { return m.snapActive }
+
+// DirtyPages reports how many pages have been written (or created) since the
+// last Snapshot.
+func (m *Memory) DirtyPages() int { return len(m.dirty) }
+
+// Restore rewinds the contents to the last Snapshot and returns the number of
+// pages that were reset. Only dirtied pages are touched: copied pages swap
+// back to their shared baseline arrays, pages created after the snapshot are
+// unmapped, and each reset page fires the write-notify observers (the page's
+// bytes changed as far as any observer — translation caches, shadow state —
+// is concerned). The region table and the observer list are rewound to their
+// snapshot state, and the page memo is invalidated so a stale pointer to a
+// swapped page can never be served. The snapshot stays in place for the next
+// Restore.
+func (m *Memory) Restore() int {
+	if !m.snapActive {
+		return 0
+	}
+	n := len(m.dirty)
+	for pn, base := range m.dirty {
+		if base != nil {
+			m.pages[pn] = base
+			m.shared[pn] = true
+		} else {
+			delete(m.pages, pn)
+		}
+	}
+	// Invalidate the memo before notifying: observers may read through us.
+	m.lastPN, m.lastPg, m.lastShared = ^uint32(0), nil, false
+	m.regions = append(m.regions[:0], m.snapRegions...)
+	m.notify = m.notify[:m.snapNotify]
+	for pn := range m.dirty {
+		m.notifyWrite(pn<<pageShift, pageSize)
+	}
+	m.dirty = make(map[uint32]*[pageSize]byte)
+	return n
+}

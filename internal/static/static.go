@@ -87,7 +87,10 @@ type Result struct {
 	Unresolved bool
 
 	pinMethods []*dex.Method
-	pinPages   []uint32
+	// pinNames are the full names of pinMethods, the pointer-independent form
+	// ReApply uses to re-seed pins on a System that re-installed the same dex.
+	pinNames []string
+	pinPages []uint32
 }
 
 // Analyze runs CFG construction, the JNI lint, and the taint-reachability
@@ -173,6 +176,9 @@ func Analyze(vm *dvm.VM, entryClass, entryMethod string) *Result {
 	sort.Slice(r.pinMethods, func(i, j int) bool {
 		return r.pinMethods[i].FullName() < r.pinMethods[j].FullName()
 	})
+	for _, m := range r.pinMethods {
+		r.pinNames = append(r.pinNames, m.FullName())
+	}
 
 	for _, lib := range vm.NativeLibs() {
 		end := lib.Prog.Base + lib.Prog.Size()
@@ -219,6 +225,32 @@ func buildResolver(vm *dvm.VM) func(uint32) (string, bool) {
 func (r *Result) Apply(vm *dvm.VM) {
 	for _, m := range r.pinMethods {
 		vm.PinClean(m)
+	}
+	for _, pn := range r.pinPages {
+		vm.CPU.PinPage(pn)
+	}
+}
+
+// ReApply re-seeds the pin sets on a System that installed the same app
+// again (identical dex digest, e.g. a snapshot-restored fork-server clone).
+// Method pins are resolved by full name — the re-install built fresh
+// *dex.Method values, so the pointer-keyed sets in r are useless — and page
+// pins reapply directly, because an identical install at a restored nextLibBase
+// lands native code on identical pages. Unresolvable names are skipped: a
+// missing pin costs speed, never soundness.
+func (r *Result) ReApply(vm *dvm.VM) {
+	for _, full := range r.pinNames {
+		i := strings.Index(full, ";.")
+		if i < 0 {
+			continue
+		}
+		c, ok := vm.Class(full[:i+1])
+		if !ok {
+			continue
+		}
+		if m, ok := c.Method(full[i+2:]); ok {
+			vm.PinClean(m)
+		}
 	}
 	for _, pn := range r.pinPages {
 		vm.CPU.PinPage(pn)

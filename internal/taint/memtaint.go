@@ -20,6 +20,15 @@ type MemTaint struct {
 	// liveness aggregate so the execution layers' zero-taint fast path can
 	// flip edge-triggered on the first Set/SetRange.
 	live *Liveness
+
+	// Copy-on-write snapshot state, mirroring mem.Memory: shared marks pages
+	// whose arrays belong to the snapshot baseline, dirty logs the baseline
+	// pointer (nil = page created after the snapshot) on first mutation, and
+	// Restore swaps the logged pages back in O(dirty pages).
+	snapActive  bool
+	shared      map[uint32]bool
+	dirty       map[uint32]*taintPage
+	snapTainted int
 }
 
 const (
@@ -71,6 +80,33 @@ func (m *MemTaint) pageAt(pn uint32) *taintPage {
 	return p
 }
 
+// writable returns a page safe to mutate: a page still owned by the snapshot
+// baseline is copied first (copy-on-first-write) and the baseline logged for
+// Restore. p must be the current pages[pn] entry (or nil).
+func (m *MemTaint) writable(pn uint32, p *taintPage) *taintPage {
+	if p == nil || !m.snapActive || !m.shared[pn] {
+		return p
+	}
+	np := &taintPage{tags: p.tags, used: p.used}
+	m.pages[pn] = np
+	delete(m.shared, pn)
+	if _, logged := m.dirty[pn]; !logged {
+		m.dirty[pn] = p
+	}
+	if m.lastPN == pn {
+		m.lastPg = np
+	}
+	return np
+}
+
+func (m *MemTaint) notePageCreated(pn uint32) {
+	if m.snapActive {
+		if _, logged := m.dirty[pn]; !logged {
+			m.dirty[pn] = nil
+		}
+	}
+}
+
 func (m *MemTaint) dropPage(pn uint32) {
 	delete(m.pages, pn)
 	if m.lastPN == pn {
@@ -97,12 +133,14 @@ func (m *MemTaint) Set(addr uint32, tag Tag) {
 		}
 		p = &taintPage{}
 		m.pages[pn] = p
+		m.notePageCreated(pn)
 		m.lastPN, m.lastPg = pn, p
 	}
 	old := p.tags[addr&pageMask]
 	if old == tag {
 		return
 	}
+	p = m.writable(pn, p)
 	p.tags[addr&pageMask] = tag
 	switch {
 	case old == Clear && tag != Clear:
@@ -140,6 +178,9 @@ func (m *MemTaint) SetRange(addr, n uint32, tag Tag) {
 				cleared := 0
 				for j := uint32(0); j < chunk; j++ {
 					if p.tags[off+j] != Clear {
+						if cleared == 0 {
+							p = m.writable(pn, p)
+						}
 						p.tags[off+j] = Clear
 						p.used--
 						cleared++
@@ -222,11 +263,72 @@ func (m *MemTaint) Copy(dst, src, n uint32) {
 // TaintedBytes returns how many bytes currently carry taint.
 func (m *MemTaint) TaintedBytes() int { return m.tainted }
 
-// Reset drops all taint.
+// Reset drops all taint. Under an active snapshot the baseline pages stay
+// owned by the snapshot (logged as dirty so Restore brings them back).
 func (m *MemTaint) Reset() {
+	if m.snapActive {
+		for pn, p := range m.pages {
+			if m.shared[pn] {
+				delete(m.shared, pn)
+				if _, logged := m.dirty[pn]; !logged {
+					m.dirty[pn] = p
+				}
+			}
+		}
+	}
 	m.pages = make(map[uint32]*taintPage)
 	m.bump(-m.tainted)
 	m.lastPN, m.lastPg = ^uint32(0), nil
+}
+
+// Snapshot captures the current shadow map copy-on-write, mirroring
+// mem.Memory.Snapshot: mapped taint pages are marked shared, mutators copy on
+// first write, and Restore rewinds in O(dirty pages). A second Snapshot moves
+// the baseline forward.
+func (m *MemTaint) Snapshot() {
+	if m.shared == nil {
+		m.shared = make(map[uint32]bool, len(m.pages))
+	}
+	for pn := range m.pages {
+		m.shared[pn] = true
+	}
+	m.dirty = make(map[uint32]*taintPage)
+	m.snapTainted = m.tainted
+	m.snapActive = true
+	m.lastPN, m.lastPg = ^uint32(0), nil
+}
+
+// SnapshotActive reports whether a copy-on-write baseline is in place.
+func (m *MemTaint) SnapshotActive() bool { return m.snapActive }
+
+// DirtyPages reports how many taint pages have been mutated (or created)
+// since the last Snapshot.
+func (m *MemTaint) DirtyPages() int { return len(m.dirty) }
+
+// Restore rewinds the shadow map to the last Snapshot and returns the number
+// of pages reset. The attached Liveness (if any) is detached rather than
+// adjusted: restore is an between-attempts operation and the next attempt
+// attaches its own aggregate (AttachLiveness re-contributes the restored
+// count). The page memo is invalidated so a stale pointer to a swapped page
+// can never be served.
+func (m *MemTaint) Restore() int {
+	if !m.snapActive {
+		return 0
+	}
+	n := len(m.dirty)
+	for pn, base := range m.dirty {
+		if base != nil {
+			m.pages[pn] = base
+			m.shared[pn] = true
+		} else {
+			delete(m.pages, pn)
+		}
+	}
+	m.dirty = make(map[uint32]*taintPage)
+	m.tainted = m.snapTainted
+	m.live = nil
+	m.lastPN, m.lastPg = ^uint32(0), nil
+	return n
 }
 
 // WordTaint is a coarser, word-granular shadow map used only by the

@@ -1,0 +1,105 @@
+package taint
+
+import "testing"
+
+// TestMemTaintSnapshotRestore exercises the shadow map's COW cycle: taint
+// set after the snapshot disappears on restore, baseline taint cleared by the
+// attempt comes back, and the tainted-byte counter rewinds with the pages.
+func TestMemTaintSnapshotRestore(t *testing.T) {
+	m := NewMemTaint()
+	m.Set(0x1000, Tag(1))
+	m.Snapshot()
+	if !m.SnapshotActive() {
+		t.Fatal("snapshot not active")
+	}
+
+	m.Set(0x1000, 0)      // clear baseline taint (COW)
+	m.Set(0x2000, Tag(2)) // taint a fresh page
+	if got := m.TaintedBytes(); got != 1 {
+		t.Fatalf("TaintedBytes mid-attempt = %d, want 1", got)
+	}
+
+	if n := m.Restore(); n == 0 {
+		t.Fatal("Restore reset no pages")
+	}
+	if got := m.Get(0x1000); got != Tag(1) {
+		t.Fatalf("baseline taint after restore = %v, want 1", got)
+	}
+	if got := m.Get(0x2000); got != 0 {
+		t.Fatalf("attempt taint survived restore: %v", got)
+	}
+	if got := m.TaintedBytes(); got != 1 {
+		t.Fatalf("TaintedBytes after restore = %d, want 1", got)
+	}
+}
+
+// TestMemTaintSnapshotMemoInvalidation is the shadow-map side of the
+// stale-memo regression: read through the memo, restore (page swap), read
+// again — the memo must never serve the discarded page copy.
+func TestMemTaintSnapshotMemoInvalidation(t *testing.T) {
+	m := NewMemTaint()
+	m.Set(0x1000, Tag(1))
+	m.Snapshot()
+
+	m.Set(0x1001, Tag(2)) // COW the page
+	if got := m.Get(0x1000); got != Tag(1) {
+		t.Fatalf("pre-restore read = %v, want 1", got)
+	}
+
+	m.Restore()
+	if got := m.Get(0x1001); got != 0 {
+		t.Fatalf("memo served stale taint page after restore: %v", got)
+	}
+
+	// Write path: a Set through a stale memo must not scribble on the
+	// restored baseline array.
+	m.Set(0x1002, Tag(4))
+	m.Restore()
+	if got := m.Get(0x1002); got != 0 {
+		t.Fatalf("baseline corrupted through stale write memo: %v", got)
+	}
+}
+
+// TestMemTaintResetUnderSnapshot checks Reset (drop all taint) keeps the
+// baseline recoverable.
+func TestMemTaintResetUnderSnapshot(t *testing.T) {
+	m := NewMemTaint()
+	m.SetRange(0x1000, 8, Tag(1))
+	m.Snapshot()
+	m.Reset()
+	if got := m.TaintedBytes(); got != 0 {
+		t.Fatalf("TaintedBytes after reset = %d, want 0", got)
+	}
+	m.Restore()
+	if got := m.GetRange(0x1000, 8); got != Tag(1) {
+		t.Fatalf("baseline taint after reset+restore = %v, want 1", got)
+	}
+	if got := m.TaintedBytes(); got != 8 {
+		t.Fatalf("TaintedBytes after restore = %d, want 8", got)
+	}
+}
+
+// TestMemTaintRestoreDetachesLiveness checks Restore detaches the liveness
+// aggregate (the next attempt attaches its own, re-contributing the count).
+func TestMemTaintRestoreDetachesLiveness(t *testing.T) {
+	m := NewMemTaint()
+	m.Set(0x1000, Tag(1))
+	m.Snapshot()
+
+	l := NewLiveness()
+	m.AttachLiveness(l)
+	if l.Total() != 1 {
+		t.Fatalf("liveness total = %d, want 1", l.Total())
+	}
+	m.Restore()
+	// Post-restore mutations must not touch the detached aggregate.
+	m.Set(0x2000, Tag(2))
+	if l.Total() != 1 {
+		t.Fatalf("detached liveness moved: total = %d", l.Total())
+	}
+	l2 := NewLiveness()
+	m.AttachLiveness(l2)
+	if l2.Total() != 2 {
+		t.Fatalf("re-attached liveness total = %d, want 2", l2.Total())
+	}
+}
