@@ -437,9 +437,12 @@ func BenchmarkJNIRoundTrip(b *testing.B) {
 // with zero live taint anywhere (marshalling walks skipped, native blocks run
 // bare); the tainted row carries IMEI taint through the same machinery. Their
 // ratio is the boundary cost the gate removes. clean-nogate is the PR 1
-// always-instrumented configuration for reference.
+// always-instrumented configuration for reference. The -fused rows serve the
+// same crossings from compiled trace chains (shorty pre-decoded, hooks
+// pre-bound, masked CPU restore); their ratio against the unfused rows is the
+// dispatch cost trace fusion removes.
 func BenchmarkJNIBoundary(b *testing.B) {
-	bench := func(appName string, gate bool) func(b *testing.B) {
+	bench := func(appName string, gate, fuse bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			app, ok := apps.ByName(appName)
 			if !ok {
@@ -457,17 +460,30 @@ func BenchmarkJNIBoundary(b *testing.B) {
 			} else {
 				core.NewAnalyzerNoGate(sys, core.ModeNDroid)
 			}
+			sys.VM.FuseNative = fuse
+			// Warm run: get past the heat threshold so the fused rows
+			// measure steady-state chain dispatch, not chain building.
+			for i := 0; i < 8; i++ {
+				if err := app.Run(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := app.Run(sys); err != nil {
 					b.Fatal(err)
 				}
 			}
+			if fuse && sys.VM.JavaFusedCalls == 0 {
+				b.Fatal("fused row never served a crossing from a chain")
+			}
 		}
 	}
-	b.Run("clean", bench("benign", true))
-	b.Run("clean-nogate", bench("benign", false))
-	b.Run("tainted", bench("case1", true))
+	b.Run("clean", bench("benign", true, false))
+	b.Run("clean-nogate", bench("benign", false, false))
+	b.Run("clean-fused", bench("benign", true, true))
+	b.Run("tainted", bench("case1", true, false))
+	b.Run("tainted-fused", bench("case1", true, true))
 }
 
 // BenchmarkGCCompaction measures a mark-compact cycle over a populated heap

@@ -11,6 +11,8 @@
 //	cfbench -java-ablation        # Java rows, translation engine on vs off
 //	cfbench -snapshot both        # fresh vs fork-server throughput ablation
 //	cfbench -snapshot on          # snapshot arm only (off: fresh arm only)
+//	cfbench -fuse both            # trace-fusion crossing ablation, both arms
+//	cfbench -fuse on              # fused arm only (off: unfused arm only)
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 	javaAblation := flag.Bool("java-ablation", false, "run only the Java rows, translation engine on vs off")
 	snapshot := flag.String("snapshot", "both", "throughput ablation arms: both, on, off, or none")
 	snapRounds := flag.Int("snapshot-rounds", 3, "corpus sweeps per throughput arm")
+	fuse := flag.String("fuse", "both", "trace-fusion ablation arms: both, on, off, or none")
 	flag.Parse()
 
 	if *javaAblation {
@@ -71,6 +74,26 @@ func main() {
 		fmt.Println(tp.String())
 		parityFailed = !tp.ParityOK
 	}
+	if *fuse != "none" {
+		withOn := *fuse == "both" || *fuse == "on"
+		withOff := *fuse == "both" || *fuse == "off"
+		if !withOn && !withOff {
+			fmt.Fprintf(os.Stderr, "cfbench: bad -fuse value %q (both, on, off, none)\n", *fuse)
+			os.Exit(2)
+		}
+		fs, err := cfbench.FuseSweep(0, withOn, withOff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench:", err)
+			os.Exit(1)
+		}
+		res.Fuse = fs
+		fmt.Println("Crossing ablation (trace fusion):")
+		fmt.Println(fs.String())
+		if !fs.ParityOK {
+			parityFailed = true
+			fmt.Fprintln(os.Stderr, "cfbench: fused/unfused parity mismatch:", fs.ParityDetail)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {
@@ -87,7 +110,12 @@ func main() {
 	fmt.Println("Absolute factors compress on this substrate (interpreter baseline vs QEMU-")
 	fmt.Println("translated code); the orderings are the reproduced result — see EXPERIMENTS.md.")
 	if parityFailed {
-		fmt.Fprintln(os.Stderr, "cfbench: snapshot/fresh parity mismatch:", res.Throughput.ParityDetail)
+		if res.Throughput != nil && !res.Throughput.ParityOK {
+			fmt.Fprintln(os.Stderr, "cfbench: snapshot/fresh parity mismatch:", res.Throughput.ParityDetail)
+		}
+		if res.Fuse != nil && !res.Fuse.ParityOK {
+			fmt.Fprintln(os.Stderr, "cfbench: fused/unfused parity mismatch:", res.Fuse.ParityDetail)
+		}
 		os.Exit(1)
 	}
 }

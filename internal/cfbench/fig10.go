@@ -34,6 +34,10 @@ type Result struct {
 	// Throughput carries the snapshot-ablation numbers when the caller ran a
 	// ThroughputSweep alongside the benchmark (cfbench -snapshot).
 	Throughput *ThroughputResult
+
+	// Fuse carries the crossing-ablation numbers when the caller ran a
+	// FuseSweep alongside the benchmark (cfbench -fuse).
+	Fuse *FuseSweepResult
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -171,10 +175,12 @@ func (r *Result) JSON() ([]byte, error) {
 		Verdicts   *VerdictCounts    `json:"verdicts,omitempty"`
 		Pins       []PinRow          `json:"pins,omitempty"`
 		Throughput *ThroughputResult `json:"throughput,omitempty"`
+		Fuse       *FuseSweepResult  `json:"fuse,omitempty"`
 	}
 	out.Verdicts = r.Verdicts
 	out.Pins = r.Pins
 	out.Throughput = r.Throughput
+	out.Fuse = r.Fuse
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}

@@ -76,6 +76,16 @@ func (fl *FlowLog) Addf(format string, args ...interface{}) {
 	fl.Lines = append(fl.Lines, fmt.Sprintf(format, args...))
 }
 
+// Add appends a preformatted line when logging is enabled. Fused JNI chains
+// precompute their invariant log lines at bind time and emit them through
+// here, bypassing Sprintf on the hot path.
+func (fl *FlowLog) Add(line string) {
+	if !fl.Enabled {
+		return
+	}
+	fl.Lines = append(fl.Lines, line)
+}
+
 // String joins the log.
 func (fl *FlowLog) String() string { return strings.Join(fl.Lines, "\n") }
 
@@ -118,9 +128,18 @@ type Analyzer struct {
 	// actually ran (the quantity multilevel hooking reduces).
 	InstrumentationCalls uint64
 
+	// entryBound memoizes native entry addresses whose SourcePolicy hook is
+	// already installed, for the fused JNI path: re-hooking an address
+	// invalidates its page's translated blocks, so the bound entry closure
+	// installs each hook once per analyzer instead of once per crossing.
+	entryBound map[uint32]bool
+
 	// javaVMIWalks counts DroidScope-mode per-instruction reconstructions.
 	javaVMIWalks uint64
 }
+
+// SiteFusedDeopt re-exports the fused-chain deopt injection site.
+const SiteFusedDeopt = dvm.SiteFusedDeopt
 
 // NewAnalyzer attaches an analysis mode to a system, with the zero-taint
 // fast path (gate) enabled. Call after the app's classes and native
@@ -150,7 +169,18 @@ func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 		Policies: NewPolicyMap(),
 		Recon:    &Reconstructor{Mem: sys.Mem, InitTaskAddr: sys.Kern.InitTaskAddr},
 	}
+	// Re-registration of an already-bound native method is an observable
+	// event in every mode: it invalidates fused chains and translated code,
+	// and the log line keys the static cross-validator's relaxation.
+	sys.VM.OnRegisterNatives = func(m *dex.Method, old, new uint32) {
+		a.Log.Addf("RegisterNatives %s 0x%x -> 0x%x", m.FullName(), old, new)
+	}
 	if gate {
+		// Hot Dalvik→JNI→ARM crossing chains compile to fused closures; the
+		// ablation path (AnalyzeOptions.Fuse = FuseOff) switches this back
+		// off. The ungated variant stays the frozen PR 1 configuration the
+		// Fig. 10 shape assertions measure, so it never fuses.
+		sys.VM.FuseNative = true
 		a.Live = taint.NewLiveness()
 		a.Engine.AttachLiveness(a.Live)
 		sys.VM.AttachLiveness(a.Live)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/arm"
+	"repro/internal/dex"
 	"repro/internal/dvm"
 	"repro/internal/taint"
 )
@@ -16,6 +19,9 @@ func (a *Analyzer) installDVMHooks() {
 	vm.HookInternal("dvmCallJNIMethod", dvm.InternalHook{
 		Before: func(ctx *dvm.CallCtx) { a.onJNIEntry(ctx) },
 		After:  func(ctx *dvm.CallCtx) { a.onJNIReturn(ctx) },
+		BindJNI: func(m *dex.Method) (func(*dvm.CallCtx), func(*dvm.CallCtx), bool) {
+			return a.bindJNIEntry(m), func(ctx *dvm.CallCtx) { a.onJNIReturn(ctx) }, true
+		},
 	})
 
 	// ---- (2) JNI exit: dvmCallMethod* + dvmInterpret ---------------------
@@ -162,6 +168,81 @@ func (a *Analyzer) installMethodEntryHook(addr uint32) {
 		}
 		return arm.ActionContinue
 	})
+}
+
+// installMethodEntryHookOnce is the bound-chain variant: Hook invalidates the
+// address's page of translated blocks, so a fused chain must not re-install
+// per crossing (that retranslation is a dominant unfused cost, and two fused
+// methods sharing a page would ping-pong each other's blocks).
+func (a *Analyzer) installMethodEntryHookOnce(addr uint32) {
+	if a.entryBound[addr] {
+		return
+	}
+	if a.entryBound == nil {
+		a.entryBound = make(map[uint32]bool)
+	}
+	a.entryBound[addr] = true
+	a.installMethodEntryHook(addr)
+}
+
+// bindJNIEntry specializes onJNIEntry for one resolved method: the log line
+// is preformatted, the SourcePolicy is allocated once and refilled per call
+// (Put→Take is synchronous within a crossing), and the entry hook installs
+// once. The per-call closure must replay onJNIEntry's observable effects —
+// the log lines, the taint-map/ref-shadow writes, the policy handled at the
+// method's first instruction — byte for byte.
+func (a *Analyzer) bindJNIEntry(m *dex.Method) func(*dvm.CallCtx) {
+	entryLine := fmt.Sprintf("dvmCallJNIMethod: name=%s shorty=%s class=%s insnAddr=0x%x",
+		m.Name, m.Shorty, m.Class.Name, m.NativeAddr)
+	p := &SourcePolicy{
+		MethodAddress: m.NativeAddr,
+		MethodShorty:  m.Shorty,
+		AccessFlags:   m.Flags,
+	}
+	base := defaultHandler(a.Engine)
+	p.Handler = func(sp *SourcePolicy, c *arm.CPU) {
+		base(sp, c)
+		a.Log.Addf("SourceHandler @0x%x", sp.MethodAddress)
+	}
+	a.installMethodEntryHookOnce(m.NativeAddr)
+
+	return func(ctx *dvm.CallCtx) {
+		a.InstrumentationCalls++
+		a.Log.Add(entryLine)
+
+		taints := ctx.ArgTaints
+		get := func(i int) taint.Tag {
+			if i < len(taints) {
+				return taints[i]
+			}
+			return 0
+		}
+		p.TR0, p.TR1, p.TR2, p.TR3 = get(0), get(1), get(2), get(3)
+		p.StackArgsNum = 0
+		p.StackArgsTaints = p.StackArgsTaints[:0]
+		if len(taints) > 4 {
+			p.StackArgsNum = len(taints) - 4
+			p.StackArgsTaints = append(p.StackArgsTaints, taints[4:]...)
+		}
+
+		if !a.crossingClean() {
+			for i, o := range ctx.ArgObjs {
+				t := get(i)
+				if o == nil {
+					continue
+				}
+				t |= o.Taint
+				if t == 0 {
+					continue
+				}
+				a.Engine.Mem.Set32(o.Addr, t)
+				a.Engine.AddRefTaint(ctx.CPUArgs[i], t)
+				a.Log.Addf("args[%d]@0x%x taint: %v", i, o.Addr, t)
+			}
+		}
+
+		a.Policies.Put(p)
+	}
 }
 
 // onJNIReturn overrides the JNI return taint with the shadow state — the

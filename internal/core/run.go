@@ -88,6 +88,14 @@ type RunResult struct {
 	JavaInsns   uint64 // Dalvik instructions retired by this run
 	NativeInsns uint64 // ARM instructions retired by this run
 
+	// Trace-fusion activity: JNI crossings retired, fused chains built,
+	// crossings served by a fused chain, and chains dropped by deopt. All
+	// zero when the run had fusion off.
+	JNICrossings uint64
+	FusedChains  uint64
+	FusedCalls   uint64
+	FuseDeopts   uint64
+
 	// Static is the pre-analysis result for this attempt (nil when the
 	// pre-analysis was off). StaticViolations holds cross-validation
 	// failures: dynamic flow-log events outside the static reach sets.
@@ -114,6 +122,10 @@ func (a *Analyzer) Run(class, method string, args []uint32, taints []taint.Tag) 
 	vm.NativeBudget = budget
 	startJava := vm.JavaInsnCount
 	startNative := a.Sys.CPU.InsnCount
+	startCross := vm.JNICrossings
+	startChains := vm.JavaFusedChains
+	startFused := vm.JavaFusedCalls
+	startDeopts := vm.JavaFuseDeopts
 	defer func() {
 		if r := recover(); r != nil {
 			res.Fault = fault.FromPanic("core", r)
@@ -123,6 +135,10 @@ func (a *Analyzer) Run(class, method string, args []uint32, taints []taint.Tag) 
 		res.LogLines = append([]string(nil), a.Log.Lines...)
 		res.JavaInsns = vm.JavaInsnCount - startJava
 		res.NativeInsns = a.Sys.CPU.InsnCount - startNative
+		res.JNICrossings = vm.JNICrossings - startCross
+		res.FusedChains = vm.JavaFusedChains - startChains
+		res.FusedCalls = vm.JavaFusedCalls - startFused
+		res.FuseDeopts = vm.JavaFuseDeopts - startDeopts
 		vm.JavaBudget, vm.NativeBudget = 0, 0
 	}()
 
@@ -151,10 +167,26 @@ type AppSpec struct {
 	Install     func(sys *System) error
 }
 
+// FuseMode selects whether hot JNI crossing chains compile to fused closures.
+type FuseMode int
+
+// Fusion settings for AnalyzeOptions.Fuse.
+const (
+	// FuseDefault follows the analyzer default (fusion on).
+	FuseDefault FuseMode = iota
+	// FuseOn forces trace fusion on.
+	FuseOn
+	// FuseOff disables trace fusion: every crossing takes the unfused bridge.
+	// The ablation/parity baseline.
+	FuseOff
+)
+
 // AnalyzeOptions configures AnalyzeApp.
 type AnalyzeOptions struct {
 	// Mode is the starting analysis mode (default ModeNDroid).
 	Mode Mode
+	// Fuse controls cross-boundary trace fusion (default: on).
+	Fuse FuseMode
 	// Budget overrides DefaultBudget when nonzero.
 	Budget uint64
 	// FlowLog enables flow-log capture on every attempt.
@@ -297,6 +329,9 @@ func analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
 	a := NewAnalyzer(sys, mode)
 	a.Budget = opts.Budget
 	a.Log.Enabled = opts.FlowLog
+	if opts.Fuse == FuseOff {
+		sys.VM.FuseNative = false
+	}
 
 	var sr *static.Result
 	if opts.Static != static.Off {

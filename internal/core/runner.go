@@ -118,6 +118,9 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 	a := NewAnalyzer(sys, mode)
 	a.Budget = opts.Budget
 	a.Log.Enabled = opts.FlowLog
+	if opts.Fuse == FuseOff {
+		sys.VM.FuseNative = false
+	}
 
 	var sr *static.Result
 	if opts.Static != static.Off {

@@ -1,6 +1,8 @@
 package dvm
 
 import (
+	"math/bits"
+
 	"repro/internal/arm"
 	"repro/internal/dex"
 	"repro/internal/fault"
@@ -16,7 +18,8 @@ func (vm *VM) thread() *Thread {
 	return vm.MainThread
 }
 
-// savedCPU snapshots the register state around a nested native call.
+// savedCPU snapshots the register state around a nested native call. Buffers
+// are pooled per pad depth (getSavedCPU), so the bridge allocates nothing.
 type savedCPU struct {
 	R        [16]uint32
 	N        bool
@@ -27,15 +30,163 @@ type savedCPU struct {
 	RegTaint [16]taint.Tag
 }
 
-func snapshotCPU(c *arm.CPU) savedCPU {
-	return savedCPU{R: c.R, N: c.N, Z: c.Z, C: c.C, V: c.V, Thumb: c.Thumb, RegTaint: c.RegTaint}
+func (s *savedCPU) capture(c *arm.CPU) {
+	s.R = c.R
+	s.N, s.Z, s.C, s.V = c.N, c.Z, c.C, c.V
+	s.Thumb = c.Thumb
+	s.RegTaint = c.RegTaint
 }
 
-func restoreCPU(c *arm.CPU, s savedCPU) {
+func (s *savedCPU) restore(c *arm.CPU) {
 	c.R = s.R
 	c.N, c.Z, c.C, c.V = s.N, s.Z, s.C, s.V
 	c.Thumb = s.Thumb
 	c.RegTaint = s.RegTaint
+}
+
+// restoreMasked restores only the registers in mask (value and taint lanes).
+// Flags and the Thumb bit are always restored: WriteRegs does not model them.
+// Sound only when everything that ran is covered by the mask — the fused
+// bridge falls back to a full restore when the code epoch moved mid-call.
+func (s *savedCPU) restoreMasked(c *arm.CPU, mask uint32) {
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		c.R[i] = s.R[i]
+		c.RegTaint[i] = s.RegTaint[i]
+	}
+	c.N, c.Z, c.C, c.V = s.N, s.Z, s.C, s.V
+	c.Thumb = s.Thumb
+}
+
+// getSavedCPU hands out the snapshot buffer for the current pad depth. Calls
+// nest strictly (padDepth is incremented after the capture and decremented
+// before the restore completes), so one buffer per depth suffices.
+func (vm *VM) getSavedCPU() *savedCPU {
+	for len(vm.savedCPUStack) <= vm.padDepth {
+		vm.savedCPUStack = append(vm.savedCPUStack, &savedCPU{})
+	}
+	return vm.savedCPUStack[vm.padDepth]
+}
+
+// marshalPlan is the per-method pre-decoded shorty: one step byte per
+// argument position plus the widths and return kind the bridge needs. Plans
+// derive only from immutable method metadata, so they are memoized for the
+// method's lifetime and shared by the fused and unfused paths.
+type marshalPlan struct {
+	steps   []byte // per shorty arg: 'L' object, 'W' wide pair, 'P' prim word
+	nWords  int    // AAPCS words incl. env + receiver
+	static  bool
+	retKind byte
+	retWide bool
+}
+
+func (vm *VM) planFor(m *dex.Method) *marshalPlan {
+	if p, ok := vm.marshalPlans[m]; ok {
+		return p
+	}
+	p := &marshalPlan{static: m.IsStatic(), retKind: m.Shorty[0], retWide: m.RetWide()}
+	n := 2 // JNIEnv + receiver (this or class object)
+	for i := 1; i < len(m.Shorty); i++ {
+		switch m.Shorty[i] {
+		case 'L':
+			p.steps = append(p.steps, 'L')
+			n++
+		case 'J', 'D':
+			p.steps = append(p.steps, 'W')
+			n += 2
+		default:
+			p.steps = append(p.steps, 'P')
+			n++
+		}
+	}
+	p.nWords = n
+	if vm.marshalPlans == nil {
+		vm.marshalPlans = make(map[*dex.Method]*marshalPlan)
+	}
+	vm.marshalPlans[m] = p
+	return p
+}
+
+// jniScratch is one pooled set of bridge argument arrays.
+type jniScratch struct {
+	cpuArgs   []uint32
+	argTaints []taint.Tag
+	argObjs   []*Object
+}
+
+func (vm *VM) getJNIScratch(n int) *jniScratch {
+	var sc *jniScratch
+	if l := len(vm.jniScratchPool); l > 0 {
+		sc = vm.jniScratchPool[l-1]
+		vm.jniScratchPool = vm.jniScratchPool[:l-1]
+	} else {
+		sc = &jniScratch{}
+	}
+	if cap(sc.cpuArgs) < n {
+		sc.cpuArgs = make([]uint32, 0, n)
+		sc.argTaints = make([]taint.Tag, 0, n)
+		sc.argObjs = make([]*Object, 0, n)
+	}
+	sc.cpuArgs = sc.cpuArgs[:0]
+	sc.argTaints = sc.argTaints[:0]
+	sc.argObjs = sc.argObjs[:0]
+	return sc
+}
+
+func (vm *VM) putJNIScratch(sc *jniScratch) {
+	for i := range sc.argObjs {
+		sc.argObjs[i] = nil // drop object pointers so the pool pins no heap
+	}
+	vm.jniScratchPool = append(vm.jniScratchPool, sc)
+}
+
+// marshalJNIArgs fills the scratch arrays with the AAPCS argument words for a
+// JNI call: env, receiver ref, then the plan's steps over the Dalvik argument
+// words. Objects become local indirect references — the exact AddLocalRef
+// sequence is part of the bridge's observable behavior (ref numbering feeds
+// guest memory), so fused and unfused paths share this one implementation.
+// clsObj is the receiver class object for static methods (nil = look it up).
+func (vm *VM) marshalJNIArgs(plan *marshalPlan, m *dex.Method, clsObj *Object, args []uint32, taints []taint.Tag, sc *jniScratch) ([]uint32, []taint.Tag, []*Object) {
+	cpuArgs := append(sc.cpuArgs, kernel.JNIEnvBase)
+	argTaints := append(sc.argTaints, 0)
+	argObjs := append(sc.argObjs, nil)
+
+	idx := 0
+	if plan.static {
+		if clsObj == nil {
+			clsObj = vm.classObject(m.Class)
+		}
+		cpuArgs = append(cpuArgs, vm.AddLocalRef(clsObj))
+		argTaints = append(argTaints, 0)
+		argObjs = append(argObjs, clsObj)
+	} else {
+		thisObj := vm.objects[args[0]]
+		cpuArgs = append(cpuArgs, vm.AddLocalRef(thisObj))
+		argTaints = append(argTaints, taints[0])
+		argObjs = append(argObjs, thisObj)
+		idx = 1
+	}
+	for _, step := range plan.steps {
+		switch step {
+		case 'L':
+			o := vm.objects[args[idx]]
+			cpuArgs = append(cpuArgs, vm.AddLocalRef(o))
+			argTaints = append(argTaints, taints[idx])
+			argObjs = append(argObjs, o)
+			idx++
+		case 'W':
+			cpuArgs = append(cpuArgs, args[idx], args[idx+1])
+			argTaints = append(argTaints, taints[idx], taints[idx+1])
+			argObjs = append(argObjs, nil, nil)
+			idx += 2
+		default:
+			cpuArgs = append(cpuArgs, args[idx])
+			argTaints = append(argTaints, taints[idx])
+			argObjs = append(argObjs, nil)
+			idx++
+		}
+	}
+	return cpuArgs, argTaints, argObjs
 }
 
 // callNative runs guest code at addr with AAPCS args and returns R0, R1, and
@@ -43,7 +194,8 @@ func restoreCPU(c *arm.CPU, s savedCPU) {
 // NDroid's JNI-entry After hook can observe them).
 func (vm *VM) callNative(addr uint32, args []uint32) (r0, r1 uint32, sh0, sh1 taint.Tag, err error) {
 	c := vm.CPU
-	saved := snapshotCPU(c)
+	saved := vm.getSavedCPU()
+	saved.capture(c)
 	pad := kernel.ReturnPadBase + uint32(vm.padDepth)*16
 	vm.padDepth++
 	defer func() { vm.padDepth-- }()
@@ -71,16 +223,41 @@ func (vm *VM) callNative(addr uint32, args []uint32) (r0, r1 uint32, sh0, sh1 ta
 	err = c.RunUntil(pad, budget)
 	r0, r1 = c.R[0], c.R[1]
 	sh0, sh1 = c.RegTaint[0], c.RegTaint[1]
-	restoreCPU(c, saved)
+	saved.restore(c)
 	return r0, r1, sh0, sh1, err
+}
+
+// jniRetDecode applies the bridge's return decoding: the raw R0/R1 pair
+// becomes a Dalvik return value according to the return kind.
+func (vm *VM) jniRetDecode(retKind byte, r0, r1 uint32) uint64 {
+	switch retKind {
+	case 'V':
+		return 0
+	case 'L':
+		if o := vm.DecodeRef(r0); o != nil {
+			return uint64(o.Addr)
+		}
+		return 0
+	case 'J', 'D':
+		return uint64(r0) | uint64(r1)<<32
+	default:
+		return uint64(r0)
+	}
 }
 
 // callJNIMethod is the JNI call bridge (dvmCallJNIMethod): it marshals Java
 // arguments into the AAPCS (objects become local indirect references), runs
 // the native method on the CPU, and applies the JNI return-taint policy —
 // TaintDroid's "return tainted iff any parameter tainted" unless an NDroid
-// hook overrides it (§V-B "JNI Entry").
+// hook overrides it (§V-B "JNI Entry"). Hot crossings dispatch to a fused
+// chain (fuse.go) in which the per-call bridge work is specialized away.
 func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
+	vm.JNICrossings++
+	if vm.FuseNative {
+		if fc := vm.fuseLookup(m); fc != nil {
+			return vm.callFused(fc, th, m, args, taints)
+		}
+	}
 	if f := fault.Hit(SiteJNIBridge, m.NativeAddr); f != nil {
 		f.Method = m.FullName()
 		return 0, 0, nil, f
@@ -91,46 +268,13 @@ func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []t
 		// bridge is a guest fault, not a crash.
 		return 0, 0, nil, vm.faultf(fault.JNIMisuse, m, "native method has no bound implementation")
 	}
+	plan := vm.planFor(m)
 	vm.pushLocalFrame()
 	defer vm.popLocalFrame()
 
-	cpuArgs := []uint32{kernel.JNIEnvBase}
-	argTaints := []taint.Tag{0}
-	argObjs := []*Object{nil}
-
-	idx := 0
-	if m.IsStatic() {
-		clsObj := vm.classObject(m.Class)
-		cpuArgs = append(cpuArgs, vm.AddLocalRef(clsObj))
-		argTaints = append(argTaints, 0)
-		argObjs = append(argObjs, clsObj)
-	} else {
-		thisObj := vm.objects[args[0]]
-		cpuArgs = append(cpuArgs, vm.AddLocalRef(thisObj))
-		argTaints = append(argTaints, taints[0])
-		argObjs = append(argObjs, thisObj)
-		idx = 1
-	}
-	for i := 1; i < len(m.Shorty); i++ {
-		switch m.Shorty[i] {
-		case 'L':
-			o := vm.objects[args[idx]]
-			cpuArgs = append(cpuArgs, vm.AddLocalRef(o))
-			argTaints = append(argTaints, taints[idx])
-			argObjs = append(argObjs, o)
-			idx++
-		case 'J', 'D':
-			cpuArgs = append(cpuArgs, args[idx], args[idx+1])
-			argTaints = append(argTaints, taints[idx], taints[idx+1])
-			argObjs = append(argObjs, nil, nil)
-			idx += 2
-		default:
-			cpuArgs = append(cpuArgs, args[idx])
-			argTaints = append(argTaints, taints[idx])
-			argObjs = append(argObjs, nil)
-			idx++
-		}
-	}
+	sc := vm.getJNIScratch(plan.nWords)
+	defer vm.putJNIScratch(sc)
+	cpuArgs, argTaints, argObjs := vm.marshalJNIArgs(plan, m, nil, args, taints, sc)
 
 	ctx := &CallCtx{
 		Thread:    th,
@@ -147,7 +291,7 @@ func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []t
 		r0, r1, sh0, sh1, runErr = vm.callNative(m.NativeAddr, cpuArgs)
 		ctx.Ret = uint64(r0) | uint64(r1)<<32
 		ctx.RetTaint = sh0
-		if m.RetWide() {
+		if plan.retWide {
 			ctx.RetTaint |= sh1
 		}
 	})
@@ -171,18 +315,7 @@ func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []t
 	// A tainted JNI return is taint entering the Java world.
 	vm.NoteTaint(retTaint)
 
-	var ret uint64
-	switch m.Shorty[0] {
-	case 'V':
-	case 'L':
-		if o := vm.DecodeRef(r0); o != nil {
-			ret = uint64(o.Addr)
-		}
-	case 'J', 'D':
-		ret = uint64(r0) | uint64(r1)<<32
-	default:
-		ret = uint64(r0)
-	}
+	ret := vm.jniRetDecode(plan.retKind, r0, r1)
 
 	var thrown *Object
 	if th.Exception != nil {

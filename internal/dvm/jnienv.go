@@ -116,6 +116,10 @@ func (vm *VM) installJNIEnv(cursor uint32) {
 	add("DeleteGlobalRef", func(vm *VM, c *arm.CPU, ctx *CallCtx) { vm.DeleteRef(c.R[1]) })
 	add("DeleteLocalRef", func(vm *VM, c *arm.CPU, ctx *CallCtx) { vm.DeleteRef(c.R[1]) })
 
+	// Native-method (re-)registration. Appended last so every pre-existing
+	// trampoline keeps its address across this table growing.
+	add("RegisterNatives", jniRegisterNatives)
+
 	// Lay out trampolines and write the env structure.
 	tableAddr := kernel.JNIEnvBase + 16
 	vm.Mem.Write32(kernel.JNIEnvBase, tableAddr)
@@ -238,6 +242,44 @@ func jniGetFieldID(vm *VM, c *arm.CPU, ctx *CallCtx) {
 		ctx.Field = f
 		c.R[0] = vm.newFieldID(f)
 		return
+	}
+	c.R[0] = 0
+}
+
+// jniRegisterNatives implements JNIEnv->RegisterNatives: it reads `count`
+// guest JNINativeMethod records — three words each: {const char *name,
+// const char *signature, void *fnPtr} — and (re)binds the named native
+// methods to the given entry points. Rebinding a bound method to a different
+// address is the classic hostile move against per-method instrumentation
+// state: translated code and fused chains baked the old entry address in, so
+// the rebind starts a new translation epoch and is surfaced to the analyzer
+// via OnRegisterNatives.
+func jniRegisterNatives(vm *VM, c *arm.CPU, ctx *CallCtx) {
+	clsObj := vm.DecodeRef(c.R[1])
+	tbl := c.R[2]
+	n := int(int32(c.R[3]))
+	if clsObj == nil || !clsObj.IsClass || n < 0 {
+		c.R[0] = ^uint32(0) // JNI_ERR
+		return
+	}
+	cls := clsObj.ClassRef
+	for i := 0; i < n; i++ {
+		rec := tbl + uint32(12*i)
+		name := vm.Mem.ReadCString(vm.Mem.Read32(rec), 0)
+		fn := vm.Mem.Read32(rec + 8)
+		m, ok := cls.Method(name)
+		if !ok || !m.IsNative() {
+			c.R[0] = ^uint32(0)
+			return
+		}
+		old := m.NativeAddr
+		m.NativeAddr = fn
+		if old != 0 && old != fn {
+			vm.transEpoch++
+			if vm.OnRegisterNatives != nil {
+				vm.OnRegisterNatives(m, old, fn)
+			}
+		}
 	}
 	c.R[0] = 0
 }

@@ -93,6 +93,11 @@ func (vm *VM) BindNative(className, methodName string, prog *arm.Program, label 
 	if err != nil {
 		return err
 	}
+	if m.NativeAddr != 0 && m.NativeAddr != addr {
+		// Rebinding a bound method: translated code and fused chains baked
+		// the old entry address in (same invalidation as RegisterNatives).
+		vm.transEpoch++
+	}
 	m.NativeAddr = addr
 	return nil
 }

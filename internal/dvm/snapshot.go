@@ -53,14 +53,18 @@ type VMSnapshot struct {
 
 	taintJava, gateJava, taintSeen   bool
 	interpretHookAll, noJavaTrans    bool
+	fuseNative                       bool
 	live                             *taint.Liveness
 	javaStepFn                       func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)
 	javaLeakFn                       func(JavaLeak)
+	onRegisterNatives                func(m *dex.Method, old, new uint32)
 	nativeBudget, javaBudget         uint64
 	javaInsns, javaTransMethods      uint64
 	javaCleanFrames, javaTaintFrames uint64
 	javaGateBails, javaDeopts        uint64
 	javaPinnedFrames                 uint64
+	jniCrossings, javaFusedChains    uint64
+	javaFusedCalls, javaFuseDeopts   uint64
 
 	pinnedClean   map[*dex.Method]bool
 	sourceMethods map[string]bool
@@ -120,23 +124,29 @@ func (vm *VM) Snapshot() *VMSnapshot {
 
 		hooks: make(map[string][]InternalHook, len(vm.hooks)),
 
-		taintJava:        vm.TaintJava,
-		gateJava:         vm.GateJava,
-		taintSeen:        vm.taintSeen,
-		interpretHookAll: vm.InterpretHookAll,
-		noJavaTrans:      vm.NoJavaTranslate,
-		live:             vm.Live,
-		javaStepFn:       vm.javaStepFn,
-		javaLeakFn:       vm.JavaLeakFn,
-		nativeBudget:     vm.NativeBudget,
-		javaBudget:       vm.JavaBudget,
-		javaInsns:        vm.JavaInsnCount,
-		javaTransMethods: vm.JavaTransMethods,
-		javaCleanFrames:  vm.JavaCleanFrames,
-		javaTaintFrames:  vm.JavaTaintFrames,
-		javaGateBails:    vm.JavaGateBails,
-		javaDeopts:       vm.JavaDeopts,
-		javaPinnedFrames: vm.JavaPinnedFrames,
+		taintJava:         vm.TaintJava,
+		gateJava:          vm.GateJava,
+		taintSeen:         vm.taintSeen,
+		interpretHookAll:  vm.InterpretHookAll,
+		noJavaTrans:       vm.NoJavaTranslate,
+		fuseNative:        vm.FuseNative,
+		live:              vm.Live,
+		javaStepFn:        vm.javaStepFn,
+		javaLeakFn:        vm.JavaLeakFn,
+		onRegisterNatives: vm.OnRegisterNatives,
+		nativeBudget:      vm.NativeBudget,
+		javaBudget:        vm.JavaBudget,
+		javaInsns:         vm.JavaInsnCount,
+		javaTransMethods:  vm.JavaTransMethods,
+		javaCleanFrames:   vm.JavaCleanFrames,
+		javaTaintFrames:   vm.JavaTaintFrames,
+		javaGateBails:     vm.JavaGateBails,
+		javaDeopts:        vm.JavaDeopts,
+		javaPinnedFrames:  vm.JavaPinnedFrames,
+		jniCrossings:      vm.JNICrossings,
+		javaFusedChains:   vm.JavaFusedChains,
+		javaFusedCalls:    vm.JavaFusedCalls,
+		javaFuseDeopts:    vm.JavaFuseDeopts,
 
 		interned: make(map[*dex.Insn]*Object, len(vm.internedStrings)),
 
@@ -284,9 +294,11 @@ func (vm *VM) Restore(s *VMSnapshot) {
 	vm.taintSeen = s.taintSeen
 	vm.InterpretHookAll = s.interpretHookAll
 	vm.NoJavaTranslate = s.noJavaTrans
+	vm.FuseNative = s.fuseNative
 	vm.Live = s.live
 	vm.javaStepFn = s.javaStepFn
 	vm.JavaLeakFn = s.javaLeakFn
+	vm.OnRegisterNatives = s.onRegisterNatives
 	vm.NativeBudget, vm.JavaBudget = s.nativeBudget, s.javaBudget
 	vm.JavaInsnCount = s.javaInsns
 	vm.JavaTransMethods = s.javaTransMethods
@@ -295,6 +307,18 @@ func (vm *VM) Restore(s *VMSnapshot) {
 	vm.JavaGateBails = s.javaGateBails
 	vm.JavaDeopts = s.javaDeopts
 	vm.JavaPinnedFrames = s.javaPinnedFrames
+	vm.JNICrossings = s.jniCrossings
+	vm.JavaFusedChains = s.javaFusedChains
+	vm.JavaFusedCalls = s.javaFusedCalls
+	vm.JavaFuseDeopts = s.javaFuseDeopts
+
+	// Fusion state does not survive a restore: chains and heat counters are
+	// keyed by method pointers from the discarded attempt, and the epoch bump
+	// below would invalidate every chain anyway. Marshalling plans are kept —
+	// they derive only from immutable method metadata of the shared dex tree.
+	vm.fused = nil
+	vm.fuseHeat = nil
+	vm.fuseSeeds = nil
 
 	vm.pinnedClean = nil
 	if s.pinnedClean != nil {

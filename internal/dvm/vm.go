@@ -129,6 +129,14 @@ type ArgSrc struct {
 type InternalHook struct {
 	Before func(*CallCtx)
 	After  func(*CallCtx)
+
+	// BindJNI, when non-nil on a dvmCallJNIMethod hook, lets the hook owner
+	// specialize its Before/After bodies for one resolved method at fusion
+	// bind time (precomputed log lines, reusable policies, one-time entry-hook
+	// installation). Returning ok=false keeps the generic Before/After. Hook
+	// mutations bump the translation epoch, so stale bindings die with their
+	// chain.
+	BindJNI func(m *dex.Method) (before, after func(*CallCtx), ok bool)
 }
 
 // VM is the Dalvik virtual machine instance.
@@ -231,6 +239,38 @@ type VM struct {
 	// variant because the method was statically pinned (internal/static),
 	// skipping the gate check entirely.
 	JavaPinnedFrames uint64
+
+	// FuseNative enables cross-boundary trace fusion: hot monomorphic
+	// Dalvik→JNI→ARM chains are compiled into specialized host closures with
+	// the per-call bridge work (shorty decoding, hook dispatch setup, full
+	// CPU snapshot/restore, class-object lookup) hoisted to bind time.
+	FuseNative bool
+	// JNICrossings counts Java→native JNI calls (fused and unfused).
+	JNICrossings uint64
+	// JavaFusedChains counts fused-chain builds; JavaFusedCalls counts
+	// crossings served by a fused chain; JavaFuseDeopts counts chains
+	// invalidated back to the unfused bridge (epoch mismatch, re-registration,
+	// SMC, or an injected fused-deopt fault).
+	JavaFusedChains uint64
+	JavaFusedCalls  uint64
+	JavaFuseDeopts  uint64
+	// OnRegisterNatives observes mid-run native-method re-registration
+	// (JNIEnv->RegisterNatives rebinding a bound method to a new entry point).
+	OnRegisterNatives func(m *dex.Method, old, new uint32)
+
+	// fused maps resolved methods to their compiled chains; fuseHeat counts
+	// unfused crossings per method toward the fusion threshold; fuseSeeds
+	// marks methods the static pre-analysis nominated for eager fusion. All
+	// three are keyed by method pointer and cleared on snapshot restore.
+	fused     map[*dex.Method]*fusedChain
+	fuseHeat  map[*dex.Method]uint32
+	fuseSeeds map[*dex.Method]bool
+	// marshalPlans memoizes per-method shorty decoding for both bridge paths.
+	marshalPlans map[*dex.Method]*marshalPlan
+	// jniScratchPool recycles the argument/taint/object slices of the JNI
+	// bridge; savedCPUStack recycles register-snapshot buffers by pad depth.
+	jniScratchPool []*jniScratch
+	savedCPUStack  []*savedCPU
 
 	// pinnedClean holds methods the static pre-analysis proved can never
 	// observe tainted data: translated frames for them always run the clean
@@ -382,6 +422,21 @@ func (vm *VM) PinClean(m *dex.Method) {
 
 // PinnedCleanCount reports how many methods carry a static clean pin.
 func (vm *VM) PinnedCleanCount() int { return len(vm.pinnedClean) }
+
+// SeedFusion nominates a native method for eager trace fusion: the first
+// crossing builds its chain instead of waiting out the heat threshold. Seeds
+// come from the static pre-analysis (reachable crossing nodes in the
+// cross-ISA call graph); a wrong seed costs one premature build, never
+// soundness. Keyed by method pointer, like clean pins.
+func (vm *VM) SeedFusion(m *dex.Method) {
+	if vm.fuseSeeds == nil {
+		vm.fuseSeeds = make(map[*dex.Method]bool)
+	}
+	vm.fuseSeeds[m] = true
+}
+
+// FusionSeedCount reports how many methods carry a static fusion seed.
+func (vm *VM) FusionSeedCount() int { return len(vm.fuseSeeds) }
 
 // markSource records a framework taint-source builtin (registration time).
 func (vm *VM) markSource(full string) {

@@ -91,6 +91,13 @@ type Result struct {
 	// ReApply uses to re-seed pins on a System that re-installed the same dex.
 	pinNames []string
 	pinPages []uint32
+
+	// seedMethods are the reachable native methods: the cross-ISA call graph
+	// already proves these crossings can execute, so Apply seeds them into the
+	// VM's trace-fusion layer and the first crossing fuses without waiting for
+	// the heat threshold. seedNames is the ReApply form.
+	seedMethods []*dex.Method
+	seedNames   []string
 }
 
 // Analyze runs CFG construction, the JNI lint, and the taint-reachability
@@ -155,6 +162,8 @@ func Analyze(vm *dvm.VM, entryClass, entryMethod string) *Result {
 			if n.m.IsNative() {
 				r.Crossings[n.m.Name] = true
 				r.CrossingAddrs[n.m.NativeAddr] = true
+				r.seedMethods = append(r.seedMethods, n.m)
+				r.seedNames = append(r.seedNames, n.m.FullName())
 			}
 		}
 		if n.fn != nil {
@@ -229,6 +238,9 @@ func (r *Result) Apply(vm *dvm.VM) {
 	for _, pn := range r.pinPages {
 		vm.CPU.PinPage(pn)
 	}
+	for _, m := range r.seedMethods {
+		vm.SeedFusion(m)
+	}
 }
 
 // ReApply re-seeds the pin sets on a System that installed the same app
@@ -240,21 +252,36 @@ func (r *Result) Apply(vm *dvm.VM) {
 // missing pin costs speed, never soundness.
 func (r *Result) ReApply(vm *dvm.VM) {
 	for _, full := range r.pinNames {
-		i := strings.Index(full, ";.")
-		if i < 0 {
-			continue
-		}
-		c, ok := vm.Class(full[:i+1])
-		if !ok {
-			continue
-		}
-		if m, ok := c.Method(full[i+2:]); ok {
+		if m := methodByFullName(vm, full); m != nil {
 			vm.PinClean(m)
 		}
 	}
 	for _, pn := range r.pinPages {
 		vm.CPU.PinPage(pn)
 	}
+	for _, full := range r.seedNames {
+		if m := methodByFullName(vm, full); m != nil {
+			vm.SeedFusion(m)
+		}
+	}
+}
+
+// methodByFullName resolves "Lpkg/Cls;.method" on the VM's class table;
+// unresolvable names return nil (a missing pin or seed costs speed, never
+// soundness).
+func methodByFullName(vm *dvm.VM, full string) *dex.Method {
+	i := strings.Index(full, ";.")
+	if i < 0 {
+		return nil
+	}
+	c, ok := vm.Class(full[:i+1])
+	if !ok {
+		return nil
+	}
+	if m, ok := c.Method(full[i+2:]); ok {
+		return m
+	}
+	return nil
 }
 
 // CrossValidate checks every flow-log event against the static reach sets
@@ -265,6 +292,19 @@ func (r *Result) CrossValidate(lines []string) []string {
 	violate := func(format string, args ...interface{}) {
 		out = append(out, fmt.Sprintf(format, args...))
 	}
+	// RegisterNatives re-registration moves a method's entry address after the
+	// pre-analysis ran: the address-keyed check (SourceHandler) and the native
+	// callee reach sets (SinkHandler, TrustCallHandler) are void from that
+	// point on — code outside the static entry set may legitimately run.
+	// Name-keyed Java-side checks still hold: rebinding cannot change the
+	// declared method set.
+	rebound := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "RegisterNatives ") {
+			rebound = true
+			break
+		}
+	}
 	for _, line := range lines {
 		switch {
 		case strings.HasPrefix(line, "JavaSink["):
@@ -274,12 +314,12 @@ func (r *Result) CrossValidate(lines []string) []string {
 			}
 		case strings.HasPrefix(line, "SinkHandler["):
 			name := bracketArg(line, "SinkHandler[")
-			if !r.Unresolved && !r.NativeCallees[name] {
+			if !rebound && !r.Unresolved && !r.NativeCallees[name] {
 				violate("dynamic native sink %q not in static callee reach set", name)
 			}
 		case strings.HasPrefix(line, "TrustCallHandler["):
 			name := bracketArg(line, "TrustCallHandler[")
-			if !r.Unresolved && !r.NativeCallees[name] {
+			if !rebound && !r.Unresolved && !r.NativeCallees[name] {
 				violate("dynamic trust call %q not in static callee reach set", name)
 			}
 		case strings.HasPrefix(line, "SourceHandler @0x"):
@@ -287,7 +327,7 @@ func (r *Result) CrossValidate(lines []string) []string {
 			// address must be a reachable native method entry.
 			var addr uint32
 			if _, err := fmt.Sscanf(line, "SourceHandler @0x%x", &addr); err == nil {
-				if !r.CrossingAddrs[addr] {
+				if !rebound && !r.CrossingAddrs[addr] {
 					violate("dynamic JNI entry @%#x not in static crossing reach set", addr)
 				}
 			}
