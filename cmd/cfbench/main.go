@@ -13,6 +13,9 @@
 //	cfbench -snapshot on          # snapshot arm only (off: fresh arm only)
 //	cfbench -fuse both            # trace-fusion crossing ablation, both arms
 //	cfbench -fuse on              # fused arm only (off: unfused arm only)
+//	cfbench -cache both           # service cache ablation: uncached + cold/warm/sharedlib
+//	cfbench -cache on             # cached arms only (off: uncached arm only)
+//	cfbench -cache-dir DIR        # persist the ablation store instead of a temp dir
 package main
 
 import (
@@ -32,6 +35,8 @@ func main() {
 	snapshot := flag.String("snapshot", "both", "throughput ablation arms: both, on, off, or none")
 	snapRounds := flag.Int("snapshot-rounds", 3, "corpus sweeps per throughput arm")
 	fuse := flag.String("fuse", "both", "trace-fusion ablation arms: both, on, off, or none")
+	cache := flag.String("cache", "both", "service cache ablation arms: both, on, off, or none")
+	cacheDir := flag.String("cache-dir", "", "artifact store directory for -cache (default: a temp dir)")
 	flag.Parse()
 
 	if *javaAblation {
@@ -94,6 +99,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cfbench: fused/unfused parity mismatch:", fs.ParityDetail)
 		}
 	}
+	if *cache != "none" {
+		withOff := *cache == "both" || *cache == "off"
+		withOn := *cache == "both" || *cache == "on"
+		if !withOff && !withOn {
+			fmt.Fprintf(os.Stderr, "cfbench: bad -cache value %q (both, on, off, none)\n", *cache)
+			os.Exit(2)
+		}
+		cs, err := cfbench.CacheSweep(0, withOff, withOn, *cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench:", err)
+			os.Exit(1)
+		}
+		res.Cache = cs
+		fmt.Println("Cache ablation (analysis service):")
+		fmt.Println(cs.String())
+		if !cs.ParityOK {
+			parityFailed = true
+			fmt.Fprintln(os.Stderr, "cfbench: cache-regime parity mismatch:", cs.ParityDetail)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {
@@ -115,6 +140,9 @@ func main() {
 		}
 		if res.Fuse != nil && !res.Fuse.ParityOK {
 			fmt.Fprintln(os.Stderr, "cfbench: fused/unfused parity mismatch:", res.Fuse.ParityDetail)
+		}
+		if res.Cache != nil && !res.Cache.ParityOK {
+			fmt.Fprintln(os.Stderr, "cfbench: cache-regime parity mismatch:", res.Cache.ParityDetail)
 		}
 		os.Exit(1)
 	}

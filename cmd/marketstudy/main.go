@@ -18,14 +18,19 @@
 //	marketstudy -budget 1000000 # tighter watchdog budget (instructions)
 //	marketstudy -snapshot      # serve the dynamic corpus from per-worker
 //	                           # fork servers (boot once, reset in O(dirty))
+//	marketstudy -cache DIR     # run the dynamic corpus through the analysis
+//	                           # service over a persistent artifact store; a
+//	                           # second run replays every verdict
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"repro/internal/apps"
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/static"
@@ -38,6 +43,7 @@ func main() {
 	dynamic := flag.Bool("dynamic", true, "run the dynamic corpus under contained analysis")
 	budget := flag.Uint64("budget", 0, "watchdog instruction budget per run (0 = default)")
 	snapshot := flag.Bool("snapshot", false, "serve dynamic attempts from per-worker snapshot clones")
+	cacheDir := flag.String("cache", "", "persistent artifact/verdict store; runs the dynamic corpus through the analysis service")
 	flag.Parse()
 
 	params := corpus.PaperParams()
@@ -65,11 +71,37 @@ func main() {
 		effectiveBudget(*budget))
 	opts := apps.StudyOptions{Budget: *budget, FlowLog: true, Static: static.PinLevel, Snapshot: *snapshot}
 	dynWorkers := 1
-	if *snapshot {
+	if *snapshot || *cacheDir != "" {
 		dynWorkers = *workers
 	}
-	rep := apps.RunStudyParallel(opts, dynWorkers)
-	fmt.Print(rep.String())
+	var rep *apps.StudyReport
+	if *cacheDir != "" {
+		store, err := cas.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marketstudy:", err)
+			os.Exit(1)
+		}
+		opts.Cache = store
+		svcRep, st, err := apps.RunStudyService(opts, dynWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marketstudy:", err)
+			os.Exit(1)
+		}
+		rep = svcRep
+		fmt.Print(rep.String())
+		rs := st.Runner
+		fmt.Printf("\nAnalysis service: %d submitted, %d computed, %d verdict-cache hits, %d deduped (%d workers).\n",
+			st.Submitted, st.Computed, st.VerdictHits, st.Deduped, dynWorkers)
+		fmt.Printf("Artifacts: %d static runs, %d static disk hits, %d assembles, %d asm cache hits, %d dex validations, %d dex-check hits, %d cache faults absorbed.\n",
+			rs.StaticRuns, rs.StaticDiskHits, rs.AsmAssembles, rs.AsmCacheHits,
+			rs.DexValidations, rs.DexCheckHits, rs.CacheFaults)
+		cs := store.Stats()
+		fmt.Printf("Store %s: %d hits, %d misses, %d puts, %d corrupt, %d evicted.\n",
+			store.Dir(), cs.Hits, cs.Misses, cs.Puts, cs.Corrupt, cs.Evictions)
+	} else {
+		rep = apps.RunStudyParallel(opts, dynWorkers)
+		fmt.Print(rep.String())
+	}
 	if *snapshot {
 		rs := rep.RunnerStats
 		perReset := 0.0

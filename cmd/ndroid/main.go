@@ -9,15 +9,23 @@
 //	ndroid -app qqphonebook [-mode ndroid|taintdroid|vanilla|droidscope] [-quiet]
 //	ndroid -app case1 -static pin
 //	ndroid -all
+//	ndroid -serve [-cache DIR] [-workers N]     # app names on stdin, JSON lines out
+//	ndroid -serve -serve-dir submissions/       # app names from files in a directory
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/cas"
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/static"
 )
 
@@ -29,6 +37,10 @@ func main() {
 		list      = flag.Bool("list", false, "list available apps")
 		all       = flag.Bool("all", false, "run the full Table I detection matrix")
 		quiet     = flag.Bool("quiet", false, "suppress the flow log")
+		serve     = flag.Bool("serve", false, "run as an analysis service: read app-name submissions and stream JSON verdicts")
+		serveDir  = flag.String("serve-dir", "", "read submissions from the files in this directory instead of stdin")
+		cacheDir  = flag.String("cache", "", "persistent artifact/verdict store for -serve (default: none)")
+		workers   = flag.Int("workers", 2, "shard workers for -serve")
 	)
 	flag.Parse()
 
@@ -42,6 +54,13 @@ func main() {
 	if *list {
 		for _, a := range apps.Registry() {
 			fmt.Printf("%-14s case %-7s %s\n", a.Name, a.Case, a.Desc)
+		}
+		return
+	}
+	if *serve {
+		if err := runServe(*serveDir, *cacheDir, *workers, parseMode(*mode), level); err != nil {
+			fmt.Fprintln(os.Stderr, "ndroid:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -73,6 +92,100 @@ func parseMode(s string) core.Mode {
 	default:
 		return core.ModeNDroid
 	}
+}
+
+// runServe runs the analysis-as-a-service mode: submissions are registry app
+// names, one per line, read from stdin or (with dir set) from every file in a
+// directory in sorted order. One JSON verdict line streams to stdout as each
+// submission completes; a summary of the pipeline's work goes to stderr.
+func runServe(dir, cacheDir string, workers int, mode core.Mode, level static.Level) error {
+	var store *cas.Store
+	if cacheDir != "" {
+		var err error
+		if store, err = cas.Open(cacheDir); err != nil {
+			return err
+		}
+	}
+	svc, err := service.New(service.Options{
+		Workers: workers,
+		Cache:   store,
+		Out:     os.Stdout,
+		Analyze: core.AnalyzeOptions{Mode: mode, FlowLog: true, Static: level},
+	})
+	if err != nil {
+		return err
+	}
+	names, err := serveSubmissions(dir)
+	if err != nil {
+		return err
+	}
+	var pending []<-chan service.Result
+	for _, name := range names {
+		app, ok := apps.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ndroid: skipping unknown app %q\n", name)
+			continue
+		}
+		pending = append(pending, svc.Submit(app.Spec()))
+	}
+	for _, ch := range pending {
+		if res := <-ch; res.Err != nil {
+			fmt.Fprintf(os.Stderr, "ndroid: %s: %v\n", res.Name, res.Err)
+		}
+	}
+	svc.Close()
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "ndroid: served %d submissions: %d computed, %d from verdict cache, %d deduped\n",
+		st.Submitted, st.Computed, st.VerdictHits, st.Deduped)
+	if store != nil {
+		cs := store.Stats()
+		fmt.Fprintf(os.Stderr, "ndroid: store %s: %d hits, %d misses, %d puts, %d corrupt, %d evicted\n",
+			store.Dir(), cs.Hits, cs.Misses, cs.Puts, cs.Corrupt, cs.Evictions)
+	}
+	return nil
+}
+
+// serveSubmissions collects submission names: one per line from every file in
+// dir (sorted), or from stdin when dir is empty. Blank lines and #-comments
+// are skipped.
+func serveSubmissions(dir string) ([]string, error) {
+	var readers []*bufio.Scanner
+	if dir == "" {
+		readers = append(readers, bufio.NewScanner(os.Stdin))
+	} else {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var paths []string
+		for _, e := range entries {
+			if !e.IsDir() {
+				paths = append(paths, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			readers = append(readers, bufio.NewScanner(strings.NewReader(string(data))))
+		}
+	}
+	var names []string
+	for _, sc := range readers {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			names = append(names, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
 }
 
 // staticLevel is the -static flag, applied by analyze to every run.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/fault"
 )
@@ -63,9 +64,22 @@ func TestInjectionEverySiteContained(t *testing.T) {
 		t.Run(site, func(t *testing.T) {
 			fault.Reset()
 			aOpts := core.AnalyzeOptions{Budget: testBudget, FlowLog: true}
-			if site == core.SiteSnapshotRestore {
+			switch site {
+			case core.SiteSnapshotRestore:
 				// The restore site only exists on the fork-server path.
 				runner, err := core.NewRunner()
+				if err != nil {
+					t.Fatal(err)
+				}
+				aOpts.Runner = runner
+			case cas.SiteLoad:
+				// The cache-load site only exists on the artifact-cached
+				// path: the first native-lib install probes the store.
+				store, err := cas.Open(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				runner, err := core.NewCachedRunner(store)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -77,6 +91,21 @@ func TestInjectionEverySiteContained(t *testing.T) {
 			r := core.AnalyzeApp(app.Spec(), aOpts)
 			if n := fault.Fired(site); n != 1 {
 				t.Fatalf("site fired %d times, want exactly 1 (chain %s)", n, r.ChainString())
+			}
+			if site == cas.SiteLoad {
+				// Cache corruption is absorbed: the poisoned entry is evicted
+				// and recomputed, the run's verdict and chain are untouched,
+				// and the only trace is a diagnostic counter.
+				if chainSawInjection(r, site) {
+					t.Fatalf("absorbed cache fault surfaced in chain %s", r.ChainString())
+				}
+				if r.Verdict() != core.VerdictLeak || r.Degraded {
+					t.Errorf("chain %s: cache fault must be invisible (want undegraded leak)", r.ChainString())
+				}
+				if aOpts.Runner.Stats.CacheFaults != 1 {
+					t.Errorf("CacheFaults = %d, want 1", aOpts.Runner.Stats.CacheFaults)
+				}
+				return
 			}
 			if site == core.SiteFusedDeopt {
 				// Fused-deopt corruption is absorbed, not surfaced: the
@@ -154,9 +183,19 @@ func TestInjectionParity(t *testing.T) {
 				}
 				// The restore site only exists on the fork-server path, so its
 				// sweep runs with Snapshot on — which also checks that
-				// snapshot-served logs match the fresh-System baseline.
-				rep := apps.RunStudy(apps.StudyOptions{Budget: testBudget, FlowLog: true,
-					Snapshot: site == core.SiteSnapshotRestore})
+				// snapshot-served logs match the fresh-System baseline. The
+				// cache-load site likewise only exists on the artifact-cached
+				// path, so its sweep runs against a fresh store.
+				sOpts := apps.StudyOptions{Budget: testBudget, FlowLog: true,
+					Snapshot: site == core.SiteSnapshotRestore}
+				if site == cas.SiteLoad {
+					store, err := cas.Open(t.TempDir())
+					if err != nil {
+						t.Fatal(err)
+					}
+					sOpts.Cache = store
+				}
+				rep := apps.RunStudy(sOpts)
 				if n := fault.Fired(site); n != 1 {
 					t.Fatalf("site fired %d times across the sweep, want 1", n)
 				}
@@ -165,7 +204,9 @@ func TestInjectionParity(t *testing.T) {
 				// that consumed it must ALSO match the baseline byte for byte,
 				// which is the deopt-parity proof.
 				wantAbsorbed := 1
-				if site == core.SiteFusedDeopt {
+				if site == core.SiteFusedDeopt || site == cas.SiteLoad {
+					// Absorbed sites leave no trace in any chain: the deopt
+					// reruns unfused, the cache fault evicts and recomputes.
 					wantAbsorbed = 0
 				}
 				absorbed := 0

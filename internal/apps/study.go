@@ -5,7 +5,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cas"
 	"repro/internal/core"
+	"repro/internal/dex"
+	"repro/internal/service"
 	"repro/internal/static"
 )
 
@@ -26,6 +29,10 @@ type StudyOptions struct {
 	// instead of a fresh System per attempt. Verdicts and flow logs are
 	// byte-identical either way; only throughput changes.
 	Snapshot bool
+	// Cache wires the per-worker fork servers to a persistent artifact store
+	// (static results, assembled libraries, validation verdicts). Setting it
+	// implies Snapshot. Artifacts never change outcomes — only cost.
+	Cache *cas.Store
 }
 
 // StudyRow is one app's contained outcome.
@@ -90,10 +97,10 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 		go func(w int) {
 			defer wg.Done()
 			var runner *core.Runner
-			if opts.Snapshot {
+			if opts.Snapshot || opts.Cache != nil {
 				// A failed warm boot falls back to fresh-System attempts; the
 				// per-attempt path reports any recurring boot fault itself.
-				runner, _ = core.NewRunner()
+				runner, _ = core.NewCachedRunner(opts.Cache)
 			}
 			for i := range idx {
 				rows[i] = StudyRow{App: corpus[i], Report: core.AnalyzeApp(corpus[i].Spec(), core.AnalyzeOptions{
@@ -123,7 +130,19 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 		rep.RunnerStats.TaintPagesReset += s.TaintPagesReset
 		rep.RunnerStats.StaticRuns += s.StaticRuns
 		rep.RunnerStats.StaticReuses += s.StaticReuses
+		rep.RunnerStats.StaticDiskHits += s.StaticDiskHits
+		rep.RunnerStats.DexValidations += s.DexValidations
+		rep.RunnerStats.DexCheckHits += s.DexCheckHits
+		rep.RunnerStats.AsmCacheHits += s.AsmCacheHits
+		rep.RunnerStats.AsmAssembles += s.AsmAssembles
+		rep.RunnerStats.CacheFaults += s.CacheFaults
 	}
+	rep.tally()
+	return rep
+}
+
+// tally derives the aggregate verdict/degradation counters from Rows.
+func (rep *StudyReport) tally() {
 	for _, row := range rep.Rows {
 		r := row.Report
 		rep.Attempts += len(r.Chain)
@@ -141,7 +160,78 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 			rep.Timeouts++
 		}
 	}
-	return rep
+}
+
+// RunStudyService runs the sweep through an analysis service: every app is
+// Submitted, sharded by content digest across workers, and collected back in
+// corpus order. With opts.Cache set, artifacts and verdict records persist in
+// the store — a second sweep over the same corpus short-circuits entirely.
+// Verdicts and flow logs are byte-identical to RunStudy/RunStudyParallel in
+// every cache mode (the service parity suite holds this).
+func RunStudyService(opts StudyOptions, workers int) (*StudyReport, service.Stats, error) {
+	corpus := opts.Apps
+	if corpus == nil {
+		corpus = AllApps()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	svc, err := service.New(service.Options{
+		Workers: workers,
+		Cache:   opts.Cache,
+		Analyze: core.AnalyzeOptions{
+			Mode:    opts.Mode,
+			Budget:  opts.Budget,
+			FlowLog: opts.FlowLog,
+			Static:  opts.Static,
+		},
+	})
+	if err != nil {
+		return nil, service.Stats{}, err
+	}
+	chans := make([]<-chan service.Result, len(corpus))
+	for i, app := range corpus {
+		chans[i] = svc.Submit(app.Spec())
+	}
+	rep := &StudyReport{Rows: make([]StudyRow, len(corpus)), Workers: workers}
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			svc.Close()
+			return nil, svc.Stats(), fmt.Errorf("apps: service submission %s: %w", corpus[i].Name, res.Err)
+		}
+		rep.Rows[i] = StudyRow{App: corpus[i], Report: res.Report}
+	}
+	svc.Close()
+	st := svc.Stats()
+	rep.RunnerStats = st.Runner
+	rep.tally()
+	return rep, st, nil
+}
+
+// SharedLibVariant derives an app shipping byte-identical native libraries
+// under different dex content: Install additionally registers a padding
+// class, so the app/dex/static digests all move while every LibPrint stays
+// the same. A warm-store run of the variant must therefore reuse all
+// assembled images (zero assembler runs) yet recompute everything dex- and
+// app-scoped — the shared-library leg of the cache ablation.
+func SharedLibVariant(app *App) *App {
+	v := *app
+	v.Name = app.Name + "+sharedlib"
+	inner := app.install
+	v.install = func(sys *core.System) error {
+		if err := inner(sys); err != nil {
+			return err
+		}
+		cb := dex.NewClass("Lcom/ndroid/variant/Pad;")
+		cb.Method("pad", "I", dex.AccStatic, 1).
+			Const(0, 9).
+			Return(0).
+			Done()
+		sys.VM.RegisterClass(cb.Build())
+		return nil
+	}
+	return &v
 }
 
 // String renders the study as the per-app verdict table plus totals.

@@ -1,0 +1,58 @@
+package cfbench
+
+import "testing"
+
+// TestCacheSweep runs the full cache ablation under a tight budget: all four
+// regimes must complete, parity must hold, the warm arm must replay every
+// verdict (and clear the speedup floor over cold), and the shared-library
+// arm must reuse every assembled image.
+func TestCacheSweep(t *testing.T) {
+	res, err := CacheSweep(1<<21, true, true, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ParityOK {
+		t.Fatalf("parity mismatch: %s", res.ParityDetail)
+	}
+	if res.NoCache == nil || res.Cold == nil || res.Warm == nil || res.SharedLib == nil {
+		t.Fatal("missing an ablation arm")
+	}
+	if res.Cold.Computed == 0 || res.Cold.StorePuts == 0 {
+		t.Errorf("cold arm computed %d apps with %d puts; the store never filled",
+			res.Cold.Computed, res.Cold.StorePuts)
+	}
+	if res.Warm.Computed != 0 || res.Warm.VerdictHits == 0 {
+		t.Errorf("warm arm computed=%d verdictHits=%d, want all replayed",
+			res.Warm.Computed, res.Warm.VerdictHits)
+	}
+	if res.WarmSpeedup < WarmSpeedupFloor {
+		t.Errorf("warm speedup %.2fx, floor %.1fx", res.WarmSpeedup, WarmSpeedupFloor)
+	}
+	if res.SharedLib.AsmAssembles != 0 {
+		t.Errorf("sharedlib arm ran the assembler %d times, want 0", res.SharedLib.AsmAssembles)
+	}
+	if res.SharedLib.AsmCacheHits == 0 {
+		t.Error("sharedlib arm never hit the assembled-image store")
+	}
+}
+
+// TestCacheSweepSingleArm checks the off-only shape: an uncached arm reports
+// throughput, no store traffic, and no speedup claim.
+func TestCacheSweepSingleArm(t *testing.T) {
+	res, err := CacheSweep(1<<21, true, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold != nil || res.Warm != nil || res.SharedLib != nil {
+		t.Error("cached arms present on uncached-only run")
+	}
+	if res.WarmSpeedup != 0 {
+		t.Errorf("speedup = %v on single-arm run, want 0", res.WarmSpeedup)
+	}
+	if res.NoCache == nil || res.NoCache.AppsPerSec <= 0 {
+		t.Error("uncached arm missing or reports no throughput")
+	}
+	if res.NoCache != nil && (res.NoCache.StorePuts != 0 || res.NoCache.StoreHits != 0) {
+		t.Error("uncached arm reports store traffic")
+	}
+}

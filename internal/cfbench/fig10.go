@@ -38,6 +38,10 @@ type Result struct {
 	// Fuse carries the crossing-ablation numbers when the caller ran a
 	// FuseSweep alongside the benchmark (cfbench -fuse).
 	Fuse *FuseSweepResult
+
+	// Cache carries the service cache-ablation numbers when the caller ran a
+	// CacheSweep alongside the benchmark (cfbench -cache).
+	Cache *CacheSweepResult
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -176,11 +180,13 @@ func (r *Result) JSON() ([]byte, error) {
 		Pins       []PinRow          `json:"pins,omitempty"`
 		Throughput *ThroughputResult `json:"throughput,omitempty"`
 		Fuse       *FuseSweepResult  `json:"fuse,omitempty"`
+		Cache      *CacheSweepResult `json:"cache,omitempty"`
 	}
 	out.Verdicts = r.Verdicts
 	out.Pins = r.Pins
 	out.Throughput = r.Throughput
 	out.Fuse = r.Fuse
+	out.Cache = r.Cache
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}

@@ -44,6 +44,18 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// ModeFromName resolves a mode by its String name. Persistent artifacts
+// (service verdict records) store mode names rather than raw ints so a
+// renumbering invalidates cleanly instead of silently remapping.
+func ModeFromName(name string) (Mode, bool) {
+	for m, n := range modeNames {
+		if n == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // Leak is one detected information leak: tainted data reaching a sink.
 type Leak struct {
 	Sink    string // function name: "sendto", "fprintf", "Network.send", ...

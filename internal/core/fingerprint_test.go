@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cas"
+	"repro/internal/core"
+	"repro/internal/dex"
+)
+
+func fingerprintOf(t *testing.T, r *core.Runner, spec core.AppSpec) core.Fingerprint {
+	t.Helper()
+	fp, diags, err := r.Fingerprint(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected validation diagnostics: %v", diags)
+	}
+	return fp
+}
+
+// TestFingerprintScopes pins the artifact-scope split the service and the
+// store key by: the display name is excluded entirely, native-library prints
+// cover only the image content (so two apps sharing a lib share the print),
+// and the dex digest covers exactly what an Install registered.
+func TestFingerprintScopes(t *testing.T) {
+	app, ok := apps.ByName("case1")
+	if !ok {
+		t.Fatal("case1 missing")
+	}
+	r, err := core.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fingerprintOf(t, r, app.Spec())
+	if base.App == "" || base.Static == "" || base.Dex == "" || len(base.Libs) == 0 {
+		t.Fatalf("incomplete fingerprint: %+v", base)
+	}
+	if base.App != base.Static {
+		t.Errorf("submission identity should equal the static key: %+v", base)
+	}
+
+	// Stability: re-fingerprinting the same spec on the restored System must
+	// reproduce every digest (the snapshot rewinds load bases).
+	if again := fingerprintOf(t, r, app.Spec()); again.App != base.App || again.Dex != base.Dex {
+		t.Errorf("fingerprint unstable across restores: %+v vs %+v", again, base)
+	}
+
+	// Identical content under another display name is the same submission.
+	renamed := app.Spec()
+	renamed.Name = "case1-resubmitted-under-alias"
+	if got := fingerprintOf(t, r, renamed); got.App != base.App {
+		t.Errorf("display name leaked into the app digest: %s vs %s", got.App, base.App)
+	}
+
+	// Shared-lib variant: identical native library, one extra dex class. The
+	// library prints must be unchanged (that is what makes assembled images
+	// reusable across apps) while the dex and app digests must move.
+	variant := app.Spec()
+	inner := variant.Install
+	variant.Install = func(sys *core.System) error {
+		if err := inner(sys); err != nil {
+			return err
+		}
+		cb := dex.NewClass("Lcom/ndroid/extra/Pad;")
+		cb.Method("pad", "I", dex.AccStatic, 1).
+			Const(0, 7).
+			Return(0).
+			Done()
+		sys.VM.RegisterClass(cb.Build())
+		return nil
+	}
+	vfp := fingerprintOf(t, r, variant)
+	if vfp.Dex == base.Dex {
+		t.Error("dex digest missed the added class")
+	}
+	if vfp.App == base.App {
+		t.Error("app digest missed the added class")
+	}
+	if len(vfp.Libs) != len(base.Libs) {
+		t.Fatalf("lib count changed: %d vs %d", len(vfp.Libs), len(base.Libs))
+	}
+	for i := range vfp.Libs {
+		if vfp.Libs[i].Digest != base.Libs[i].Digest {
+			t.Errorf("shared library %s changed print: %s vs %s",
+				vfp.Libs[i].Name, vfp.Libs[i].Digest, base.Libs[i].Digest)
+		}
+	}
+}
+
+// TestFingerprintDexCheckCached: validation verdicts are keyed by class
+// content digest in the artifact store, so re-fingerprinting identical
+// content replays them without re-running Validate.
+func TestFingerprintDexCheckCached(t *testing.T) {
+	store, err := cas.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewCachedRunner(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ok := apps.ByName("case1")
+	if !ok {
+		t.Fatal("case1 missing")
+	}
+	fingerprintOf(t, r, app.Spec())
+	v1 := r.Stats.DexValidations
+	if v1 == 0 {
+		t.Fatal("first fingerprint ran no validations")
+	}
+	fingerprintOf(t, r, app.Spec())
+	if r.Stats.DexValidations != v1 {
+		t.Errorf("re-validated cached classes: %d -> %d", v1, r.Stats.DexValidations)
+	}
+	if r.Stats.DexCheckHits == 0 {
+		t.Error("no validation verdicts served from the store")
+	}
+
+	// A second runner over the same store inherits the verdicts cold.
+	r2, err := core.NewCachedRunner(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprintOf(t, r2, app.Spec())
+	if r2.Stats.DexValidations != 0 {
+		t.Errorf("fresh runner re-validated %d classes despite warm store", r2.Stats.DexValidations)
+	}
+}

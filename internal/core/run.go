@@ -61,6 +61,16 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
 
+// VerdictFromName resolves a verdict by its String name (see ModeFromName).
+func VerdictFromName(name string) (Verdict, bool) {
+	for v, n := range verdictNames {
+		if n == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // verdictForFault maps a fault to its verdict: budget exhaustion (including
 // guest heap exhaustion, which is a space budget) is a timeout; everything
 // else is a fault.

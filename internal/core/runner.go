@@ -12,15 +12,41 @@ package core
 // that fails — organically or via the core.snapshot.restore injection site —
 // poisons the Runner so the ladder's InternalError retry really does get a
 // freshly booted System.
+//
+// A Runner may additionally be wired to the persistent content-addressed
+// artifact store (NewCachedRunner): static pre-analysis results, per-library
+// assembled images, and dex validation verdicts are then keyed by content
+// digest and shared across Runners, service shards, and processes. Artifacts
+// are a pure cost optimisation — a cache hit replays exactly what a recompute
+// would produce, and a corrupt or injected-faulty entry is evicted, counted
+// in Stats.CacheFaults, and recomputed.
 
 import (
 	"encoding/binary"
 	"hash/fnv"
-	"io"
 
+	"repro/internal/arm"
+	"repro/internal/cas"
+	"repro/internal/dex"
 	"repro/internal/fault"
 	"repro/internal/static"
 )
+
+// Artifact kinds the Runner stores. The schema strings are hashed into every
+// key (along with cas.Version), so editing one cleanly invalidates the kind.
+var (
+	// KindStatic holds static.Portable payloads keyed by Fingerprint.Static.
+	KindStatic = cas.Kind{Name: "static", Schema: "v1 static.Portable counts,findings,reach,pins,seeds"}
+	// KindAsm holds arm.Program payloads keyed by hash(source, base).
+	KindAsm = cas.Kind{Name: "asmlib", Schema: "v1 arm.Program base,code,labels,writemask"}
+	// KindDexCheck holds dexCheckRecord payloads keyed by dex.Class digests.
+	KindDexCheck = cas.Kind{Name: "dexcheck", Schema: "v1 validate fault.Portable"}
+)
+
+// dexCheckRecord caches one class's load-time validation verdict.
+type dexCheckRecord struct {
+	Fault *fault.Portable `json:"fault,omitempty"` // nil: class validated clean
+}
 
 // RunnerStats counts the work a Runner has done.
 type RunnerStats struct {
@@ -31,7 +57,15 @@ type RunnerStats struct {
 	TaintPagesReset int // shadow-taint pages reset across all resets
 
 	StaticRuns   int // static.Analyze executions
-	StaticReuses int // attempts served from the digest-keyed pin cache
+	StaticReuses int // attempts served from the in-memory digest cache
+
+	// Artifact-store traffic (all zero on an uncached Runner).
+	StaticDiskHits  int // static results rehydrated from the artifact store
+	DexValidations  int // per-class Validate executions during Fingerprint
+	DexCheckHits    int // validation verdicts served from the artifact store
+	AsmCacheHits    int // assembled images served from the artifact store
+	AsmAssembles    int // real assembler runs
+	CacheFaults     int // corrupt or injected cache loads absorbed (recomputed)
 }
 
 // Runner serves analysis attempts from a snapshot-restored System.
@@ -40,12 +74,16 @@ type Runner struct {
 	snap *Snapshot
 
 	// bootClasses names the framework classes present at snapshot time, so
-	// the dex digest covers exactly what an Install added.
+	// the app fingerprint covers exactly what an Install added.
 	bootClasses map[string]bool
 
-	// statics caches pre-analysis results by app dex digest: a re-install of
-	// identical dex re-seeds pins by name instead of re-running the analysis.
+	// statics caches pre-analysis results by app fingerprint: a re-install of
+	// identical content re-seeds pins by name instead of re-running the
+	// analysis.
 	statics map[string]*static.Result
+
+	// cache is the persistent artifact store (nil on an uncached Runner).
+	cache *cas.Store
 
 	// needReboot poisons the Runner after a failed restore: the System may be
 	// half-rewound, so the next attempt boots fresh.
@@ -55,8 +93,12 @@ type Runner struct {
 }
 
 // NewRunner boots the warm System and captures its snapshot.
-func NewRunner() (*Runner, error) {
-	r := &Runner{statics: make(map[string]*static.Result)}
+func NewRunner() (*Runner, error) { return NewCachedRunner(nil) }
+
+// NewCachedRunner is NewRunner wired to a persistent artifact store; a nil
+// store yields a plain uncached Runner.
+func NewCachedRunner(store *cas.Store) (*Runner, error) {
+	r := &Runner{statics: make(map[string]*static.Result), cache: store}
 	if err := r.boot(); err != nil {
 		return nil, err
 	}
@@ -69,6 +111,9 @@ func (r *Runner) boot() error {
 		return err
 	}
 	r.sys = sys
+	if r.cache != nil {
+		sys.VM.SetAsmCache(&runnerAsmCache{r})
+	}
 	r.bootClasses = make(map[string]bool)
 	for _, name := range sys.VM.Classes() {
 		r.bootClasses[name] = true
@@ -82,9 +127,33 @@ func (r *Runner) boot() error {
 // System exposes the Runner's current System (tests and throughput probes).
 func (r *Runner) System() *System { return r.sys }
 
+// Cache exposes the Runner's artifact store (nil when uncached).
+func (r *Runner) Cache() *cas.Store { return r.cache }
+
+// freshInstall rewinds the System to the warm post-boot state (rebooting if a
+// previous restore failed) and installs the app.
+func (r *Runner) freshInstall(spec AppSpec) error {
+	if r.needReboot || r.sys == nil {
+		if err := r.boot(); err != nil {
+			return err
+		}
+	} else {
+		st, err := r.snap.Restore()
+		if err != nil {
+			r.needReboot = true
+			return err
+		}
+		r.Stats.Resets++
+		r.Stats.GuestPagesReset += st.GuestPages
+		r.Stats.TaintPagesReset += st.TaintPages
+	}
+	return spec.Install(r.sys)
+}
+
 // analyzeOnce is the fork-server counterpart of the package-level
 // analyzeOnce: restore (or reboot) instead of NewSystem, and serve static
-// pins from the digest cache when the installed dex is unchanged.
+// pins from the digest cache (in-memory, then the artifact store) when the
+// installed content is unchanged.
 func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -93,28 +162,12 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 		}
 	}()
 
-	if r.needReboot || r.sys == nil {
-		if err := r.boot(); err != nil {
-			f := fault.AsFault(err, "core")
-			return RunResult{Verdict: verdictForFault(f), Fault: f}
-		}
-	} else {
-		st, err := r.snap.Restore()
-		if err != nil {
-			r.needReboot = true
-			f := fault.AsFault(err, "core")
-			return RunResult{Verdict: verdictForFault(f), Fault: f}
-		}
-		r.Stats.Resets++
-		r.Stats.GuestPagesReset += st.GuestPages
-		r.Stats.TaintPagesReset += st.TaintPages
-	}
-	sys := r.sys
-
-	if err := spec.Install(sys); err != nil {
+	if err := r.freshInstall(spec); err != nil {
 		f := fault.AsFault(err, "core")
 		return RunResult{Verdict: verdictForFault(f), Fault: f}
 	}
+	sys := r.sys
+
 	a := NewAnalyzer(sys, mode)
 	a.Budget = opts.Budget
 	a.Log.Enabled = opts.FlowLog
@@ -124,7 +177,7 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 
 	var sr *static.Result
 	if opts.Static != static.Off {
-		key := r.digest(spec)
+		key := r.fingerprintInstalled(spec).Static
 		if cached, ok := r.statics[key]; ok {
 			sr = cached
 			r.Stats.StaticReuses++
@@ -133,10 +186,20 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 				// install's dex tree; re-seed by name on this one.
 				sr.ReApply(sys.VM)
 			}
+		} else if sr = r.loadStatic(key); sr != nil {
+			r.statics[key] = sr
+			r.Stats.StaticDiskHits++
+			if opts.Static == static.PinLevel {
+				sr.ReApply(sys.VM)
+			}
 		} else {
 			sr = static.Analyze(sys.VM, spec.EntryClass, spec.EntryMethod)
 			r.statics[key] = sr
 			r.Stats.StaticRuns++
+			if r.cache != nil {
+				// Best-effort store: a failed Put costs future reuse, nothing else.
+				_ = r.cache.Put(KindStatic, key, sr.Portable())
+			}
 			if opts.Static == static.PinLevel {
 				sr.Apply(sys.VM)
 			}
@@ -153,22 +216,99 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 	return res
 }
 
-// digest fingerprints what Install added to the warm System: every
-// non-framework class (structure and bytecode) plus the loaded native-code
-// images, keyed alongside the spec's identity and entry point. Identical
-// digests mean static.Analyze would recompute an identical Result.
-func (r *Runner) digest(spec AppSpec) string {
-	h := fnv.New64a()
-	ws := func(s string) { io.WriteString(h, s); h.Write([]byte{0}) }
-	var buf [8]byte
-	wi := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
+// loadStatic rehydrates a static result from the artifact store; any miss —
+// clean, corrupt, or injected — returns nil and the caller recomputes.
+func (r *Runner) loadStatic(key string) *static.Result {
+	if r.cache == nil {
+		return nil
 	}
+	var p static.Portable
+	ok, err := r.cache.Get(KindStatic, key, &p)
+	if err != nil {
+		r.Stats.CacheFaults++
+	}
+	if !ok {
+		return nil
+	}
+	return p.Rehydrate()
+}
 
-	ws(spec.Name)
-	ws(spec.EntryClass)
-	ws(spec.EntryMethod)
+// LibPrint fingerprints one loaded native-library image: the content digest
+// covers the load base and the assembled bytes, deliberately not the library
+// or app name — two apps shipping the same code share the print, which is
+// what makes library-level artifacts reusable across apps.
+type LibPrint struct {
+	Name   string // reporting only; not part of Digest
+	Base   uint32
+	Digest string
+}
+
+// Fingerprint identifies what an Install added to the warm System, split by
+// artifact scope: Dex covers the structural content of every non-framework
+// class, each LibPrint covers one native image, Static additionally binds
+// the entry point (the inputs of static.Analyze), and App is the submission
+// identity the service shards and dedups by. The submission's display name
+// is excluded throughout — identical content under two names is one app.
+type Fingerprint struct {
+	App    string
+	Static string
+	Dex    string
+	Libs   []LibPrint
+}
+
+// fingerprintInstalled digests the currently-installed app (Install must
+// already have run on the live System).
+func (r *Runner) fingerprintInstalled(spec AppSpec) Fingerprint {
+	vm := r.sys.VM
+	dh := fnv.New64a()
+	for _, name := range vm.Classes() {
+		if r.bootClasses[name] {
+			continue
+		}
+		if c, ok := vm.Class(name); ok {
+			c.WriteDigest(dh)
+		}
+	}
+	var fp Fingerprint
+	fp.Dex = hex64(dh.Sum64())
+	for _, lib := range vm.NativeLibs() {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], lib.Prog.Base)
+		fp.Libs = append(fp.Libs, LibPrint{
+			Name: lib.Name, Base: lib.Prog.Base,
+			Digest: cas.DigestBytes(b[:], lib.Prog.Code),
+		})
+	}
+	parts := []string{spec.EntryClass, spec.EntryMethod, fp.Dex}
+	for _, l := range fp.Libs {
+		parts = append(parts, l.Digest)
+	}
+	fp.Static = cas.DigestStrings(parts...)
+	fp.App = fp.Static
+	return fp
+}
+
+// Fingerprint rewinds the warm System, installs the app, and returns its
+// content fingerprint plus load-time dex validation diagnostics (one rendered
+// fault per structurally-broken class). Validation verdicts are cached in the
+// artifact store by class content digest, so a digest-identical class —
+// resubmitted, or shared between apps — validates once per store lifetime.
+// No analysis runs; the service's fingerprint stage uses this to route, dedup,
+// and short-circuit submissions before spending any execution budget.
+func (r *Runner) Fingerprint(spec AppSpec) (fp Fingerprint, diags []string, err error) {
+	// Install runs arbitrary app setup; contain its panics like analyzeOnce
+	// does, so a hostile submission cannot take the fingerprint stage down.
+	defer func() {
+		if rec := recover(); rec != nil {
+			fp, diags = Fingerprint{}, nil
+			err = fault.FromPanic("core", rec)
+			r.needReboot = true
+		}
+	}()
+	if err := r.freshInstall(spec); err != nil {
+		return Fingerprint{}, nil, fault.AsFault(err, "core")
+	}
+	fp = r.fingerprintInstalled(spec)
 
 	vm := r.sys.VM
 	for _, name := range vm.Classes() {
@@ -179,58 +319,71 @@ func (r *Runner) digest(spec AppSpec) string {
 		if !ok {
 			continue
 		}
-		ws(c.Name)
-		ws(c.Super)
-		for _, f := range c.InstanceFields {
-			ws(f.Name)
-			wi(int64(f.Index))
-		}
-		for _, f := range c.StaticFields {
-			ws(f.Name)
-			wi(int64(f.Index))
-		}
-		for _, m := range c.Methods {
-			ws(m.Name)
-			ws(m.Shorty)
-			wi(int64(m.Flags))
-			wi(int64(m.NumRegs))
-			wi(int64(m.NativeAddr))
-			for i := range m.Insns {
-				in := &m.Insns[i]
-				wi(int64(in.Op))
-				wi(int64(in.A))
-				wi(int64(in.B))
-				wi(int64(in.C))
-				wi(in.Lit)
-				ws(in.Str)
-				wi(int64(in.Cmp))
-				wi(int64(in.Ar))
-				wi(int64(in.Tgt))
-				for _, a := range in.Args {
-					wi(int64(a))
-				}
-				ws(in.ClassName)
-				ws(in.MemberName)
-				ws(in.Shorty)
-			}
-			for _, t := range m.Tries {
-				wi(int64(t.Start))
-				wi(int64(t.End))
-				wi(int64(t.Handler))
-				ws(t.Type)
-			}
+		if f := r.validateClass(c); f != nil {
+			diags = append(diags, f.Error())
 		}
 	}
-	for _, lib := range vm.NativeLibs() {
-		ws(lib.Name)
-		wi(int64(lib.Prog.Base))
-		h.Write(lib.Prog.Code)
+	return fp, diags, nil
+}
+
+// validateClass runs (or replays) one class's structural validation.
+func (r *Runner) validateClass(c *dex.Class) *fault.Fault {
+	if r.cache == nil {
+		r.Stats.DexValidations++
+		return fault.AsFault(c.Validate(), "dex")
 	}
+	key := c.Digest()
+	var rec dexCheckRecord
+	ok, err := r.cache.Get(KindDexCheck, key, &rec)
+	if err != nil {
+		r.Stats.CacheFaults++
+	}
+	if ok {
+		r.Stats.DexCheckHits++
+		return rec.Fault.Fault()
+	}
+	r.Stats.DexValidations++
+	f := fault.AsFault(c.Validate(), "dex")
+	_ = r.cache.Put(KindDexCheck, key, &dexCheckRecord{Fault: f.Portable()})
+	return f
+}
+
+// runnerAsmCache adapts the artifact store to the VM's assembly-cache hook.
+// Each Load decodes a private Program copy, so nothing is aliased between
+// VMs; a corrupt or injected-faulty entry counts as an absorbed cache fault
+// and reads as a miss (the VM assembles and re-stores).
+type runnerAsmCache struct{ r *Runner }
+
+func asmCacheKey(source string, base uint32) string {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], base)
+	return cas.DigestBytes([]byte(source), b[:])
+}
+
+func (a *runnerAsmCache) Load(source string, base uint32) (*arm.Program, bool) {
+	var p arm.Program
+	ok, err := a.r.cache.Get(KindAsm, asmCacheKey(source, base), &p)
+	if err != nil {
+		a.r.Stats.CacheFaults++
+	}
+	if !ok {
+		return nil, false
+	}
+	a.r.Stats.AsmCacheHits++
+	return &p, true
+}
+
+func (a *runnerAsmCache) Store(source string, base uint32, prog *arm.Program) {
+	// Store always follows a real assembler run on the cached path.
+	a.r.Stats.AsmAssembles++
+	_ = a.r.cache.Put(KindAsm, asmCacheKey(source, base), prog)
+}
+
+func hex64(sum uint64) string {
+	const hexDigits = "0123456789abcdef"
 	var out [16]byte
-	const hex = "0123456789abcdef"
-	sum := h.Sum64()
 	for i := 0; i < 16; i++ {
-		out[15-i] = hex[sum&0xf]
+		out[15-i] = hexDigits[sum&0xf]
 		sum >>= 4
 	}
 	return string(out[:])

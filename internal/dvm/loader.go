@@ -14,6 +14,21 @@ type asmKey struct {
 	base   uint32
 }
 
+// AsmCache is the cross-VM assembly cache consulted on an asmMemo miss,
+// typically backed by the persistent content-addressed store: a shared native
+// library already assembled under one app (or one fork-server shard, or a
+// previous process) is reused under every other. Load must return a Program
+// private to the caller (or immutable); a miss for any reason — including a
+// corrupt entry the cache absorbed — returns false and the VM assembles.
+type AsmCache interface {
+	Load(source string, base uint32) (*arm.Program, bool)
+	Store(source string, base uint32, prog *arm.Program)
+}
+
+// SetAsmCache wires an assembly cache into the VM. Like asmMemo, the cache is
+// content-addressed warm state: it survives snapshot restores untouched.
+func (vm *VM) SetAsmCache(c AsmCache) { vm.asmCache = c }
+
 // LoadNativeLib assembles ARM/Thumb source, loads it into the app code
 // region, registers it in the task's memory map (so the OS-level view
 // reconstructor can attribute its addresses), and returns the program. The
@@ -29,6 +44,12 @@ func (vm *VM) LoadNativeLib(name, source string) (*arm.Program, error) {
 		base = kernel.AppCodeBase
 	}
 	prog := vm.asmMemo[asmKey{source, base}]
+	if prog == nil && vm.asmCache != nil {
+		if p, ok := vm.asmCache.Load(source, base); ok {
+			prog = p
+			vm.AsmCacheHits++
+		}
+	}
 	if prog == nil {
 		extern := vm.Libc.Syms()
 		for sym, addr := range vm.JNISyms() {
@@ -39,11 +60,15 @@ func (vm *VM) LoadNativeLib(name, source string) (*arm.Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dvm: assembling %s: %w", name, err)
 		}
-		if vm.asmMemo == nil {
-			vm.asmMemo = make(map[asmKey]*arm.Program)
+		vm.AsmAssembles++
+		if vm.asmCache != nil {
+			vm.asmCache.Store(source, base, prog)
 		}
-		vm.asmMemo[asmKey{source, base}] = prog
 	}
+	if vm.asmMemo == nil {
+		vm.asmMemo = make(map[asmKey]*arm.Program)
+	}
+	vm.asmMemo[asmKey{source, base}] = prog
 	vm.Mem.WriteBytes(prog.Base, prog.Code)
 	end := (prog.Base + prog.Size() + 0xfff) &^ 0xfff
 	vm.nextLibBase = end

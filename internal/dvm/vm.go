@@ -305,8 +305,15 @@ type VM struct {
 	nextLibBase uint32
 
 	// asmMemo caches assembled native-lib images by (source, base); it is
-	// content-addressed warm state, deliberately outside VMSnapshot.
-	asmMemo map[asmKey]*arm.Program
+	// content-addressed warm state, deliberately outside VMSnapshot. asmCache,
+	// when set, extends the memo across VMs (and processes) through the
+	// persistent artifact store. AsmAssembles counts real assembler runs;
+	// AsmCacheHits counts images served by asmCache.
+	asmMemo  map[asmKey]*arm.Program
+	asmCache AsmCache
+
+	AsmAssembles uint64
+	AsmCacheHits uint64
 }
 
 // internalFuncs lists every hookable libdvm-internal function, in a fixed

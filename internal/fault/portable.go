@@ -1,0 +1,50 @@
+package fault
+
+import "errors"
+
+// Portable is the serializable form of a Fault, used by the content-addressed
+// artifact store: Cause (an arbitrary error) flattens to its rendered string,
+// everything else round-trips field for field, so a rehydrated fault renders
+// byte-identically to the original.
+type Portable struct {
+	Kind   uint8  `json:"kind"`
+	Layer  string `json:"layer"`
+	PC     uint32 `json:"pc,omitempty"`
+	Addr   uint32 `json:"addr,omitempty"`
+	Method string `json:"method,omitempty"`
+	Site   string `json:"site,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// Portable dehydrates the fault. A nil fault dehydrates to nil.
+func (f *Fault) Portable() *Portable {
+	if f == nil {
+		return nil
+	}
+	p := &Portable{
+		Kind: uint8(f.Kind), Layer: f.Layer,
+		PC: f.PC, Addr: f.Addr,
+		Method: f.Method, Site: f.Site, Detail: f.Detail,
+	}
+	if f.Cause != nil {
+		p.Cause = f.Cause.Error()
+	}
+	return p
+}
+
+// Fault rehydrates the portable form. A nil receiver rehydrates to nil.
+func (p *Portable) Fault() *Fault {
+	if p == nil {
+		return nil
+	}
+	f := &Fault{
+		Kind: Kind(p.Kind), Layer: p.Layer,
+		PC: p.PC, Addr: p.Addr,
+		Method: p.Method, Site: p.Site, Detail: p.Detail,
+	}
+	if p.Cause != "" {
+		f.Cause = errors.New(p.Cause)
+	}
+	return f
+}

@@ -98,6 +98,10 @@ type Result struct {
 	// the heat threshold. seedNames is the ReApply form.
 	seedMethods []*dex.Method
 	seedNames   []string
+
+	// rehydrated marks a Result rebuilt from its Portable form: the
+	// pointer-keyed sets are gone, so Apply routes through ReApply.
+	rehydrated bool
 }
 
 // Analyze runs CFG construction, the JNI lint, and the taint-reachability
@@ -232,6 +236,13 @@ func buildResolver(vm *dvm.VM) func(uint32) (string, bool) {
 // Pins are keyed by *dex.Method and page number on the target System, so a
 // fresh System (degradation retry) must call Apply again.
 func (r *Result) Apply(vm *dvm.VM) {
+	if r.rehydrated {
+		// Rebuilt from the artifact store: no pointer sets exist, and the
+		// caller's System is a fresh install of a digest-identical app, which
+		// is exactly the contract ReApply's name resolution covers.
+		r.ReApply(vm)
+		return
+	}
 	for _, m := range r.pinMethods {
 		vm.PinClean(m)
 	}
