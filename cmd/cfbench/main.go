@@ -16,6 +16,8 @@
 //	cfbench -cache both           # service cache ablation: uncached + cold/warm/sharedlib
 //	cfbench -cache on             # cached arms only (off: uncached arm only)
 //	cfbench -cache-dir DIR        # persist the ablation store instead of a temp dir
+//	cfbench -surface both         # JNI surface-observer ablation + RASP flood leg
+//	cfbench -surface on           # observed arm only (off: unobserved arm only)
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	fuse := flag.String("fuse", "both", "trace-fusion ablation arms: both, on, off, or none")
 	cache := flag.String("cache", "both", "service cache ablation arms: both, on, off, or none")
 	cacheDir := flag.String("cache-dir", "", "artifact store directory for -cache (default: a temp dir)")
+	surfaceArms := flag.String("surface", "both", "JNI surface-observer ablation arms: both, on, off, or none")
 	flag.Parse()
 
 	if *javaAblation {
@@ -119,6 +122,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cfbench: cache-regime parity mismatch:", cs.ParityDetail)
 		}
 	}
+	if *surfaceArms != "none" {
+		withOn := *surfaceArms == "both" || *surfaceArms == "on"
+		withOff := *surfaceArms == "both" || *surfaceArms == "off"
+		if !withOn && !withOff {
+			fmt.Fprintf(os.Stderr, "cfbench: bad -surface value %q (both, on, off, none)\n", *surfaceArms)
+			os.Exit(2)
+		}
+		ss, err := cfbench.SurfaceSweep(0, withOn, withOff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench:", err)
+			os.Exit(1)
+		}
+		res.Surface = ss
+		fmt.Println("JNI surface-observer ablation:")
+		fmt.Println(ss.String())
+		if !ss.ParityOK {
+			parityFailed = true
+			fmt.Fprintln(os.Stderr, "cfbench: surface observer parity mismatch:", ss.ParityDetail)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {
@@ -143,6 +166,9 @@ func main() {
 		}
 		if res.Cache != nil && !res.Cache.ParityOK {
 			fmt.Fprintln(os.Stderr, "cfbench: cache-regime parity mismatch:", res.Cache.ParityDetail)
+		}
+		if res.Surface != nil && !res.Surface.ParityOK {
+			fmt.Fprintln(os.Stderr, "cfbench: surface observer parity mismatch:", res.Surface.ParityDetail)
 		}
 		os.Exit(1)
 	}

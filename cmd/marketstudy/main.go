@@ -21,6 +21,9 @@
 //	marketstudy -cache DIR     # run the dynamic corpus through the analysis
 //	                           # service over a persistent artifact store; a
 //	                           # second run replays every verdict
+//	marketstudy -surface       # print the per-app JNI surface map table:
+//	                           # discovered natives, registration events,
+//	                           # dedup-throttled call counts, truncation flags
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	budget := flag.Uint64("budget", 0, "watchdog instruction budget per run (0 = default)")
 	snapshot := flag.Bool("snapshot", false, "serve dynamic attempts from per-worker snapshot clones")
 	cacheDir := flag.String("cache", "", "persistent artifact/verdict store; runs the dynamic corpus through the analysis service")
+	surfaceTable := flag.Bool("surface", false, "print the per-app JNI surface map table after the dynamic sweep")
 	flag.Parse()
 
 	params := corpus.PaperParams()
@@ -113,7 +117,46 @@ func main() {
 		fmt.Printf("\nFork servers: %d workers, %d boots, %d resets; per-reset cost %.1f guest pages + %.1f taint pages copied.\n",
 			rep.Workers, rs.Boots, rs.Resets, perReset, taintPerReset)
 	}
+	if *surfaceTable {
+		fmt.Println("\nJNI surface maps (dynamic observation, dedup + count-bucket throttled):")
+		fmt.Println()
+		printSurfaceTable(rep)
+	}
 	fmt.Println("\nEvery hostile app resolved to a per-app verdict; the study process survived.")
+}
+
+// printSurfaceTable renders each app's JNI surface map: every discovered
+// native boundary with its registration events, raw vs recorded call counts,
+// reflection dispatches, and the truncation flag when the app's event stream
+// hit the flood budget.
+func printSurfaceTable(rep *apps.StudyReport) {
+	fmt.Printf("%-16s %7s %7s %9s %7s %7s %6s\n",
+		"app", "natives", "regs", "calls", "events", "dropped", "trunc")
+	for _, row := range rep.Rows {
+		m := row.Report.Final.Result.Surface
+		if m == nil {
+			fmt.Printf("%-16s  (no surface map)\n", row.App.Name)
+			continue
+		}
+		var regs uint64
+		for _, b := range m.Boundaries {
+			regs += b.RegEvents
+		}
+		trunc := ""
+		if m.Truncated {
+			trunc = "yes"
+		}
+		fmt.Printf("%-16s %7d %7d %9d %7d %7d %6s\n",
+			row.App.Name, m.UniqueBoundaries, regs, m.Calls, m.Events, m.Dropped, trunc)
+		for _, b := range m.Boundaries {
+			dyn := ""
+			if b.Dynamic {
+				dyn = " dynamic"
+			}
+			fmt.Printf("    %-44s regs=%d calls=%d events=%d reflect=%d%s\n",
+				b.Name, b.RegEvents, b.Calls, b.CallEvents, b.ReflectCalls, dyn)
+		}
+	}
 }
 
 // printLintTable runs the static pre-analysis over every corpus app and

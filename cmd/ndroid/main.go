@@ -231,6 +231,10 @@ func runOne(name string, mode core.Mode, logging bool) error {
 		fmt.Println("\n-- flow log --")
 		fmt.Println(a.Log.String())
 	}
+	if m := a.Surface.Map(); m != nil {
+		fmt.Println("\n-- JNI surface map --")
+		fmt.Print(m.String())
+	}
 	fmt.Println("\n-- leaks --")
 	if len(a.Leaks) == 0 {
 		fmt.Println("(none detected)")

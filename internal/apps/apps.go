@@ -102,6 +102,10 @@ func HostileRegistry() []*App {
 		HostileSpinApp(),
 		HostileWildApp(),
 		HostileDexApp(),
+		HostileRaspApp(),
+		HostileReflectApp(),
+		HostileSmcApp(),
+		HostilePinswapApp(),
 	}
 }
 

@@ -24,8 +24,18 @@ func TestHostileVerdicts(t *testing.T) {
 			if got, want := r.Verdict(), app.ExpectedVerdict(); got != want {
 				t.Fatalf("verdict = %v, want %v (chain %s)", got, want, r.ChainString())
 			}
-			if r.Final.Result.Fault == nil {
-				t.Fatalf("no fault recorded for %v verdict", r.Verdict())
+			// Crash-the-analyzer apps must carry a typed fault; the surface
+			// corpus (flood, reflect, SMC, pin-swap) completes with a clean
+			// or leak verdict and no fault at all.
+			switch r.Verdict() {
+			case core.VerdictFault, core.VerdictTimeout:
+				if r.Final.Result.Fault == nil {
+					t.Fatalf("no fault recorded for %v verdict", r.Verdict())
+				}
+			default:
+				if r.Final.Result.Fault != nil {
+					t.Fatalf("unexpected fault %v for %v verdict", r.Final.Result.Fault, r.Verdict())
+				}
 			}
 			// The first attempt always runs under NDroid, whose JNI-entry hook
 			// logs every native call before it executes — so even an app that

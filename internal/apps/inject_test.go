@@ -9,6 +9,7 @@ import (
 	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/surface"
 )
 
 // appOutcome is the comparison unit for injection parity: the final verdict
@@ -104,6 +105,22 @@ func TestInjectionEverySiteContained(t *testing.T) {
 				}
 				if aOpts.Runner.Stats.CacheFaults != 1 {
 					t.Errorf("CacheFaults = %d, want 1", aOpts.Runner.Stats.CacheFaults)
+				}
+				return
+			}
+			if site == surface.SiteOverflow {
+				// Surface-budget exhaustion is absorbed degradation: the map
+				// truncates (typed, verdict-visible flag) but the analysis
+				// itself — verdict, chain, flow log — is untouched.
+				if chainSawInjection(r, site) {
+					t.Fatalf("absorbed surface overflow surfaced in chain %s", r.ChainString())
+				}
+				if r.Verdict() != core.VerdictLeak || r.Degraded {
+					t.Errorf("chain %s: surface overflow must be invisible (want undegraded leak)", r.ChainString())
+				}
+				m := r.Final.Result.Surface
+				if m == nil || !m.Truncated {
+					t.Errorf("surface map = %+v, want truncated map", m)
 				}
 				return
 			}
@@ -204,9 +221,10 @@ func TestInjectionParity(t *testing.T) {
 				// that consumed it must ALSO match the baseline byte for byte,
 				// which is the deopt-parity proof.
 				wantAbsorbed := 1
-				if site == core.SiteFusedDeopt || site == cas.SiteLoad {
+				if site == core.SiteFusedDeopt || site == cas.SiteLoad || site == surface.SiteOverflow {
 					// Absorbed sites leave no trace in any chain: the deopt
-					// reruns unfused, the cache fault evicts and recomputes.
+					// reruns unfused, the cache fault evicts and recomputes,
+					// the surface overflow truncates only the map.
 					wantAbsorbed = 0
 				}
 				absorbed := 0

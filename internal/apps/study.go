@@ -136,6 +136,7 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 		rep.RunnerStats.AsmCacheHits += s.AsmCacheHits
 		rep.RunnerStats.AsmAssembles += s.AsmAssembles
 		rep.RunnerStats.CacheFaults += s.CacheFaults
+		rep.RunnerStats.JNICrossings += s.JNICrossings
 	}
 	rep.tally()
 	return rep

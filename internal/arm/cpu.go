@@ -153,6 +153,13 @@ type CPU struct {
 	// was invalidated since. The fused JNI bridge keys its traces off it.
 	CodeEpoch uint64
 
+	// OnCodeWrite observes guest stores that land inside a translated code
+	// extent — the self-modifying-code events that force retranslation. The
+	// JNI surface observer subscribes to it to catch natives that rewrite
+	// their own hooks; it fires after the invalidation so the callback sees
+	// the post-invalidation epoch.
+	OnCodeWrite func(addr uint32)
+
 	Halted    bool
 	ExitCode  int32
 	InsnCount uint64
@@ -260,6 +267,20 @@ func (c *CPU) PinPage(page uint32) {
 
 // PinnedPageCount reports how many pages carry a static pin.
 func (c *CPU) PinnedPageCount() int { return len(c.pinnedPages) }
+
+// UnpinPages drops every static page pin, invalidating the blocks that baked
+// a pin in, and reports how many pins were dropped. Called when a dynamic
+// RegisterNatives swap voids the code layout the static pass proved pins
+// against; unpinned blocks fall back to the dynamic liveness gate, which is
+// always sound.
+func (c *CPU) UnpinPages() int {
+	n := len(c.pinnedPages)
+	for page := range c.pinnedPages {
+		c.invalidatePageBlocks(page)
+	}
+	c.pinnedPages = nil
+	return n
+}
 
 // Hook registers fn at addr (bit 0 ignored). A second registration at the
 // same address replaces the first; composition is the caller's concern.

@@ -19,16 +19,17 @@ import "repro/internal/taint"
 // CPUSnapshot holds the captured CPU state. Opaque to callers; produced by
 // Snapshot and consumed by Restore on the same CPU.
 type CPUSnapshot struct {
-	r        [16]uint32
+	r                  [16]uint32
 	n, z, cf, v, thumb bool
-	regTaint [16]taint.Tag
+	regTaint           [16]taint.Tag
 
-	tracer     Tracer
-	decodeHook func(pc uint32, thumb bool, insn Insn)
-	branchFn   BranchFunc
+	tracer                       Tracer
+	decodeHook                   func(pc uint32, thumb bool, insn Insn)
+	branchFn                     BranchFunc
+	onCodeWrite                  func(addr uint32)
 	branchWatchOn                bool
 	branchWatchLo, branchWatchHi uint32
-	svc func(c *CPU, num uint32) error
+	svc                          func(c *CPU, num uint32) error
 
 	addrHooks map[uint32]AddrHook
 	checkHook bool
@@ -63,13 +64,14 @@ type CPUSnapshot struct {
 // changed instead of recapturing them.
 func (c *CPU) Snapshot() *CPUSnapshot {
 	s := &CPUSnapshot{
-		r:        c.R,
-		n:        c.N, z: c.Z, cf: c.C, v: c.V, thumb: c.Thumb,
+		r: c.R,
+		n: c.N, z: c.Z, cf: c.C, v: c.V, thumb: c.Thumb,
 		regTaint: c.RegTaint,
 
 		tracer:        c.Tracer,
 		decodeHook:    c.DecodeHook,
 		branchFn:      c.BranchFn,
+		onCodeWrite:   c.OnCodeWrite,
 		branchWatchOn: c.branchWatchOn,
 		branchWatchLo: c.branchWatchLo,
 		branchWatchHi: c.branchWatchHi,
@@ -164,6 +166,7 @@ func (c *CPU) Restore(s *CPUSnapshot) {
 	c.Tracer = s.tracer
 	c.DecodeHook = s.decodeHook
 	c.BranchFn = s.branchFn
+	c.OnCodeWrite = s.onCodeWrite
 	c.branchWatchOn = s.branchWatchOn
 	c.branchWatchLo, c.branchWatchHi = s.branchWatchLo, s.branchWatchHi
 	c.SVC = s.svc

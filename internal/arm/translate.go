@@ -145,6 +145,9 @@ func (c *CPU) onMemWrite(addr, n uint32) {
 	c.codePages[w] &^= bit
 	delete(c.codeExt, pn)
 	c.invalidatePage(pn)
+	if c.OnCodeWrite != nil {
+		c.OnCodeWrite(addr)
+	}
 }
 
 // invalidatePage drops every translation that touches page pn: both decoded

@@ -42,6 +42,10 @@ type Result struct {
 	// Cache carries the service cache-ablation numbers when the caller ran a
 	// CacheSweep alongside the benchmark (cfbench -cache).
 	Cache *CacheSweepResult
+
+	// Surface carries the JNI surface-observer ablation when the caller ran
+	// a SurfaceSweep alongside the benchmark (cfbench -surface).
+	Surface *SurfaceSweepResult
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -174,19 +178,21 @@ func (r *Result) JSON() ([]byte, error) {
 		Gate     map[string]GateStats `json:"gate,omitempty"`
 	}
 	var out struct {
-		Modes      []string          `json:"modes"`
-		Rows       []jsonRow         `json:"rows"`
-		Verdicts   *VerdictCounts    `json:"verdicts,omitempty"`
-		Pins       []PinRow          `json:"pins,omitempty"`
-		Throughput *ThroughputResult `json:"throughput,omitempty"`
-		Fuse       *FuseSweepResult  `json:"fuse,omitempty"`
-		Cache      *CacheSweepResult `json:"cache,omitempty"`
+		Modes      []string            `json:"modes"`
+		Rows       []jsonRow           `json:"rows"`
+		Verdicts   *VerdictCounts      `json:"verdicts,omitempty"`
+		Pins       []PinRow            `json:"pins,omitempty"`
+		Throughput *ThroughputResult   `json:"throughput,omitempty"`
+		Fuse       *FuseSweepResult    `json:"fuse,omitempty"`
+		Cache      *CacheSweepResult   `json:"cache,omitempty"`
+		Surface    *SurfaceSweepResult `json:"surface,omitempty"`
 	}
 	out.Verdicts = r.Verdicts
 	out.Pins = r.Pins
 	out.Throughput = r.Throughput
 	out.Fuse = r.Fuse
 	out.Cache = r.Cache
+	out.Surface = r.Surface
 	for _, m := range r.Modes {
 		out.Modes = append(out.Modes, m.String())
 	}

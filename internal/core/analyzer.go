@@ -7,6 +7,7 @@ import (
 	"repro/internal/arm"
 	"repro/internal/dex"
 	"repro/internal/dvm"
+	"repro/internal/surface"
 	"repro/internal/taint"
 )
 
@@ -136,6 +137,19 @@ type Analyzer struct {
 	Leaks []Leak
 	Log   FlowLog
 
+	// Surface is the JNI surface observer (nil when disabled via
+	// AnalyzeOptions.Surface = SurfaceOff). It records discovered natives,
+	// registration events, reflection dispatches, and throttled call counts;
+	// its Map lands in RunResult.Surface. It never writes the flow log, so
+	// enabling or disabling it cannot perturb flow-log parity.
+	Surface *surface.Observer
+
+	// PinsVoided / PinPagesVoided count static clean-pins (methods / native
+	// pages) dropped because a dynamic RegisterNatives swap invalidated the
+	// binding the pre-analysis proved them against.
+	PinsVoided     int
+	PinPagesVoided int
+
 	// InstrumentationCalls counts DVM-hook instrumentation bodies that
 	// actually ran (the quantity multilevel hooking reduces).
 	InstrumentationCalls uint64
@@ -186,7 +200,30 @@ func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 	// and the log line keys the static cross-validator's relaxation.
 	sys.VM.OnRegisterNatives = func(m *dex.Method, old, new uint32) {
 		a.Log.Addf("RegisterNatives %s 0x%x -> 0x%x", m.FullName(), old, new)
+		// The swap voids every clean-pin the static pass derived from the
+		// previous binding: pinned methods and pages fall back to the dynamic
+		// gates (a dropped pin costs speed, never a missed flow). The
+		// diagnostic line is deliberately independent of whether any pins
+		// existed, so flow logs stay byte-identical across static levels;
+		// the counts are reported through RunResult instead.
+		a.PinsVoided += sys.VM.UnpinClean()
+		a.PinPagesVoided += sys.CPU.UnpinPages()
+		a.Log.Addf("StaticPinVoid %s: clean pins from the pre-swap binding voided", m.FullName())
 	}
+	// The JNI surface observer runs in every mode (vanilla included): the
+	// surface map is part of the verdict record, so it must not depend on the
+	// analysis stack. Bindings that happened at install time — before this
+	// analyzer existed — are seeded in deterministic class order; everything
+	// later arrives through the VM/CPU observation hooks. None of these
+	// callbacks touch the flow log.
+	a.Surface = surface.NewObserver()
+	a.seedSurface()
+	sys.VM.OnJNICall = func(m *dex.Method) { a.Surface.Call(m.FullName()) }
+	sys.VM.OnNativeBind = func(m *dex.Method, old, new uint32, dynamic bool) {
+		a.Surface.Register(m.FullName(), dynamic, old, new)
+	}
+	sys.VM.OnReflectCall = func(m *dex.Method) { a.Surface.Reflect(m.FullName()) }
+	sys.CPU.OnCodeWrite = func(addr uint32) { a.Surface.CodeWrite(addr) }
 	if gate {
 		// Hot Dalvik→JNI→ARM crossing chains compile to fused closures; the
 		// ablation path (AnalyzeOptions.Fuse = FuseOff) switches this back
@@ -222,6 +259,35 @@ func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 		a.installDroidScope()
 	}
 	return a
+}
+
+// seedSurface records every native method already bound at analyzer attach
+// time (install runs before NewAnalyzer) as a static registration, in sorted
+// class order so the seeded map is deterministic.
+func (a *Analyzer) seedSurface() {
+	vm := a.Sys.VM
+	for _, name := range vm.Classes() {
+		c, ok := vm.Class(name)
+		if !ok {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.IsNative() && m.NativeAddr != 0 {
+				a.Surface.Register(m.FullName(), false, 0, m.NativeAddr)
+			}
+		}
+	}
+}
+
+// DisableSurface detaches the surface observer (AnalyzeOptions.Surface =
+// SurfaceOff): the ablation baseline proving the observer never perturbs
+// execution, verdicts, or flow logs.
+func (a *Analyzer) DisableSurface() {
+	a.Surface = nil
+	a.Sys.VM.OnJNICall = nil
+	a.Sys.VM.OnNativeBind = nil
+	a.Sys.VM.OnReflectCall = nil
+	a.Sys.CPU.OnCodeWrite = nil
 }
 
 // crossingClean reports that a JNI crossing may skip its taint walks

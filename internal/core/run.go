@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/static"
+	"repro/internal/surface"
 	"repro/internal/taint"
 )
 
@@ -106,6 +107,19 @@ type RunResult struct {
 	FusedCalls   uint64
 	FuseDeopts   uint64
 
+	// Surface is the JNI surface map gathered by this attempt (nil when the
+	// observer was disabled). It is captured in the same deferred block as
+	// the other evidence, so Fault/Timeout verdicts keep the partial map
+	// built up to the stop point. Surface.Truncated is the typed,
+	// verdict-visible degradation signal for event-budget exhaustion.
+	Surface *surface.Map
+
+	// PinsVoided / PinPagesVoided count static clean-pins dropped mid-run
+	// because a dynamic RegisterNatives swap invalidated the binding they
+	// were derived from.
+	PinsVoided     int
+	PinPagesVoided int
+
 	// Static is the pre-analysis result for this attempt (nil when the
 	// pre-analysis was off). StaticViolations holds cross-validation
 	// failures: dynamic flow-log events outside the static reach sets.
@@ -149,6 +163,9 @@ func (a *Analyzer) Run(class, method string, args []uint32, taints []taint.Tag) 
 		res.FusedChains = vm.JavaFusedChains - startChains
 		res.FusedCalls = vm.JavaFusedCalls - startFused
 		res.FuseDeopts = vm.JavaFuseDeopts - startDeopts
+		res.Surface = a.Surface.Map()
+		res.PinsVoided = a.PinsVoided
+		res.PinPagesVoided = a.PinPagesVoided
 		vm.JavaBudget, vm.NativeBudget = 0, 0
 	}()
 
@@ -191,12 +208,43 @@ const (
 	FuseOff
 )
 
+// SurfaceMode selects how the JNI surface observer runs.
+type SurfaceMode int
+
+// Surface settings for AnalyzeOptions.Surface.
+const (
+	// SurfaceDefault follows the analyzer default (observer on, throttled).
+	SurfaceDefault SurfaceMode = iota
+	// SurfaceOn forces the observer on with throttling.
+	SurfaceOn
+	// SurfaceOff detaches the observer entirely: the ablation baseline the
+	// parity suites compare against (verdicts and flow logs must be
+	// byte-identical with the observer on).
+	SurfaceOff
+	// SurfaceUnthrottled keeps the observer on but disables count bucketing:
+	// every crossing attempts an event. The flood baseline a RASP app
+	// demonstrably blows the event budget with.
+	SurfaceUnthrottled
+)
+
+// applySurface configures a freshly built analyzer per the surface option.
+func applySurface(a *Analyzer, m SurfaceMode) {
+	switch m {
+	case SurfaceOff:
+		a.DisableSurface()
+	case SurfaceUnthrottled:
+		a.Surface.Throttle = false
+	}
+}
+
 // AnalyzeOptions configures AnalyzeApp.
 type AnalyzeOptions struct {
 	// Mode is the starting analysis mode (default ModeNDroid).
 	Mode Mode
 	// Fuse controls cross-boundary trace fusion (default: on).
 	Fuse FuseMode
+	// Surface controls the JNI surface observer (default: on, throttled).
+	Surface SurfaceMode
 	// Budget overrides DefaultBudget when nonzero.
 	Budget uint64
 	// FlowLog enables flow-log capture on every attempt.
@@ -342,6 +390,7 @@ func analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
 	if opts.Fuse == FuseOff {
 		sys.VM.FuseNative = false
 	}
+	applySurface(a, opts.Surface)
 
 	var sr *static.Result
 	if opts.Static != static.Off {

@@ -59,13 +59,19 @@ type RunnerStats struct {
 	StaticRuns   int // static.Analyze executions
 	StaticReuses int // attempts served from the in-memory digest cache
 
+	// JNICrossings counts live Java->native crossings observed across every
+	// attempt this Runner executed. Warm service replays serve verdicts (and
+	// their surface maps) without running the guest, so their shards report
+	// zero here — the counter-assertion the warm-replay tests pin.
+	JNICrossings uint64
+
 	// Artifact-store traffic (all zero on an uncached Runner).
-	StaticDiskHits  int // static results rehydrated from the artifact store
-	DexValidations  int // per-class Validate executions during Fingerprint
-	DexCheckHits    int // validation verdicts served from the artifact store
-	AsmCacheHits    int // assembled images served from the artifact store
-	AsmAssembles    int // real assembler runs
-	CacheFaults     int // corrupt or injected cache loads absorbed (recomputed)
+	StaticDiskHits int // static results rehydrated from the artifact store
+	DexValidations int // per-class Validate executions during Fingerprint
+	DexCheckHits   int // validation verdicts served from the artifact store
+	AsmCacheHits   int // assembled images served from the artifact store
+	AsmAssembles   int // real assembler runs
+	CacheFaults    int // corrupt or injected cache loads absorbed (recomputed)
 }
 
 // Runner serves analysis attempts from a snapshot-restored System.
@@ -174,6 +180,7 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 	if opts.Fuse == FuseOff {
 		sys.VM.FuseNative = false
 	}
+	applySurface(a, opts.Surface)
 
 	var sr *static.Result
 	if opts.Static != static.Off {
@@ -207,6 +214,7 @@ func (r *Runner) analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res 
 	}
 
 	res = a.Run(spec.EntryClass, spec.EntryMethod, nil, nil)
+	r.Stats.JNICrossings += res.JNICrossings
 	if sr != nil {
 		res.Static = sr
 		if opts.FlowLog {

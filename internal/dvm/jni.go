@@ -253,6 +253,9 @@ func (vm *VM) jniRetDecode(retKind byte, r0, r1 uint32) uint64 {
 // chain (fuse.go) in which the per-call bridge work is specialized away.
 func (vm *VM) callJNIMethod(th *Thread, m *dex.Method, args []uint32, taints []taint.Tag) (uint64, taint.Tag, *Object, error) {
 	vm.JNICrossings++
+	if vm.OnJNICall != nil {
+		vm.OnJNICall(m)
+	}
 	if vm.FuseNative {
 		if fc := vm.fuseLookup(m); fc != nil {
 			return vm.callFused(fc, th, m, args, taints)

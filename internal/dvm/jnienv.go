@@ -274,6 +274,9 @@ func jniRegisterNatives(vm *VM, c *arm.CPU, ctx *CallCtx) {
 		}
 		old := m.NativeAddr
 		m.NativeAddr = fn
+		if vm.OnNativeBind != nil {
+			vm.OnNativeBind(m, old, fn, true)
+		}
 		if old != 0 && old != fn {
 			vm.transEpoch++
 			if vm.OnRegisterNatives != nil {
@@ -368,6 +371,9 @@ func (vm *VM) jniCallMethod(c *arm.CPU, ctx *CallCtx, retKind byte, variant byte
 	if m == nil {
 		c.R[0] = 0
 		return
+	}
+	if vm.OnReflectCall != nil {
+		vm.OnReflectCall(m)
 	}
 
 	reader := &jniArgReader{vm: vm, c: c, variant: variant, pos: argPos}

@@ -118,11 +118,15 @@ func (vm *VM) BindNative(className, methodName string, prog *arm.Program, label 
 	if err != nil {
 		return err
 	}
-	if m.NativeAddr != 0 && m.NativeAddr != addr {
+	old := m.NativeAddr
+	if old != 0 && old != addr {
 		// Rebinding a bound method: translated code and fused chains baked
 		// the old entry address in (same invalidation as RegisterNatives).
 		vm.transEpoch++
 	}
 	m.NativeAddr = addr
+	if vm.OnNativeBind != nil {
+		vm.OnNativeBind(m, old, addr, false)
+	}
 	return nil
 }

@@ -58,6 +58,9 @@ type VMSnapshot struct {
 	javaStepFn                       func(th *Thread, m *dex.Method, pc int, insn *dex.Insn)
 	javaLeakFn                       func(JavaLeak)
 	onRegisterNatives                func(m *dex.Method, old, new uint32)
+	onJNICall                        func(m *dex.Method)
+	onNativeBind                     func(m *dex.Method, old, new uint32, dynamic bool)
+	onReflectCall                    func(m *dex.Method)
 	nativeBudget, javaBudget         uint64
 	javaInsns, javaTransMethods      uint64
 	javaCleanFrames, javaTaintFrames uint64
@@ -134,6 +137,9 @@ func (vm *VM) Snapshot() *VMSnapshot {
 		javaStepFn:        vm.javaStepFn,
 		javaLeakFn:        vm.JavaLeakFn,
 		onRegisterNatives: vm.OnRegisterNatives,
+		onJNICall:         vm.OnJNICall,
+		onNativeBind:      vm.OnNativeBind,
+		onReflectCall:     vm.OnReflectCall,
 		nativeBudget:      vm.NativeBudget,
 		javaBudget:        vm.JavaBudget,
 		javaInsns:         vm.JavaInsnCount,
@@ -299,6 +305,9 @@ func (vm *VM) Restore(s *VMSnapshot) {
 	vm.javaStepFn = s.javaStepFn
 	vm.JavaLeakFn = s.javaLeakFn
 	vm.OnRegisterNatives = s.onRegisterNatives
+	vm.OnJNICall = s.onJNICall
+	vm.OnNativeBind = s.onNativeBind
+	vm.OnReflectCall = s.onReflectCall
 	vm.NativeBudget, vm.JavaBudget = s.nativeBudget, s.javaBudget
 	vm.JavaInsnCount = s.javaInsns
 	vm.JavaTransMethods = s.javaTransMethods

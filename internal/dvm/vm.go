@@ -257,6 +257,16 @@ type VM struct {
 	// OnRegisterNatives observes mid-run native-method re-registration
 	// (JNIEnv->RegisterNatives rebinding a bound method to a new entry point).
 	OnRegisterNatives func(m *dex.Method, old, new uint32)
+	// OnJNICall observes every Java->native crossing at the top of the JNI
+	// bridge, before the fused/unfused split, so both paths report
+	// identically. OnNativeBind observes every native-method binding:
+	// dynamic=true for guest RegisterNatives (all of them, not just rebinds),
+	// false for loader-time BindNative. OnReflectCall observes native->Java
+	// reflection-style dispatch (CallStatic*Method resolving a jmethodID).
+	// All three feed the JNI surface observer and must stay off the flow log.
+	OnJNICall     func(m *dex.Method)
+	OnNativeBind  func(m *dex.Method, old, new uint32, dynamic bool)
+	OnReflectCall func(m *dex.Method)
 
 	// fused maps resolved methods to their compiled chains; fuseHeat counts
 	// unfused crossings per method toward the fusion threshold; fuseSeeds
@@ -429,6 +439,18 @@ func (vm *VM) PinClean(m *dex.Method) {
 
 // PinnedCleanCount reports how many methods carry a static clean pin.
 func (vm *VM) PinnedCleanCount() int { return len(vm.pinnedClean) }
+
+// UnpinClean discards every static clean pin and reports how many were
+// dropped. The analyzer calls it when a dynamic RegisterNatives swap voids
+// the binding the static pass analyzed: pinned methods fall back to the
+// ordinary taintSeen gate, which is always sound — a dropped pin costs
+// speed, never a missed flow. Translated frames consult the pin set on
+// entry, so no retranslation is needed.
+func (vm *VM) UnpinClean() int {
+	n := len(vm.pinnedClean)
+	vm.pinnedClean = nil
+	return n
+}
 
 // SeedFusion nominates a native method for eager trace fusion: the first
 // crossing builds its chain instead of waiting out the heat threshold. Seeds

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/surface"
 )
 
 // Options configures a Service.
@@ -324,6 +325,11 @@ type resultLine struct {
 	Fault    string   `json:"fault,omitempty"`
 	Diags    []string `json:"diags,omitempty"`
 	Error    string   `json:"error,omitempty"`
+	// Surface summary: unique JNI boundaries discovered, observer events
+	// recorded, and whether the map hit its event budget (flood truncation).
+	SurfaceBoundaries int  `json:"surface_boundaries,omitempty"`
+	SurfaceEvents     int  `json:"surface_events,omitempty"`
+	SurfaceTruncated  bool `json:"surface_truncated,omitempty"`
 }
 
 func (s *Service) emit(res Result) {
@@ -346,6 +352,11 @@ func (s *Service) emit(res Result) {
 		line.LogLines = len(res.Report.Final.Result.LogLines)
 		if f := res.Report.Final.Result.Fault; f != nil {
 			line.Fault = f.Error()
+		}
+		if m := res.Report.Final.Result.Surface; m != nil {
+			line.SurfaceBoundaries = m.UniqueBoundaries
+			line.SurfaceEvents = m.Events
+			line.SurfaceTruncated = m.Truncated
 		}
 	}
 	b, err := json.Marshal(line)
@@ -371,7 +382,7 @@ func shardIndex(digest string, n int) int {
 // digest under one analysis configuration. Keyed by verdictKey, not the bare
 // app digest — mode, budget, fusion, flow-log capture, and static level all
 // change what a run produces.
-var KindVerdict = cas.Kind{Name: "verdict", Schema: "v1 service.verdictRecord chain,final_log,leaks,counters"}
+var KindVerdict = cas.Kind{Name: "verdict", Schema: "v2 service.verdictRecord chain,final_log,leaks,counters,surface"}
 
 // addRunnerStats folds one Runner's counters into an aggregate.
 func addRunnerStats(dst *core.RunnerStats, s core.RunnerStats) {
@@ -387,6 +398,7 @@ func addRunnerStats(dst *core.RunnerStats, s core.RunnerStats) {
 	dst.AsmCacheHits += s.AsmCacheHits
 	dst.AsmAssembles += s.AsmAssembles
 	dst.CacheFaults += s.CacheFaults
+	dst.JNICrossings += s.JNICrossings
 }
 
 type attemptRecord struct {
@@ -408,6 +420,11 @@ type verdictRecord struct {
 	Leaks       []core.Leak     `json:"leaks,omitempty"`
 	JavaInsns   uint64          `json:"java_insns"`
 	NativeInsns uint64          `json:"native_insns"`
+	// Surface is the final attempt's JNI surface map, persisted so a warm
+	// verdict replay emits the exact map the computed run produced even
+	// though the replay observes zero live crossings.
+	Surface      *surface.Map `json:"surface,omitempty"`
+	JNICrossings uint64       `json:"jni_crossings,omitempty"`
 }
 
 // verdictKey binds the app digest to every analysis option that can change
@@ -422,7 +439,8 @@ func verdictKey(fp core.Fingerprint, o core.AnalyzeOptions) string {
 		fmt.Sprintf("budget=%d", o.Budget),
 		fmt.Sprintf("flowlog=%t", o.FlowLog),
 		fmt.Sprintf("static=%d", int(o.Static)),
-		fmt.Sprintf("retries=%d", o.InternalRetries))
+		fmt.Sprintf("retries=%d", o.InternalRetries),
+		fmt.Sprintf("surface=%d", int(o.Surface)))
 }
 
 func (s *Service) storeVerdict(fp core.Fingerprint, rep core.AppReport) {
@@ -430,13 +448,15 @@ func (s *Service) storeVerdict(fp core.Fingerprint, rep core.AppReport) {
 		return
 	}
 	rec := verdictRecord{
-		Degraded:    rep.Degraded,
-		Thrown:      rep.Final.Result.Thrown,
-		FinalLog:    rep.Final.Result.LogLines,
-		LogHash:     cas.DigestStrings(rep.Final.Result.LogLines...),
-		Leaks:       rep.Final.Result.Leaks,
-		JavaInsns:   rep.Final.Result.JavaInsns,
-		NativeInsns: rep.Final.Result.NativeInsns,
+		Degraded:     rep.Degraded,
+		Thrown:       rep.Final.Result.Thrown,
+		FinalLog:     rep.Final.Result.LogLines,
+		LogHash:      cas.DigestStrings(rep.Final.Result.LogLines...),
+		Leaks:        rep.Final.Result.Leaks,
+		JavaInsns:    rep.Final.Result.JavaInsns,
+		NativeInsns:  rep.Final.Result.NativeInsns,
+		Surface:      rep.Final.Result.Surface,
+		JNICrossings: rep.Final.Result.JNICrossings,
 	}
 	for _, att := range rep.Chain {
 		rec.Chain = append(rec.Chain, attemptRecord{
@@ -484,6 +504,8 @@ func (s *Service) loadVerdict(fp core.Fingerprint) (core.AppReport, bool) {
 	final.Result.Leaks = rec.Leaks
 	final.Result.JavaInsns = rec.JavaInsns
 	final.Result.NativeInsns = rec.NativeInsns
+	final.Result.Surface = rec.Surface
+	final.Result.JNICrossings = rec.JNICrossings
 	rep.Final = *final
 	return rep, true
 }
