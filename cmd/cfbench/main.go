@@ -18,6 +18,7 @@
 //	cfbench -cache-dir DIR        # persist the ablation store instead of a temp dir
 //	cfbench -surface both         # JNI surface-observer ablation + RASP flood leg
 //	cfbench -surface on           # observed arm only (off: unobserved arm only)
+//	cfbench -summaries sweep      # native taint-summary ablation (off/static/validated)
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	cache := flag.String("cache", "both", "service cache ablation arms: both, on, off, or none")
 	cacheDir := flag.String("cache-dir", "", "artifact store directory for -cache (default: a temp dir)")
 	surfaceArms := flag.String("surface", "both", "JNI surface-observer ablation arms: both, on, off, or none")
+	summaries := flag.String("summaries", "sweep", "native taint-summary ablation (runs off/static/validated arms): sweep or none")
 	flag.Parse()
 
 	if *javaAblation {
@@ -142,6 +144,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cfbench: surface observer parity mismatch:", ss.ParityDetail)
 		}
 	}
+	if *summaries != "none" {
+		if *summaries != "sweep" {
+			fmt.Fprintf(os.Stderr, "cfbench: bad -summaries value %q (sweep or none)\n", *summaries)
+			os.Exit(2)
+		}
+		sm, err := cfbench.SummarySweep(0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfbench:", err)
+			os.Exit(1)
+		}
+		res.Summary = sm
+		fmt.Println("Native taint-summary ablation:")
+		fmt.Println(sm.String())
+		if !sm.ParityOK {
+			parityFailed = true
+			fmt.Fprintln(os.Stderr, "cfbench: summary ablation parity mismatch:", sm.ParityDetail)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {
@@ -169,6 +189,9 @@ func main() {
 		}
 		if res.Surface != nil && !res.Surface.ParityOK {
 			fmt.Fprintln(os.Stderr, "cfbench: surface observer parity mismatch:", res.Surface.ParityDetail)
+		}
+		if res.Summary != nil && !res.Summary.ParityOK {
+			fmt.Fprintln(os.Stderr, "cfbench: summary ablation parity mismatch:", res.Summary.ParityDetail)
 		}
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 //	ndroid -list
 //	ndroid -app qqphonebook [-mode ndroid|taintdroid|vanilla|droidscope] [-quiet]
 //	ndroid -app case1 -static pin
+//	ndroid -app summix -summaries validated   # auto-generated native taint summaries
 //	ndroid -all
 //	ndroid -serve [-cache DIR] [-workers N]     # app names on stdin, JSON lines out
 //	ndroid -serve -serve-dir submissions/       # app names from files in a directory
@@ -34,6 +35,7 @@ func main() {
 		appName   = flag.String("app", "", "app to analyze (see -list)")
 		mode      = flag.String("mode", "ndroid", "analysis mode: vanilla, taintdroid, ndroid, droidscope")
 		staticLvl = flag.String("static", "off", "static pre-analysis: off, lint (diagnose), pin (apply pins)")
+		summaries = flag.String("summaries", "off", "native taint summaries: off, static, or validated")
 		list      = flag.Bool("list", false, "list available apps")
 		all       = flag.Bool("all", false, "run the full Table I detection matrix")
 		quiet     = flag.Bool("quiet", false, "suppress the flow log")
@@ -50,6 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 	staticLevel = level
+
+	sumMode, err := core.ParseSummaryMode(*summaries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndroid:", err)
+		os.Exit(2)
+	}
+	summaryMode = sumMode
 
 	if *list {
 		for _, a := range apps.Registry() {
@@ -110,7 +119,7 @@ func runServe(dir, cacheDir string, workers int, mode core.Mode, level static.Le
 		Workers: workers,
 		Cache:   store,
 		Out:     os.Stdout,
-		Analyze: core.AnalyzeOptions{Mode: mode, FlowLog: true, Static: level},
+		Analyze: core.AnalyzeOptions{Mode: mode, FlowLog: true, Static: level, Summaries: summaryMode},
 	})
 	if err != nil {
 		return err
@@ -191,6 +200,9 @@ func serveSubmissions(dir string) ([]string, error) {
 // staticLevel is the -static flag, applied by analyze to every run.
 var staticLevel static.Level
 
+// summaryMode is the -summaries flag, applied by analyze to every run.
+var summaryMode core.SummaryMode
+
 func analyze(name string, mode core.Mode, logging bool) (*core.Analyzer, *apps.App, error) {
 	app, ok := apps.ByName(name)
 	if !ok {
@@ -205,6 +217,9 @@ func analyze(name string, mode core.Mode, logging bool) (*core.Analyzer, *apps.A
 	}
 	a := core.NewAnalyzer(sys, mode)
 	a.Log.Enabled = logging
+	if summaryMode != core.SummaryOff {
+		a.EnableSummaries(summaryMode, nil)
+	}
 	if staticLevel != static.Off {
 		r := static.Analyze(sys.VM, app.EntryClass, app.EntryMethod)
 		fmt.Println("--", r.Summary())
@@ -234,6 +249,23 @@ func runOne(name string, mode core.Mode, logging bool) error {
 	if m := a.Surface.Map(); m != nil {
 		fmt.Println("\n-- JNI surface map --")
 		fmt.Print(m.String())
+	}
+	if summaryMode != core.SummaryOff {
+		fmt.Println("\n-- native taint summaries --")
+		report := a.SummaryReport()
+		if len(report) == 0 {
+			fmt.Println("  (no summarizable libraries)")
+		}
+		for _, lr := range report {
+			fmt.Println(" ", lr)
+		}
+		if a.SummariesVoided > 0 {
+			fmt.Printf("  RegisterNatives churn voided %d summaries\n", a.SummariesVoided)
+		}
+		for _, rej := range a.SummaryRejections {
+			fmt.Println(" ", rej)
+		}
+		fmt.Printf("  crossings served by a summary: %d\n", a.SummaryApplied)
 	}
 	fmt.Println("\n-- leaks --")
 	if len(a.Leaks) == 0 {

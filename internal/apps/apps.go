@@ -90,6 +90,9 @@ func Registry() []*App {
 		Case4App(),
 		RebindApp(),
 		BenignApp(),
+		SummixApp(),
+		SumfoldApp(),
+		SumfloatApp(),
 	}
 }
 
@@ -106,6 +109,7 @@ func HostileRegistry() []*App {
 		HostileReflectApp(),
 		HostileSmcApp(),
 		HostilePinswapApp(),
+		HostileSumdodgeApp(),
 	}
 }
 

@@ -23,6 +23,11 @@ type StudyOptions struct {
 	FlowLog bool
 	// Static selects the pre-analysis level for every app (off/lint/pin).
 	Static static.Level
+	// Summaries selects the auto-generated native taint summary mode for
+	// every app (off/static/validated). Flow logs and verdicts are
+	// byte-identical across settings; the per-lib synthesis table lands in
+	// each row's RunResult.Summary.
+	Summaries core.SummaryMode
 	// Apps is the corpus; nil means AllApps() (benign + hostile).
 	Apps []*App
 	// Snapshot serves attempts from a boot-once fork server (core.Runner)
@@ -104,11 +109,12 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 			}
 			for i := range idx {
 				rows[i] = StudyRow{App: corpus[i], Report: core.AnalyzeApp(corpus[i].Spec(), core.AnalyzeOptions{
-					Mode:    opts.Mode,
-					Budget:  opts.Budget,
-					FlowLog: opts.FlowLog,
-					Static:  opts.Static,
-					Runner:  runner,
+					Mode:      opts.Mode,
+					Budget:    opts.Budget,
+					FlowLog:   opts.FlowLog,
+					Static:    opts.Static,
+					Summaries: opts.Summaries,
+					Runner:    runner,
 				})}
 			}
 			if runner != nil {
@@ -137,6 +143,9 @@ func RunStudyParallel(opts StudyOptions, workers int) *StudyReport {
 		rep.RunnerStats.AsmAssembles += s.AsmAssembles
 		rep.RunnerStats.CacheFaults += s.CacheFaults
 		rep.RunnerStats.JNICrossings += s.JNICrossings
+		rep.RunnerStats.SummarySynths += s.SummarySynths
+		rep.RunnerStats.SummaryReuses += s.SummaryReuses
+		rep.RunnerStats.SummaryDiskHits += s.SummaryDiskHits
 	}
 	rep.tally()
 	return rep
@@ -181,10 +190,11 @@ func RunStudyService(opts StudyOptions, workers int) (*StudyReport, service.Stat
 		Workers: workers,
 		Cache:   opts.Cache,
 		Analyze: core.AnalyzeOptions{
-			Mode:    opts.Mode,
-			Budget:  opts.Budget,
-			FlowLog: opts.FlowLog,
-			Static:  opts.Static,
+			Mode:      opts.Mode,
+			Budget:    opts.Budget,
+			FlowLog:   opts.FlowLog,
+			Static:    opts.Static,
+			Summaries: opts.Summaries,
 		},
 	})
 	if err != nil {

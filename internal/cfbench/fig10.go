@@ -46,6 +46,10 @@ type Result struct {
 	// Surface carries the JNI surface-observer ablation when the caller ran
 	// a SurfaceSweep alongside the benchmark (cfbench -surface).
 	Surface *SurfaceSweepResult
+
+	// Summary carries the native taint-summary ablation when the caller ran
+	// a SummarySweep alongside the benchmark (cfbench -summaries).
+	Summary *SummarySweepResult
 }
 
 // Run measures every workload under the given modes. scale divides the
@@ -186,7 +190,9 @@ func (r *Result) JSON() ([]byte, error) {
 		Fuse       *FuseSweepResult    `json:"fuse,omitempty"`
 		Cache      *CacheSweepResult   `json:"cache,omitempty"`
 		Surface    *SurfaceSweepResult `json:"surface,omitempty"`
+		Summary    *SummarySweepResult `json:"summary,omitempty"`
 	}
+	out.Summary = r.Summary
 	out.Verdicts = r.Verdicts
 	out.Pins = r.Pins
 	out.Throughput = r.Throughput

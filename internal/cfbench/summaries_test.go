@@ -1,0 +1,35 @@
+package cfbench
+
+import "testing"
+
+// TestSummarySweep runs the three-arm summary ablation under a tight budget:
+// parity must hold (validated == off everywhere, static diverging exactly on
+// the hostile exhibit), every summarizable exhibit must clear the 5x
+// traced-instruction reduction bar, and the hostile exhibit's validated arm
+// must record the rejection.
+func TestSummarySweep(t *testing.T) {
+	res, err := SummarySweep(1 << 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ParityOK {
+		t.Fatalf("parity mismatch: %s", res.ParityDetail)
+	}
+	if len(res.Reductions) != len(summaryExhibits) {
+		t.Fatalf("%d reduction rows, want %d", len(res.Reductions), len(summaryExhibits))
+	}
+	for _, red := range res.Reductions {
+		if red.Ratio < 5 {
+			t.Errorf("%s: reduction %.2fx, want >= 5x", red.App, red.Ratio)
+		}
+	}
+	rejected := false
+	for _, c := range res.Cells {
+		if c.App == summaryDivergent && c.Mode == "ndroid" && c.Rejected > 0 {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("hostile exhibit's summary was never rejected under validation")
+	}
+}

@@ -10,6 +10,7 @@ package cfbench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -109,15 +110,11 @@ func throughputArm(budget uint64, rounds int, runner *core.Runner) (*ThroughputA
 	return arm, outcomes
 }
 
+// joinLog flattens the flow log for byte-parity comparison. strings.Join,
+// not +=: hostile-rasp's ndroid log runs to ~50k lines, where quadratic
+// concatenation costs over a minute per sweep arm.
 func joinLog(rep core.AppReport) string {
-	s := ""
-	for i, line := range rep.Final.Result.LogLines {
-		if i > 0 {
-			s += "\n"
-		}
-		s += line
-	}
-	return s
+	return strings.Join(rep.Final.Result.LogLines, "\n")
 }
 
 // ThroughputSweep runs the ablation. budget 0 uses core.DefaultBudget;

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arm"
 	"repro/internal/dex"
 	"repro/internal/dvm"
+	"repro/internal/summary"
 	"repro/internal/surface"
 	"repro/internal/taint"
 )
@@ -150,6 +151,22 @@ type Analyzer struct {
 	PinsVoided     int
 	PinPagesVoided int
 
+	// Auto-generated native taint summaries (summaries.go). SummariesVoided
+	// counts cached per-function summary states dropped by RegisterNatives
+	// churn or code writes; SummaryApplied counts crossings served by an
+	// accepted transfer instead of tracing; SummaryRejections records
+	// transfers demoted by mutation validation.
+	SummariesVoided   int
+	SummaryApplied    uint64
+	SummaryRejections []summary.Rejection
+	sumMode           SummaryMode
+	sumCache          SummaryCache
+	sumInit           bool
+	sumChurned        bool
+	sumByEntry        map[uint32]*sumFunc
+	sumLibs           []*sumLib
+	sumStack          []sumPending
+
 	// InstrumentationCalls counts DVM-hook instrumentation bodies that
 	// actually ran (the quantity multilevel hooking reduces).
 	InstrumentationCalls uint64
@@ -209,6 +226,10 @@ func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 		a.PinsVoided += sys.VM.UnpinClean()
 		a.PinPagesVoided += sys.CPU.UnpinPages()
 		a.Log.Addf("StaticPinVoid %s: clean pins from the pre-swap binding voided", m.FullName())
+		// The swap equally voids every auto-generated taint summary: a cached
+		// transfer describes the pre-swap implementation. Counter only — no
+		// log line, so flow logs stay byte-identical across summary modes.
+		a.voidSummaries()
 	}
 	// The JNI surface observer runs in every mode (vanilla included): the
 	// surface map is part of the verdict record, so it must not depend on the
@@ -223,7 +244,7 @@ func newAnalyzer(sys *System, mode Mode, gate bool) *Analyzer {
 		a.Surface.Register(m.FullName(), dynamic, old, new)
 	}
 	sys.VM.OnReflectCall = func(m *dex.Method) { a.Surface.Reflect(m.FullName()) }
-	sys.CPU.OnCodeWrite = func(addr uint32) { a.Surface.CodeWrite(addr) }
+	a.wireCodeWrite()
 	if gate {
 		// Hot Dalvik→JNI→ARM crossing chains compile to fused closures; the
 		// ablation path (AnalyzeOptions.Fuse = FuseOff) switches this back
@@ -287,7 +308,9 @@ func (a *Analyzer) DisableSurface() {
 	a.Sys.VM.OnJNICall = nil
 	a.Sys.VM.OnNativeBind = nil
 	a.Sys.VM.OnReflectCall = nil
-	a.Sys.CPU.OnCodeWrite = nil
+	// The code-write callback is shared with summary eviction; rewire rather
+	// than nil it so disabling the observer cannot drop eviction.
+	a.wireCodeWrite()
 }
 
 // crossingClean reports that a JNI crossing may skip its taint walks

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/static"
+	"repro/internal/summary"
 	"repro/internal/surface"
 	"repro/internal/taint"
 )
@@ -126,6 +127,19 @@ type RunResult struct {
 	// A non-empty list is a soundness bug in the pre-analysis.
 	Static           *static.Result
 	StaticViolations []string
+
+	// Auto-generated native taint summary activity (all zero/nil with
+	// summaries off). TracedInsns is the tracer's handler-invocation count —
+	// the quantity an accepted summary removes (the cfbench ablation asserts
+	// the ≥5x reduction against it); SummariesVoided counts summary states
+	// dropped by RegisterNatives churn or code writes; SummaryApplied counts
+	// crossings served by a transfer; SummaryRejections records transfers
+	// demoted by mutation validation; Summary is the per-library table.
+	TracedInsns       uint64
+	SummariesVoided   int
+	SummaryApplied    uint64
+	SummaryRejections []summary.Rejection
+	Summary           []summary.LibReport
 }
 
 // Run invokes the entry point under full fault containment and classifies
@@ -166,6 +180,13 @@ func (a *Analyzer) Run(class, method string, args []uint32, taints []taint.Tag) 
 		res.Surface = a.Surface.Map()
 		res.PinsVoided = a.PinsVoided
 		res.PinPagesVoided = a.PinPagesVoided
+		if a.Tracer != nil {
+			res.TracedInsns = a.Tracer.Traced
+		}
+		res.SummariesVoided = a.SummariesVoided
+		res.SummaryApplied = a.SummaryApplied
+		res.SummaryRejections = append([]summary.Rejection(nil), a.SummaryRejections...)
+		res.Summary = a.summaryReport()
 		vm.JavaBudget, vm.NativeBudget = 0, 0
 	}()
 
@@ -258,6 +279,12 @@ type AnalyzeOptions struct {
 	// pre-analysis runs per attempt — pins are keyed against the attempt's
 	// fresh System, so degradation retries re-seed them from scratch.
 	Static static.Level
+	// Summaries selects how auto-generated native taint summaries are used:
+	// off (default; trace everything), static (trust sound transfers), or
+	// validated (additionally require mutation validation). Flow logs and
+	// verdicts are byte-identical across settings; only the traced
+	// instruction count changes.
+	Summaries SummaryMode
 	// Runner, when set, serves attempts from its snapshot-restored System
 	// instead of booting a fresh one per attempt (and re-seeds static pins
 	// from its digest cache). Verdicts and flow logs are byte-identical to
@@ -391,6 +418,9 @@ func analyzeOnce(spec AppSpec, mode Mode, opts AnalyzeOptions) (res RunResult) {
 		sys.VM.FuseNative = false
 	}
 	applySurface(a, opts.Surface)
+	if opts.Summaries != SummaryOff {
+		a.EnableSummaries(opts.Summaries, nil)
+	}
 
 	var sr *static.Result
 	if opts.Static != static.Off {

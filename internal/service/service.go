@@ -399,6 +399,9 @@ func addRunnerStats(dst *core.RunnerStats, s core.RunnerStats) {
 	dst.AsmAssembles += s.AsmAssembles
 	dst.CacheFaults += s.CacheFaults
 	dst.JNICrossings += s.JNICrossings
+	dst.SummarySynths += s.SummarySynths
+	dst.SummaryReuses += s.SummaryReuses
+	dst.SummaryDiskHits += s.SummaryDiskHits
 }
 
 type attemptRecord struct {
@@ -440,7 +443,8 @@ func verdictKey(fp core.Fingerprint, o core.AnalyzeOptions) string {
 		fmt.Sprintf("flowlog=%t", o.FlowLog),
 		fmt.Sprintf("static=%d", int(o.Static)),
 		fmt.Sprintf("retries=%d", o.InternalRetries),
-		fmt.Sprintf("surface=%d", int(o.Surface)))
+		fmt.Sprintf("surface=%d", int(o.Surface)),
+		fmt.Sprintf("summaries=%d", int(o.Summaries)))
 }
 
 func (s *Service) storeVerdict(fp core.Fingerprint, rep core.AppReport) {

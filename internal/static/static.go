@@ -116,22 +116,9 @@ func Analyze(vm *dvm.VM, entryClass, entryMethod string) *Result {
 		NativeCallees: make(map[string]bool),
 	}
 
-	resolve := buildResolver(vm)
 	var cfgs []*NativeCFG
 	for _, lib := range vm.NativeLibs() {
-		entries := make(map[uint32]string)
-		for _, name := range vm.Classes() {
-			c, ok := vm.Class(name)
-			if !ok {
-				continue
-			}
-			for _, m := range c.Methods {
-				if m.IsNative() && m.NativeAddr != 0 && progContains(lib, m.NativeAddr&^1) {
-					entries[m.NativeAddr] = m.FullName()
-				}
-			}
-		}
-		cfgs = append(cfgs, BuildNativeCFG(lib.Prog, entries, resolve))
+		cfgs = append(cfgs, LibCFG(vm, lib))
 	}
 
 	r.Findings = Lint(vm, cfgs)
@@ -207,6 +194,27 @@ func Analyze(vm *dvm.VM, entryClass, entryMethod string) *Result {
 }
 
 // progContains reports whether addr lies inside the library image.
+// LibCFG builds one library's NativeCFG, rooted at every bound native
+// method whose implementation lives inside the library's program image.
+// Summary synthesis reuses this to get the same CFG shape the lint and
+// reachability passes see.
+func LibCFG(vm *dvm.VM, lib dvm.LoadedLib) *NativeCFG {
+	resolve := buildResolver(vm)
+	entries := make(map[uint32]string)
+	for _, name := range vm.Classes() {
+		c, ok := vm.Class(name)
+		if !ok {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.IsNative() && m.NativeAddr != 0 && progContains(lib, m.NativeAddr&^1) {
+				entries[m.NativeAddr] = m.FullName()
+			}
+		}
+	}
+	return BuildNativeCFG(lib.Prog, entries, resolve)
+}
+
 func progContains(lib dvm.LoadedLib, addr uint32) bool {
 	return addr >= lib.Prog.Base && addr < lib.Prog.Base+lib.Prog.Size()
 }

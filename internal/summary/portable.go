@@ -1,0 +1,57 @@
+package summary
+
+// PortableLib is the CAS-persistable form of a library's synthesized
+// summaries. Only the static synthesis travels: validation verdicts are
+// per-run dynamic state (they depend on concrete argument values observed at
+// the first crossing) and are re-derived on every analysis. The artifact is
+// keyed by the name-excluded lib code digest, so identical native code
+// shipped under different library names by different apps replays the same
+// synthesis.
+type PortableLib struct {
+	Funcs []PortableFunc `json:"funcs"`
+}
+
+// PortableFunc is one function's transfer in portable form.
+type PortableFunc struct {
+	Entry  uint32  `json:"entry"`
+	Name   string  `json:"name"`
+	Insns  int     `json:"insns"`
+	Sound  bool    `json:"sound"`
+	Reason string  `json:"reason,omitempty"`
+	Rows   [2]Dep  `json:"rows"`
+	Regs   [16]Dep `json:"regs"`
+	Writes uint32  `json:"writes"`
+}
+
+// Export flattens a synthesis result for persistence, sorted by entry for a
+// stable encoding.
+func Export(m map[uint32]*Transfer) *PortableLib {
+	p := &PortableLib{Funcs: make([]PortableFunc, 0, len(m))}
+	for _, t := range m {
+		p.Funcs = append(p.Funcs, PortableFunc{
+			Entry: t.Entry, Name: t.Name, Insns: t.Insns,
+			Sound: t.Sound, Reason: t.Reason,
+			Rows: t.Rows, Regs: t.regs, Writes: t.writes,
+		})
+	}
+	for i := 1; i < len(p.Funcs); i++ {
+		for j := i; j > 0 && p.Funcs[j-1].Entry > p.Funcs[j].Entry; j-- {
+			p.Funcs[j-1], p.Funcs[j] = p.Funcs[j], p.Funcs[j-1]
+		}
+	}
+	return p
+}
+
+// Rehydrate reconstructs the in-memory synthesis map from a persisted
+// artifact.
+func Rehydrate(p *PortableLib) map[uint32]*Transfer {
+	m := make(map[uint32]*Transfer, len(p.Funcs))
+	for _, f := range p.Funcs {
+		m[f.Entry] = &Transfer{
+			Entry: f.Entry, Name: f.Name, Insns: f.Insns,
+			Sound: f.Sound, Reason: f.Reason,
+			Rows: f.Rows, regs: f.Regs, writes: f.Writes,
+		}
+	}
+	return m
+}

@@ -1,0 +1,575 @@
+// Package summary synthesizes taint-transfer summaries for third-party
+// native functions, μDep-style: a static inter-procedural dataflow over each
+// function's NativeCFG derives which output cells (r0/r1 on return) depend on
+// which abstract input cells (the r0–r3 argument registers, or anything else
+// — callee-saved registers, stack, memory — lumped into one OTHER cell), and
+// a mutation-based dynamic validation pass (internal/core) confirms the
+// derived transfer before the hook engine trusts it to replace instruction-
+// level tracing.
+//
+// The synthesis mirrors the dynamic tracer's Table V rules *exactly* — the
+// soundness bar is byte-identical flow logs with summaries on and off, so a
+// summary may only be applied when the static transfer provably computes the
+// same return-register taints the tracer would have. Any construct the
+// mirror cannot reproduce (memory access, syscalls, extern callees whose
+// models log or read mid-call taint state, indirect control flow, functions
+// rebound by RegisterNatives churn) makes the function Unsound and leaves it
+// on the full-tracing path. Conditionally-executed instructions are folded
+// with a May-union — the tracer skips the handler when the condition fails —
+// which over-approximates value-dependent transfers; the validation pass
+// demotes exactly those.
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arm"
+	"repro/internal/static"
+	"repro/internal/taint"
+)
+
+// Dep is a set of abstract input cells, bit-encoded: bits 0–3 are the entry
+// values of r0–r3 (the JNI bridge zeroes their shadow taints and the source
+// policy re-seeds them from the Java argument taints, so they are the only
+// precisely-known inputs), and bit 4 is OTHER — every other entry register
+// (r4–r15 keep whatever shadow taint the surrounding execution left), stack
+// slots, and memory.
+type Dep uint8
+
+// Input cells.
+const (
+	DepIn0 Dep = 1 << iota
+	DepIn1
+	DepIn2
+	DepIn3
+	DepOther
+)
+
+// NumArgCells is how many precise register-argument cells exist.
+const NumArgCells = 4
+
+// String renders a dep set like "{in0,in2}".
+func (d Dep) String() string {
+	s := "{"
+	sep := ""
+	for i := 0; i < NumArgCells; i++ {
+		if d&(1<<uint(i)) != 0 {
+			s += fmt.Sprintf("%sin%d", sep, i)
+			sep = ","
+		}
+	}
+	if d&DepOther != 0 {
+		s += sep + "other"
+	}
+	return s + "}"
+}
+
+// Apply folds concrete argument taints through the dep set. The caller must
+// have checked the set is OTHER-free (Acceptable) — an OTHER bit here would
+// mean the output depends on state the bridge does not model.
+func (d Dep) Apply(args [NumArgCells]taint.Tag) taint.Tag {
+	var t taint.Tag
+	for i := 0; i < NumArgCells; i++ {
+		if d&(1<<uint(i)) != 0 {
+			t |= args[i]
+		}
+	}
+	return t
+}
+
+// Transfer is one function's synthesized taint summary: the dependence of the
+// return registers on the input cells, plus the soundness verdict of the
+// static pass.
+type Transfer struct {
+	Entry uint32 // function entry (bit 0 clear)
+	Name  string
+	Insns int // body size: the per-crossing traced work a summary replaces
+
+	// Sound reports that every instruction reachable in the function (and in
+	// its composed local callees) was mirrored exactly; Reason names the first
+	// unsupported construct otherwise.
+	Sound  bool
+	Reason string
+
+	// Rows are the exit dependence sets of r0 and r1 — the only registers the
+	// JNI bridge reads back (r1 only for wide returns; every other register
+	// taint is restored from the pre-crossing snapshot).
+	Rows [2]Dep
+
+	// regs is the full exit state (dep set per register) and writes the
+	// syntactic may-write mask — both needed to compose this function into a
+	// caller at a BL site, neither needed after synthesis.
+	regs   [16]Dep
+	writes uint32
+}
+
+// Acceptable reports whether the transfer can replace tracing for a call
+// with the given return width: it must be statically sound and the observed
+// output rows must be expressible purely in argument cells (an OTHER bit
+// means the return taint depends on state the bridge's argument taints do
+// not determine). Rows[1] only constrains wide ('J'/'D') returns — for
+// narrow returns the bridge never reads the r1 shadow.
+func (t *Transfer) Acceptable(wide bool) bool {
+	if t == nil || !t.Sound {
+		return false
+	}
+	if t.Rows[0]&DepOther != 0 {
+		return false
+	}
+	if wide && t.Rows[1]&DepOther != 0 {
+		return false
+	}
+	return true
+}
+
+// unsound builds a rejected transfer.
+func unsound(entry uint32, name string, insns int, reason string) *Transfer {
+	return &Transfer{Entry: entry, Name: name, Insns: insns, Sound: false, Reason: reason}
+}
+
+// Rejection is the typed SummaryRejected diagnostic: a synthesized summary
+// that validation (or an unsupported construct discovered late) demoted back
+// to full tracing. It is reported through RunResult counters and study
+// tables, never through the flow log — rejection must not perturb log parity.
+type Rejection struct {
+	Func   string `json:"func"`
+	Entry  uint32 `json:"entry"`
+	Reason string `json:"reason"`
+}
+
+func (r Rejection) String() string {
+	return fmt.Sprintf("SummaryRejected %s@0x%x: %s", r.Func, r.Entry, r.Reason)
+}
+
+// LibReport is the per-library synthesis outcome a market study tabulates.
+type LibReport struct {
+	Lib       string `json:"lib"`
+	Functions int    `json:"functions"` // native-method entry points considered
+	Sound     int    `json:"sound"`     // statically sound transfers
+	Accepted  int    `json:"accepted"`  // trusted at least once (post-validation in validated mode)
+	Rejected  int    `json:"rejected"`  // demoted by mutation validation
+	Traced    int    `json:"traced"`    // left on the full-tracing path
+	Applied   uint64 `json:"applied"`   // crossings served by a summary
+}
+
+// String renders one table row.
+func (r LibReport) String() string {
+	return fmt.Sprintf("%-20s funcs=%d sound=%d accepted=%d rejected=%d traced=%d applied=%d",
+		r.Lib, r.Functions, r.Sound, r.Accepted, r.Rejected, r.Traced, r.Applied)
+}
+
+// SynthesizeLib derives a transfer for every function in the library CFG
+// (bound JNI entries and their local callees), composing local calls
+// bottom-up. churned marks a library whose binding set changed mid-run
+// (RegisterNatives): per the surface observer's churn semantics every
+// synthesis there is unsound — the static CFG was rooted at a binding set
+// that no longer holds.
+func SynthesizeLib(cfg *static.NativeCFG, churned bool) map[uint32]*Transfer {
+	out := make(map[uint32]*Transfer, len(cfg.Funcs))
+	if churned {
+		for entry, fn := range cfg.Funcs {
+			out[entry] = unsound(entry, fn.Name, len(fn.Body), "registernatives-churn")
+		}
+		return out
+	}
+	// Deterministic order (map iteration feeds recursion depth only; results
+	// are memoized, but keep the walk stable for reproducible Reason strings).
+	entries := make([]uint32, 0, len(cfg.Funcs))
+	for e := range cfg.Funcs {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	onStack := make(map[uint32]bool)
+	for _, e := range entries {
+		synthesize(cfg, e, out, onStack)
+	}
+	return out
+}
+
+// synthesize memoizes one function's transfer, recursing into local callees.
+func synthesize(cfg *static.NativeCFG, entry uint32, memo map[uint32]*Transfer, onStack map[uint32]bool) *Transfer {
+	entry &^= 1
+	if t, ok := memo[entry]; ok {
+		return t
+	}
+	fn := cfg.Funcs[entry]
+	if fn == nil {
+		t := unsound(entry, "", 0, "unknown-function")
+		memo[entry] = t
+		return t
+	}
+	if onStack[entry] {
+		t := unsound(entry, fn.Name, len(fn.Body), "recursive")
+		memo[entry] = t
+		return t
+	}
+	onStack[entry] = true
+	t := synthFunc(cfg, fn, func(callee uint32) *Transfer {
+		return synthesize(cfg, callee, memo, onStack)
+	})
+	delete(onStack, entry)
+	memo[entry] = t
+	return t
+}
+
+// calleeSavedMask covers r4–r11, SP, and LR: registers a composable callee
+// must never write, because the composition keeps the caller's dependence
+// state for everything outside the callee's write mask.
+const calleeSavedMask = 0x0ff0 | 1<<arm.SP | 1<<arm.LR
+
+// synthFunc runs the taint-transfer dataflow over one function body. lookup
+// resolves local callees (already synthesized, or detected as recursive).
+func synthFunc(cfg *static.NativeCFG, fn *static.NativeFunc, lookup func(uint32) *Transfer) *Transfer {
+	if fn.BadDecode {
+		return unsound(fn.Entry, fn.Name, len(fn.Body), "bad-decode")
+	}
+	if fn.Unresolved {
+		return unsound(fn.Entry, fn.Name, len(fn.Body), "indirect-branch")
+	}
+	if len(fn.Body) == 0 {
+		return unsound(fn.Entry, fn.Name, 0, "empty-body")
+	}
+
+	// Eligibility sweep: every reachable instruction must have an exact
+	// tracer mirror, and composed callees must be sound and callee-save
+	// clean.
+	var writes uint32
+	callees := make(map[uint32]*Transfer)
+	for _, a := range fn.Body {
+		ni := cfg.Insns[a]
+		if ni == nil {
+			return unsound(fn.Entry, fn.Name, len(fn.Body), "undecoded-body")
+		}
+		if reason := insnReason(ni, fn.Entry); reason != "" {
+			return unsound(fn.Entry, fn.Name, len(fn.Body), reason)
+		}
+		writes |= ni.Insn.WriteRegs()
+		if ni.Insn.Op == arm.OpBL && ni.CallLocal != 0 {
+			ct := lookup(ni.CallLocal)
+			if !ct.Sound {
+				return unsound(fn.Entry, fn.Name, len(fn.Body), "callee:"+ct.Reason)
+			}
+			if ct.writes&calleeSavedMask != 0 {
+				return unsound(fn.Entry, fn.Name, len(fn.Body), "callee-writes-saved-reg")
+			}
+			callees[ni.CallLocal] = ct
+			writes |= ct.writes
+		}
+	}
+
+	g := newBodyGraph(cfg, fn)
+	entryIdx, ok := g.index[fn.Entry]
+	if !ok {
+		return unsound(fn.Entry, fn.Name, len(fn.Body), "entry-not-in-body")
+	}
+
+	// Entry boundary: r0–r3 depend on their own argument cells (the bridge
+	// zeroes their shadows and the source policy seeds them); everything else
+	// — r4–r15 — carries whatever the surrounding execution left, i.e. OTHER.
+	boundary := static.NewBitSet(stateBits)
+	for r := 0; r < 16; r++ {
+		if r < NumArgCells {
+			boundary.Set(stateBit(r, r))
+		} else {
+			boundary.Set(stateBit(r, otherCell))
+		}
+	}
+
+	outs := static.Solve(g, static.Problem{
+		Dir:  static.Forward,
+		Join: static.May,
+		Bits: stateBits,
+		Boundary: func(n int) static.BitSet {
+			if n == entryIdx {
+				return boundary
+			}
+			return nil
+		},
+		Transfer: func(n int, in static.BitSet) static.BitSet {
+			return transferInsn(cfg.Insns[g.addr(n)], in, callees)
+		},
+	})
+
+	// Exit state: May-join over every return node. Extern tail calls are
+	// ineligible, so every return here is BX LR / MOV PC, LR.
+	exit := static.NewBitSet(stateBits)
+	returns := 0
+	for i, a := range fn.Body {
+		ni := cfg.Insns[a]
+		if ni != nil && ni.Return {
+			exit.Union(outs[i])
+			returns++
+		}
+	}
+	if returns == 0 {
+		return unsound(fn.Entry, fn.Name, len(fn.Body), "no-return")
+	}
+
+	t := &Transfer{Entry: fn.Entry, Name: fn.Name, Insns: len(fn.Body), Sound: true, writes: writes}
+	for r := 0; r < 16; r++ {
+		t.regs[r] = regDeps(exit, r)
+	}
+	t.Rows[0] = t.regs[0]
+	t.Rows[1] = t.regs[1]
+	return t
+}
+
+// insnReason returns "" when the instruction has an exact tracer mirror, or
+// the unsoundness reason otherwise.
+func insnReason(ni *static.NativeInsn, entry uint32) string {
+	insn := ni.Insn
+	switch insn.Op {
+	case arm.OpADD, arm.OpSUB, arm.OpRSB, arm.OpADC, arm.OpSBC,
+		arm.OpAND, arm.OpORR, arm.OpEOR, arm.OpBIC,
+		arm.OpLSL, arm.OpLSR, arm.OpASR, arm.OpROR,
+		arm.OpMUL, arm.OpSDIV, arm.OpUDIV,
+		arm.OpFADDS, arm.OpFSUBS, arm.OpFMULS, arm.OpFDIVS,
+		arm.OpFADDD, arm.OpFSUBD, arm.OpFMULD, arm.OpFDIVD,
+		arm.OpSITOF, arm.OpFTOSI, arm.OpSITOD, arm.OpDTOSI,
+		arm.OpMVN, arm.OpMOVW, arm.OpMOVT,
+		arm.OpCMP, arm.OpCMN, arm.OpTST, arm.OpTEQ, arm.OpNOP:
+		return ""
+	case arm.OpMOV:
+		// MOV PC, LR is the return form the CFG marked; plain moves mirror
+		// handleMove. Any other PC-writing MOV would be Indirect already.
+		return ""
+	case arm.OpB:
+		if ni.Indirect {
+			return "indirect-branch"
+		}
+		if ni.CallName != "" {
+			return "extern-tail-call:" + ni.CallName
+		}
+		// A branch back to the function's own entry would re-fire the entry
+		// hook mid-validation and consume the pending source policy; reject.
+		for _, s := range ni.Succs {
+			if s == entry {
+				return "branch-to-entry"
+			}
+		}
+		return ""
+	case arm.OpBL:
+		if ni.CallLocal != 0 {
+			if ni.CallLocal == entry {
+				return "recursive"
+			}
+			return ""
+		}
+		if ni.CallName != "" {
+			// Extern callees run modeled hooks that log and read live taint
+			// state mid-call; no static mirror can reproduce that.
+			return "extern-call:" + ni.CallName
+		}
+		return "indirect-call"
+	case arm.OpBX:
+		if ni.Return {
+			return ""
+		}
+		if ni.CallName != "" {
+			return "extern-tail-call:" + ni.CallName
+		}
+		if ni.Indirect {
+			return "indirect-branch"
+		}
+		// Const-resolved in-program BX: a branch; the tracer ignores it.
+		for _, s := range ni.Succs {
+			if s == entry {
+				return "branch-to-entry"
+			}
+		}
+		return ""
+	case arm.OpBLX:
+		// The assembler expands extern BL into a MOVW/MOVT/BLX-ip veneer, so
+		// resolved extern calls surface here; name them for the study table.
+		if ni.CallName != "" {
+			return "extern-call:" + ni.CallName
+		}
+		return "blx"
+	case arm.OpSVC:
+		return "syscall"
+	case arm.OpHLT:
+		return "halt"
+	case arm.OpLDR, arm.OpLDRB, arm.OpLDRH, arm.OpSTR, arm.OpSTRB, arm.OpSTRH,
+		arm.OpLDM, arm.OpSTM:
+		// Memory cells are not modeled in v1: a load reads taint the argument
+		// cells do not determine, a store changes taint state the bridge
+		// cannot replay.
+		return "memory"
+	default:
+		return "op:" + insn.Op.String()
+	}
+}
+
+// --- dataflow state ----------------------------------------------------------
+
+// The fact vector is 16 registers x 5 cells.
+const (
+	numCells  = 5
+	otherCell = 4
+	stateBits = 16 * numCells
+)
+
+func stateBit(reg, cell int) int { return reg*numCells + cell }
+
+// regDeps extracts one register's dep set from a state vector.
+func regDeps(s static.BitSet, reg int) Dep {
+	var d Dep
+	for c := 0; c < numCells; c++ {
+		if s.Get(stateBit(reg, c)) {
+			d |= 1 << uint(c)
+		}
+	}
+	return d
+}
+
+// setRegDeps replaces one register's dep set in a state vector.
+func setRegDeps(s static.BitSet, reg int, d Dep) {
+	for c := 0; c < numCells; c++ {
+		bit := stateBit(reg, c)
+		if d&(1<<uint(c)) != 0 {
+			s.Set(bit)
+		} else {
+			s.Clear(bit)
+		}
+	}
+}
+
+// transferInsn mirrors the tracer's Table V handler for one instruction over
+// the abstract state. Conditionally-executed instructions (the tracer skips
+// the handler when the condition fails) fold the skip path in with a union.
+func transferInsn(ni *static.NativeInsn, in static.BitSet, callees map[uint32]*Transfer) static.BitSet {
+	out := in.Copy()
+	if ni == nil {
+		return out
+	}
+	insn := ni.Insn
+	set := func(reg int, d Dep) {
+		if insn.Cond != arm.CondAL {
+			d |= regDeps(out, reg)
+		}
+		setRegDeps(out, reg, d)
+	}
+
+	switch insn.Op {
+	case arm.OpADD, arm.OpSUB, arm.OpRSB, arm.OpADC, arm.OpSBC,
+		arm.OpAND, arm.OpORR, arm.OpEOR, arm.OpBIC,
+		arm.OpLSL, arm.OpLSR, arm.OpASR, arm.OpROR:
+		// handleBinary: t(Rd) = t(Rn) | t(Rm) (register form) or t(Rn).
+		d := regDeps(out, int(insn.Rn))
+		if !insn.HasImm {
+			d |= regDeps(out, int(insn.Rm))
+		}
+		set(int(insn.Rd), d)
+	case arm.OpMUL, arm.OpSDIV, arm.OpUDIV,
+		arm.OpFADDS, arm.OpFSUBS, arm.OpFMULS, arm.OpFDIVS:
+		set(int(insn.Rd), regDeps(out, int(insn.Rn))|regDeps(out, int(insn.Rm)))
+	case arm.OpFADDD, arm.OpFSUBD, arm.OpFMULD, arm.OpFDIVD:
+		d := regDeps(out, int(insn.Rn)) | regDeps(out, int(insn.Rn)+1) |
+			regDeps(out, int(insn.Rm)) | regDeps(out, int(insn.Rm)+1)
+		set(int(insn.Rd), d)
+		set(int(insn.Rd)+1, d)
+	case arm.OpMOV, arm.OpMVN:
+		if insn.HasImm {
+			set(int(insn.Rd), 0)
+		} else {
+			set(int(insn.Rd), regDeps(out, int(insn.Rm)))
+		}
+	case arm.OpMOVW:
+		set(int(insn.Rd), 0)
+	case arm.OpSITOF, arm.OpFTOSI:
+		set(int(insn.Rd), regDeps(out, int(insn.Rm)))
+	case arm.OpSITOD:
+		d := regDeps(out, int(insn.Rm))
+		set(int(insn.Rd), d)
+		set(int(insn.Rd)+1, d)
+	case arm.OpDTOSI:
+		set(int(insn.Rd), regDeps(out, int(insn.Rm))|regDeps(out, int(insn.Rm)+1))
+	case arm.OpBL:
+		if ct := callees[ni.CallLocal]; ct != nil {
+			composeCall(out, ct, insn.Cond != arm.CondAL)
+		}
+		// The tracer has no BL handler: t(LR) is left as-is even though the
+		// hardware writes the return address. Mirror that — no LR change.
+	}
+	// MOVT, compares, NOP, B, BX (return or branch): no taint effect.
+	return out
+}
+
+// composeCall folds a sound callee's effect into the caller state at a BL
+// site: registers the callee may write take the callee's exit rows with the
+// callee's argument cells resolved against the caller's current r0–r3 deps
+// and the callee's OTHER cell resolved against the union of the caller's
+// r4–r15 deps; registers outside the write mask are untouched (the tracer
+// never updates an unwritten register's shadow).
+func composeCall(state static.BitSet, ct *Transfer, conditional bool) {
+	var argDeps [NumArgCells]Dep
+	for i := 0; i < NumArgCells; i++ {
+		argDeps[i] = regDeps(state, i)
+	}
+	var highDeps Dep
+	for r := NumArgCells; r < 16; r++ {
+		highDeps |= regDeps(state, r)
+	}
+	resolve := func(row Dep) Dep {
+		var d Dep
+		for i := 0; i < NumArgCells; i++ {
+			if row&(1<<uint(i)) != 0 {
+				d |= argDeps[i]
+			}
+		}
+		if row&DepOther != 0 {
+			d |= highDeps
+		}
+		return d
+	}
+	for r := 0; r < 16; r++ {
+		if ct.writes&(1<<uint(r)) == 0 {
+			continue
+		}
+		d := resolve(ct.regs[r])
+		if conditional {
+			d |= regDeps(state, r)
+		}
+		setRegDeps(state, r, d)
+	}
+}
+
+// --- body graph --------------------------------------------------------------
+
+// bodyGraph adapts one NativeFunc body to the dataflow Graph interface
+// (static's own adapter is unexported).
+type bodyGraph struct {
+	fn    *static.NativeFunc
+	cfg   *static.NativeCFG
+	index map[uint32]int
+	succs [][]int
+	preds [][]int
+}
+
+func newBodyGraph(cfg *static.NativeCFG, fn *static.NativeFunc) *bodyGraph {
+	g := &bodyGraph{fn: fn, cfg: cfg, index: make(map[uint32]int, len(fn.Body))}
+	for i, a := range fn.Body {
+		g.index[a] = i
+	}
+	g.succs = make([][]int, len(fn.Body))
+	g.preds = make([][]int, len(fn.Body))
+	for i, a := range fn.Body {
+		ni := cfg.Insns[a]
+		if ni == nil {
+			continue
+		}
+		for _, s := range ni.Succs {
+			if j, ok := g.index[s]; ok {
+				g.succs[i] = append(g.succs[i], j)
+				g.preds[j] = append(g.preds[j], i)
+			}
+		}
+	}
+	return g
+}
+
+func (g *bodyGraph) NumNodes() int     { return len(g.fn.Body) }
+func (g *bodyGraph) Succs(n int) []int { return g.succs[n] }
+func (g *bodyGraph) Preds(n int) []int { return g.preds[n] }
+func (g *bodyGraph) addr(n int) uint32 { return g.fn.Body[n] }

@@ -1,0 +1,315 @@
+package summary_test
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/static"
+	"repro/internal/summary"
+	"repro/internal/taint"
+)
+
+// buildCFG assembles a library and builds its CFG with every Java_ label as
+// an entry, mirroring what core's summary path derives from bound natives.
+func buildCFG(t *testing.T, src string, entries ...string) (*static.NativeCFG, map[string]uint32) {
+	t.Helper()
+	extern := map[string]uint32{"strlen": 0x7f000040, "malloc": 0x7f000050}
+	prog, err := arm.Assemble(src, 0x40000000, extern)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	byAddr := map[uint32]string{}
+	for name, addr := range extern {
+		byAddr[addr] = name
+	}
+	ents := map[uint32]string{}
+	addrs := map[string]uint32{}
+	for _, e := range entries {
+		a, err := prog.Label(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[a&^1] = e
+		addrs[e] = a &^ 1
+	}
+	cfg := static.BuildNativeCFG(prog, ents, func(a uint32) (string, bool) {
+		n, ok := byAddr[a]
+		return n, ok
+	})
+	return cfg, addrs
+}
+
+func synthOne(t *testing.T, src, entry string) *summary.Transfer {
+	t.Helper()
+	cfg, addrs := buildCFG(t, src, entry)
+	tr := summary.SynthesizeLib(cfg, false)[addrs[entry]]
+	if tr == nil {
+		t.Fatalf("no transfer for %s", entry)
+	}
+	return tr
+}
+
+func TestSynthesizePureALULoop(t *testing.T) {
+	tr := synthOne(t, `
+Java_mix:
+	MOV R0, R2
+	MOV R12, #150
+loop:
+	ADD R0, R0, #3
+	EOR R0, R0, R2
+	SUB R12, R12, #1
+	CMP R12, #0
+	BNE loop
+	BX LR
+`, "Java_mix")
+	if !tr.Sound {
+		t.Fatalf("unsound: %s", tr.Reason)
+	}
+	if tr.Rows[0] != summary.DepIn2 {
+		t.Errorf("Rows[0] = %v, want {in2}", tr.Rows[0])
+	}
+	if !tr.Acceptable(false) {
+		t.Error("exact arg-only transfer must be acceptable")
+	}
+	if tr.Insns == 0 {
+		t.Error("body size not recorded")
+	}
+}
+
+func TestSynthesizeConditionalPathsJoin(t *testing.T) {
+	// Value-dependent gate: one path returns the argument, the other a
+	// constant. The May join must claim {in2} — over-approximate, exactly
+	// what mutation validation exists to demote.
+	tr := synthOne(t, `
+Java_gate:
+	CMP R2, #0
+	BEQ zero
+	MOV R0, R2
+	BX LR
+zero:
+	MOV R0, #0
+	BX LR
+`, "Java_gate")
+	if !tr.Sound {
+		t.Fatalf("unsound: %s", tr.Reason)
+	}
+	if tr.Rows[0] != summary.DepIn2 {
+		t.Errorf("Rows[0] = %v, want May-join {in2}", tr.Rows[0])
+	}
+}
+
+func TestSynthesizeConditionalALUMayUnion(t *testing.T) {
+	// A conditionally-executed move must union, not replace: the tracer
+	// skips the handler when the condition fails, so the old dep survives.
+	tr := synthOne(t, `
+Java_sel:
+	MOV R0, R3
+	CMP R2, #0
+	MOVEQ R0, R2
+	BX LR
+`, "Java_sel")
+	if !tr.Sound {
+		t.Fatalf("unsound: %s", tr.Reason)
+	}
+	if tr.Rows[0] != summary.DepIn2|summary.DepIn3 {
+		t.Errorf("Rows[0] = %v, want {in2,in3}", tr.Rows[0])
+	}
+}
+
+func TestSynthesizeCalleeComposition(t *testing.T) {
+	tr := synthOne(t, `
+Java_fold:
+	MOV R1, LR
+	MOV R0, R2
+	BL step
+	MOV LR, R1
+	BX LR
+
+step:
+	ADD R0, R0, #7
+	BX LR
+`, "Java_fold")
+	if !tr.Sound {
+		t.Fatalf("unsound: %s", tr.Reason)
+	}
+	if tr.Rows[0] != summary.DepIn2 {
+		t.Errorf("Rows[0] = %v, want {in2} through the callee", tr.Rows[0])
+	}
+}
+
+func TestSynthesizeOtherLeaksIntoReturn(t *testing.T) {
+	// Returning a callee-saved register's entry value depends on OTHER:
+	// sound to synthesize, but never acceptable.
+	tr := synthOne(t, `
+Java_steal:
+	MOV R0, R4
+	BX LR
+`, "Java_steal")
+	if !tr.Sound {
+		t.Fatalf("unsound: %s", tr.Reason)
+	}
+	if tr.Rows[0]&summary.DepOther == 0 {
+		t.Errorf("Rows[0] = %v, want OTHER bit", tr.Rows[0])
+	}
+	if tr.Acceptable(false) {
+		t.Error("OTHER-dependent row must not be acceptable")
+	}
+}
+
+func TestSynthesizeUnsoundConstructs(t *testing.T) {
+	cases := []struct {
+		name, src, reason string
+	}{
+		{"memory", `
+Java_ld:
+	LDR R0, [R2]
+	BX LR
+`, "memory"},
+		{"extern-call", `
+Java_ext:
+	MOV R1, LR
+	BL strlen
+	MOV LR, R1
+	BX LR
+`, "extern-call:strlen"},
+		{"syscall", `
+Java_svc:
+	SVC #0
+	BX LR
+`, "syscall"},
+		{"indirect", `
+Java_ind:
+	BX R2
+`, "indirect-branch"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tr := synthOne(t, c.src, "Java_"+map[string]string{
+				"memory": "ld", "extern-call": "ext", "syscall": "svc", "indirect": "ind",
+			}[c.name])
+			if tr.Sound {
+				t.Fatal("want unsound")
+			}
+			if tr.Reason != c.reason {
+				t.Errorf("reason = %q, want %q", tr.Reason, c.reason)
+			}
+			if tr.Acceptable(false) {
+				t.Error("unsound transfer must not be acceptable")
+			}
+		})
+	}
+}
+
+func TestSynthesizeCalleeWritesSavedReg(t *testing.T) {
+	tr := synthOne(t, `
+Java_bad:
+	MOV R1, LR
+	BL clobber
+	MOV LR, R1
+	BX LR
+
+clobber:
+	MOV R4, #1
+	BX LR
+`, "Java_bad")
+	if tr.Sound {
+		t.Fatal("want unsound: callee writes a callee-saved register")
+	}
+	if tr.Reason != "callee-writes-saved-reg" {
+		t.Errorf("reason = %q", tr.Reason)
+	}
+}
+
+func TestSynthesizeChurnPoisonsLib(t *testing.T) {
+	cfg, addrs := buildCFG(t, `
+Java_mix:
+	MOV R0, R2
+	BX LR
+`, "Java_mix")
+	tr := summary.SynthesizeLib(cfg, true)[addrs["Java_mix"]]
+	if tr == nil || tr.Sound || tr.Reason != "registernatives-churn" {
+		t.Fatalf("churned synthesis = %+v, want unsound registernatives-churn", tr)
+	}
+}
+
+func TestDepApply(t *testing.T) {
+	args := [summary.NumArgCells]taint.Tag{0x1, 0x2, 0x4, 0x8}
+	if got := (summary.DepIn0 | summary.DepIn2).Apply(args); got != 0x5 {
+		t.Errorf("Apply = %#x, want 0x5", got)
+	}
+	if got := summary.Dep(0).Apply(args); got != 0 {
+		t.Errorf("empty dep Apply = %#x, want 0", got)
+	}
+}
+
+func TestMutationsPlan(t *testing.T) {
+	mu := summary.Mutations([]uint32{0x100, 0x200, 7})
+	// baseline + (^v, 0) per present arg.
+	if len(mu) != 1+3*2 {
+		t.Fatalf("plan length %d, want 7", len(mu))
+	}
+	if mu[0].Index != -1 {
+		t.Errorf("first mutation %+v, want baseline (Index -1)", mu[0])
+	}
+	seen := map[int]int{}
+	for _, m := range mu[1:] {
+		seen[m.Index]++
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 2 {
+			t.Errorf("arg %d mutated %d times, want 2", i, seen[i])
+		}
+	}
+	// More CPU args than cells: the plan caps at the modeled cells.
+	mu = summary.Mutations([]uint32{1, 2, 3, 4, 5, 6})
+	if len(mu) != 1+summary.NumArgCells*2 {
+		t.Errorf("capped plan length %d, want %d", len(mu), 1+summary.NumArgCells*2)
+	}
+}
+
+func TestObservedDep(t *testing.T) {
+	if got := summary.ObservedDep(0); got != 0 {
+		t.Errorf("clean = %v", got)
+	}
+	if got := summary.ObservedDep(summary.ProbeTag(0) | summary.ProbeTag(3)); got != summary.DepIn0|summary.DepIn3 {
+		t.Errorf("probes = %v, want {in0,in3}", got)
+	}
+	if got := summary.ObservedDep(summary.SentinelTag); got&summary.DepOther == 0 {
+		t.Errorf("sentinel = %v, want OTHER", got)
+	}
+	if got := summary.ObservedDep(taint.Tag(1)); got&summary.DepOther == 0 {
+		t.Errorf("foreign taint = %v, want OTHER", got)
+	}
+}
+
+func TestPortableRoundTrip(t *testing.T) {
+	cfg, addrs := buildCFG(t, `
+Java_mix:
+	MOV R0, R2
+	BX LR
+
+Java_ld:
+	LDR R0, [R2]
+	BX LR
+`, "Java_mix", "Java_ld")
+	orig := summary.SynthesizeLib(cfg, false)
+	back := summary.Rehydrate(summary.Export(orig))
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost functions: %d vs %d", len(back), len(orig))
+	}
+	for entry, o := range orig {
+		r := back[entry]
+		if r == nil {
+			t.Fatalf("entry %#x missing after round trip", entry)
+		}
+		if r.Sound != o.Sound || r.Reason != o.Reason || r.Rows != o.Rows ||
+			r.Name != o.Name || r.Insns != o.Insns || r.Entry != o.Entry {
+			t.Errorf("entry %#x: %+v != %+v", entry, r, o)
+		}
+		if r.Acceptable(false) != o.Acceptable(false) {
+			t.Errorf("entry %#x: acceptability changed across round trip", entry)
+		}
+	}
+	_ = addrs
+}

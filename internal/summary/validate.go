@@ -1,0 +1,68 @@
+package summary
+
+import "repro/internal/taint"
+
+// Validation plan helpers. The emulator-driving half of μDep-style mutation
+// validation lives in internal/core (it needs the CPU, snapshots, and hook
+// plumbing); this file owns the pure parts — which mutations to run, which
+// probe tags mark which input cell, and how an observed output taint maps
+// back to a dep set — so they can be unit-tested without an emulator.
+
+// ProbeTag is the synthetic taint tag planted on argument register i during
+// a validation run. The tags sit above the policy tag space (source policies
+// use the low 16 bits) so a probe can never be confused with a real taint.
+func ProbeTag(i int) taint.Tag { return taint.Tag(1) << uint(16+i) }
+
+// SentinelTag is planted on every callee-saved register (r4–r12, LR) during
+// a validation run. A sentinel bit observed in an output register means the
+// output depends on non-argument state — the concrete witness of an OTHER
+// dependence, which is grounds for rejection regardless of what the static
+// pass claimed.
+const SentinelTag = taint.Tag(1) << 20
+
+// probeMask covers all four probe bits.
+const probeMask = taint.Tag(0xf) << 16
+
+// Mutation is one validation run's argument-register taint assignment plus
+// the concrete value overrides to apply. Index < 0 means "no value
+// mutation" (the baseline run replays the actual crossing arguments).
+type Mutation struct {
+	Index int    // argument register to mutate, or -1 for baseline
+	Value uint32 // replacement value for that register
+}
+
+// Mutations builds the validation plan for a crossing with the given actual
+// register arguments: one baseline run plus, per present argument, a bitwise
+// complement and a zero — three concrete points per cell, enough to expose
+// value-dependent transfers like "taint flows only when the byte is
+// nonzero" on at least one side of the branch.
+func Mutations(args []uint32) []Mutation {
+	plan := []Mutation{{Index: -1}}
+	for i, v := range args {
+		if i >= NumArgCells {
+			break
+		}
+		plan = append(plan, Mutation{Index: i, Value: ^v})
+		plan = append(plan, Mutation{Index: i, Value: 0})
+	}
+	return plan
+}
+
+// ObservedDep decodes the dep set a validation run actually exhibited: which
+// probe bits reached the output, with any sentinel leakage folded into
+// OTHER. Extra bits outside the probe/sentinel space cannot occur (argument
+// shadows are zeroed by the bridge before probes are planted), but are
+// folded into OTHER defensively — an unexplained bit must reject, never
+// accept.
+func ObservedDep(t taint.Tag) Dep {
+	var d Dep
+	for i := 0; i < NumArgCells; i++ {
+		if t&ProbeTag(i) != 0 {
+			d |= 1 << uint(i)
+		}
+	}
+	if t&^probeMask != 0 {
+		d |= DepOther
+	}
+	return d
+}
